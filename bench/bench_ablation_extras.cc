@@ -1,0 +1,123 @@
+// Ablations of this reproduction's own design choices (DESIGN.md Sec. 5),
+// beyond the paper's Fig. 7/11 ablations:
+//  (a) centered vs raw similarity labels for deep metric learning;
+//  (b) the F4 fan-out skew in the dataset generator (what breaks
+//      independence-based multi-table estimators);
+//  (c) reference-latency emulation on vs off (what preserves the paper's
+//      accuracy/efficiency trade-off space).
+
+#include <set>
+
+#include "bench/common.h"
+#include "ce/estimator.h"
+#include "engine/executor.h"
+
+namespace autoce::bench {
+namespace {
+
+void CenteredVsRawLabels() {
+  std::printf("\n-- (a) centered vs raw DML similarity labels --\n");
+  BenchSpec spec = DefaultSpec(2101);
+  spec.num_train_datasets = PaperScale() ? 300 : 90;
+  spec.num_test_datasets = PaperScale() ? 100 : 30;
+  BenchData data = BuildCorpus(spec);
+
+  // Centered labels are what AutoCe does internally; "raw" is emulated by
+  // a high tau (the regime where raw cosine still separates a little).
+  advisor::AutoCeConfig centered = BenchAutoCeConfig();
+  advisor::AutoCeConfig raw = BenchAutoCeConfig();
+  raw.dml.tau = 0.97;  // raw labels cluster above 0.8 cosine
+
+  // NOTE: AutoCe always centers; to measure the raw regime we approximate
+  // it by collapsing the threshold, which reproduces the failure mode
+  // (nearly all pairs positive / negative).
+  AutoCeSelector a(centered), b(raw);
+  AUTOCE_CHECK(a.Fit(data.train).ok());
+  AUTOCE_CHECK(b.Fit(data.train).ok());
+  PrintRow({"w_a", "centered(tau=.3)", "degenerate(tau=.97)"}, 20);
+  for (double w : {1.0, 0.9, 0.7, 0.5}) {
+    PrintRow({Fmt(w, 1), Fmt(SelectorMeanDError(&a, data.test, w), 3),
+              Fmt(SelectorMeanDError(&b, data.test, w), 3)},
+             20);
+  }
+}
+
+void FanoutSkewAblation() {
+  std::printf("\n-- (b) F4 fan-out skew vs DeepDB multi-join error --\n");
+  PrintRow({"fanout_skew", "DeepDB qerr", "MSCN qerr", "NeuroCard qerr"},
+           16);
+  for (double skew : {0.0, 1.0, 2.0}) {
+    Rng rng(2202);
+    data::DatasetGenParams gen;
+    gen.min_tables = gen.max_tables = 4;
+    gen.min_rows = 1500;
+    gen.max_rows = 2500;
+    gen.max_fanout_skew = skew;
+    data::Dataset ds = data::GenerateDataset(gen, &rng);
+
+    ce::TestbedConfig cfg;
+    cfg.num_train_queries = 200;
+    cfg.num_test_queries = 80;
+    cfg.models = {ce::ModelId::kDeepDb, ce::ModelId::kMscn,
+                  ce::ModelId::kNeuroCard};
+    cfg.emulate_reference_latency = false;
+    auto result = ce::RunTestbed(ds, cfg);
+    AUTOCE_CHECK(result.ok());
+    double qe[3] = {0, 0, 0};
+    for (const auto& perf : result->models) {
+      if (perf.id == ce::ModelId::kDeepDb) qe[0] = perf.qerror.mean;
+      if (perf.id == ce::ModelId::kMscn) qe[1] = perf.qerror.mean;
+      if (perf.id == ce::ModelId::kNeuroCard) qe[2] = perf.qerror.mean;
+    }
+    PrintRow({Fmt(skew, 1), Fmt(qe[0], 2), Fmt(qe[1], 2), Fmt(qe[2], 2)},
+             16);
+  }
+  std::printf("(fan-out skew correlated with attributes degrades the "
+              "fan-out-independence models most)\n");
+}
+
+void LatencyEmulationAblation() {
+  std::printf("\n-- (c) reference-latency emulation on/off --\n");
+  Rng rng(2303);
+  data::DatasetGenParams gen;
+  gen.min_tables = 1;
+  gen.max_tables = 3;
+  gen.min_rows = 600;
+  gen.max_rows = 1200;
+  auto datasets = data::GenerateCorpus(gen, 40, &rng);
+
+  featgraph::FeatureExtractor fx;
+  for (bool emulate : {true, false}) {
+    ce::TestbedConfig cfg;
+    cfg.num_train_queries = 120;
+    cfg.num_test_queries = 60;
+    cfg.emulate_reference_latency = emulate;
+    auto corpus = advisor::LabelCorpus(datasets, cfg, fx);
+    // Count distinct best models across weights — the advisor's job is
+    // only non-trivial when this is > 1.
+    std::set<int> winners;
+    for (const auto& label : corpus.labels) {
+      for (double w : {1.0, 0.7, 0.5, 0.3, 0.1}) {
+        winners.insert(static_cast<int>(label.BestModel(w)));
+      }
+    }
+    std::printf("  emulation %-3s: %zu distinct best models across the "
+                "corpus and weights\n",
+                emulate ? "ON" : "OFF", winners.size());
+  }
+  std::printf("(without the original systems' latency profile the fast "
+              "C++ reimplementations\ncollapse the efficiency dimension)\n");
+}
+
+int Run() {
+  std::printf("== Reproduction design-choice ablations ==\n");
+  CenteredVsRawLabels();
+  FanoutSkewAblation();
+  LatencyEmulationAblation();
+  return 0;
+}
+
+}  // namespace
+}  // namespace autoce::bench
+
+int main() { return autoce::bench::Run(); }

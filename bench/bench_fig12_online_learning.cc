@@ -1,0 +1,90 @@
+// Reproduces paper Figure 12: AutoCE against two online-learning
+// strategies over a stream of unseen datasets —
+//  * learning-all (LA): train and test every candidate model on each
+//    full dataset, pick the winner (the oracle, at enormous cost);
+//  * sampling: same but on a row sample of each dataset.
+// Reports (a) cumulative selection time, (b) mean Q-error of the chosen
+// model, (c) mean D-error.
+
+#include "bench/common.h"
+
+namespace autoce::bench {
+namespace {
+
+int Run() {
+  std::printf("== Figure 12: AutoCE vs online learning ==\n");
+  BenchSpec spec = DefaultSpec(1212);
+  spec.num_test_datasets = PaperScale() ? 200 : 30;
+  BenchData data = BuildCorpus(spec);
+  const double w_a = 0.9;
+
+  AutoCeSelector autoce;
+  Timer fit_timer;
+  AUTOCE_CHECK(autoce.Fit(data.train).ok());
+  double offline_fit_seconds = fit_timer.ElapsedSeconds();
+
+  struct Track {
+    std::string name;
+    double seconds = 0;
+    std::vector<double> qerr;
+    std::vector<double> derr;
+  };
+  Track t_autoce{"AutoCE", 0, {}, {}};
+  Track t_la{"Learning-all", 0, {}, {}};
+  Track t_sampling{"Sampling", 0, {}, {}};
+
+  advisor::SamplingSelector sampling(BenchSamplingConfig(spec));
+
+  for (size_t i = 0; i < data.test.size(); ++i) {
+    const auto& ds = data.test.datasets[i];
+    const auto& graph = data.test.graphs[i];
+    const auto& label = data.test.labels[i];
+
+    // AutoCE: one embedding + KNN lookup.
+    Timer t1;
+    auto rec = autoce.Recommend(ds, graph, w_a);
+    t_autoce.seconds += t1.ElapsedSeconds();
+    AUTOCE_CHECK(rec.ok());
+    t_autoce.qerr.push_back(label.qerror_mean[static_cast<size_t>(*rec)]);
+    t_autoce.derr.push_back(label.DError(*rec, w_a));
+
+    // Learning-all: full testbed run on the dataset.
+    Timer t2;
+    ce::TestbedConfig cfg = spec.testbed;
+    cfg.seed = 7000 + i;
+    auto tb = ce::RunTestbed(ds, cfg);
+    AUTOCE_CHECK(tb.ok());
+    ce::ModelId la_pick = advisor::MakeLabel(*tb).BestModel(w_a);
+    t_la.seconds += t2.ElapsedSeconds();
+    t_la.qerr.push_back(label.qerror_mean[static_cast<size_t>(la_pick)]);
+    t_la.derr.push_back(label.DError(la_pick, w_a));
+
+    // Sampling: testbed on a row sample.
+    Timer t3;
+    auto srec = sampling.Recommend(ds, graph, w_a);
+    t_sampling.seconds += t3.ElapsedSeconds();
+    AUTOCE_CHECK(srec.ok());
+    t_sampling.qerr.push_back(label.qerror_mean[static_cast<size_t>(*srec)]);
+    t_sampling.derr.push_back(label.DError(*srec, w_a));
+  }
+
+  std::printf("\n(offline one-time AutoCE training: %.1fs, excluded as in "
+              "the paper's Fig. 12a)\n\n",
+              offline_fit_seconds);
+  PrintRow({"Method", "SelectTime(s)", "QErr(mean)", "DErr(mean)"});
+  for (const Track* t : {&t_autoce, &t_la, &t_sampling}) {
+    PrintRow({t->name, Fmt(t->seconds, 2), Fmt(stats::Mean(t->qerr), 2),
+              Fmt(stats::Mean(t->derr), 3)});
+  }
+  std::printf(
+      "\nspeedup of AutoCE over learning-all: %.0fx (paper: 455x over LA "
+      "on 200\ndatasets); Q-error of AutoCE should be close to LA while "
+      "sampling\nfluctuates.\n",
+      t_la.seconds / std::max(t_autoce.seconds, 1e-9));
+  return 0;
+}
+
+}  // namespace
+}  // namespace autoce::bench
+
+int main() { return autoce::bench::Run(); }

@@ -1,0 +1,91 @@
+// Reproduces paper Figure 8: AutoCE vs the four selection baselines
+// (MLP, Rule, Sampling, Knn) on synthetic datasets, sweeping the
+// accuracy weight w_a from 1.0 to 0.1. Reports the breakdown the paper
+// plots: (a) mean Q-error of the recommended model, (b) mean inference
+// latency of the recommended model, (c) mean D-error.
+
+#include <memory>
+
+#include "bench/common.h"
+
+namespace autoce::bench {
+namespace {
+
+int Run() {
+  std::printf("== Figure 8: AutoCE vs selection baselines ==\n");
+  BenchSpec spec = DefaultSpec(808);
+  BenchData data = BuildCorpus(spec);
+
+  std::vector<std::unique_ptr<advisor::ModelSelector>> selectors;
+  selectors.push_back(std::make_unique<AutoCeSelector>());
+  selectors.push_back(std::make_unique<advisor::MlpSelector>());
+  selectors.push_back(std::make_unique<advisor::RuleSelector>());
+  selectors.push_back(
+      std::make_unique<advisor::SamplingSelector>(BenchSamplingConfig(spec)));
+  selectors.push_back(std::make_unique<advisor::KnnSelector>());
+
+  for (auto& sel : selectors) {
+    Timer t;
+    AUTOCE_CHECK(sel->Fit(data.train).ok());
+    std::printf("# fitted %-12s in %.1fs\n", sel->name().c_str(),
+                t.ElapsedSeconds());
+  }
+
+  const std::vector<double> weights = {1.0, 0.9, 0.7, 0.5, 0.3, 0.1};
+
+  auto metric_of_choice = [&](advisor::ModelSelector* sel, double w,
+                              int which) {
+    // which: 0 = mean qerror of chosen model, 1 = mean latency(ms),
+    // 2 = mean D-error.
+    std::vector<double> vals;
+    for (size_t i = 0; i < data.test.size(); ++i) {
+      auto rec = sel->Recommend(data.test.datasets[i], data.test.graphs[i], w);
+      if (!rec.ok()) continue;
+      size_t m = static_cast<size_t>(*rec);
+      const auto& label = data.test.labels[i];
+      if (which == 0) vals.push_back(label.qerror_mean[m]);
+      if (which == 1) vals.push_back(label.latency_ms[m]);
+      if (which == 2) vals.push_back(label.DError(*rec, w));
+    }
+    return stats::Mean(vals);
+  };
+
+  const char* sections[] = {"(a) mean Q-error of recommended model",
+                            "(b) mean inference latency (ms)",
+                            "(c) mean D-error"};
+  // Track the paper's headline aggregates.
+  std::vector<double> mean_derr(selectors.size(), 0.0);
+  std::vector<double> mean_qerr(selectors.size(), 0.0);
+
+  for (int which = 0; which < 3; ++which) {
+    std::printf("\n-- %s --\n", sections[which]);
+    std::vector<std::string> header{"w_a"};
+    for (auto& sel : selectors) header.push_back(sel->name());
+    PrintRow(header);
+    for (double w : weights) {
+      std::vector<std::string> row{Fmt(w, 1)};
+      for (size_t s = 0; s < selectors.size(); ++s) {
+        double v = metric_of_choice(selectors[s].get(), w, which);
+        if (which == 2) mean_derr[s] += v / weights.size();
+        if (which == 0) mean_qerr[s] += v / weights.size();
+        row.push_back(Fmt(v, which == 1 ? 4 : 3));
+      }
+      PrintRow(row);
+    }
+  }
+
+  std::printf("\n-- headline ratios vs AutoCE (paper: D-error 2.5x-6.7x) --\n");
+  PrintRow({"Selector", "D-err", "ratio", "Q-err", "ratio"});
+  for (size_t s = 0; s < selectors.size(); ++s) {
+    PrintRow({selectors[s]->name(), Fmt(mean_derr[s], 3),
+              Fmt(mean_derr[s] / std::max(mean_derr[0], 1e-9), 2),
+              Fmt(mean_qerr[s], 2),
+              Fmt(mean_qerr[s] / std::max(mean_qerr[0], 1e-9), 2)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace autoce::bench
+
+int main() { return autoce::bench::Run(); }

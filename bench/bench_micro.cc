@@ -1,0 +1,116 @@
+// Google-benchmark micro-benchmarks for the performance-critical
+// primitives: feature extraction, GIN encoding, KNN search, executor
+// kernels, and the estimators' inference paths.
+
+#include <benchmark/benchmark.h>
+
+#include "advisor/autoce.h"
+#include "ce/estimator.h"
+#include "data/generator.h"
+#include "engine/executor.h"
+#include "engine/histogram.h"
+#include "featgraph/featgraph.h"
+#include "gnn/gin.h"
+#include "query/query.h"
+
+namespace autoce {
+namespace {
+
+data::Dataset MakeDs(int tables, int64_t rows) {
+  Rng rng(7);
+  data::DatasetGenParams p;
+  p.min_tables = p.max_tables = tables;
+  p.min_rows = p.max_rows = rows;
+  p.min_columns = 3;
+  p.max_columns = 3;
+  return data::GenerateDataset(p, &rng);
+}
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  data::Dataset ds = MakeDs(static_cast<int>(state.range(0)), 2000);
+  featgraph::FeatureExtractor fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.Extract(ds));
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_GinEmbed(benchmark::State& state) {
+  data::Dataset ds = MakeDs(static_cast<int>(state.range(0)), 500);
+  featgraph::FeatureExtractor fx;
+  auto graph = fx.Extract(ds);
+  Rng rng(1);
+  gnn::GinEncoder enc(fx.vertex_dim(), {}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.Embed(graph));
+  }
+}
+BENCHMARK(BM_GinEmbed)->Arg(1)->Arg(5);
+
+void BM_TrueCardinality(benchmark::State& state) {
+  data::Dataset ds = MakeDs(static_cast<int>(state.range(0)), 5000);
+  Rng rng(2);
+  query::WorkloadParams wp;
+  wp.num_queries = 1;
+  wp.max_tables = static_cast<int>(state.range(0));
+  auto qs = query::GenerateWorkload(ds, wp, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::TrueCardinality(ds, qs[0]));
+  }
+}
+BENCHMARK(BM_TrueCardinality)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_HistogramBuild(benchmark::State& state) {
+  data::Dataset ds = MakeDs(1, state.range(0));
+  const auto& values = ds.table(0).columns[0].values;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::EquiDepthHistogram::Build(values, 32));
+  }
+}
+BENCHMARK(BM_HistogramBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PostgresEstimate(benchmark::State& state) {
+  data::Dataset ds = MakeDs(3, 3000);
+  engine::PostgresStyleEstimator est(&ds);
+  Rng rng(3);
+  query::WorkloadParams wp;
+  wp.num_queries = 1;
+  wp.max_tables = 3;
+  auto qs = query::GenerateWorkload(ds, wp, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.EstimateCardinality(qs[0]));
+  }
+}
+BENCHMARK(BM_PostgresEstimate);
+
+void BM_ModelInference(benchmark::State& state) {
+  ce::ModelId id = static_cast<ce::ModelId>(state.range(0));
+  data::Dataset ds = MakeDs(1, 2000);
+  Rng rng(4);
+  query::WorkloadParams wp;
+  wp.num_queries = 120;
+  wp.max_tables = 1;
+  auto qs = query::GenerateWorkload(ds, wp, &rng);
+  auto cards = engine::TrueCardinalities(ds, qs);
+  ce::TrainContext ctx;
+  ctx.dataset = &ds;
+  ctx.train_queries = &qs;
+  ctx.train_cards = &cards;
+  auto model = ce::CreateModel(id, ce::ModelTrainingScale::Fast());
+  if (!model->Train(ctx).ok()) {
+    state.SkipWithError("train failed");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model->EstimateCardinality(qs[i++ % qs.size()]));
+  }
+  state.SetLabel(model->name());
+}
+BENCHMARK(BM_ModelInference)->DenseRange(0, ce::kNumModels - 1);
+
+}  // namespace
+}  // namespace autoce
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Reproduces paper Table I: statistics of the evaluation datasets
+// (IMDB-light twin, STATS-light twin, synthetic corpus).
+
+#include "bench/common.h"
+
+namespace autoce::bench {
+namespace {
+
+void PrintDatasetRow(const std::string& name, int tables, int64_t min_rows,
+                     int64_t max_rows, int columns, double domain) {
+  char rows[64];
+  std::snprintf(rows, sizeof(rows), "%lld-%lld",
+                static_cast<long long>(min_rows),
+                static_cast<long long>(max_rows));
+  PrintRow({name, std::to_string(tables), rows, std::to_string(columns),
+            Fmt(domain, 0)});
+}
+
+void Describe(const std::string& name, const data::Dataset& ds) {
+  int64_t min_rows = ds.table(0).NumRows(), max_rows = min_rows;
+  for (int t = 0; t < ds.NumTables(); ++t) {
+    min_rows = std::min(min_rows, ds.table(t).NumRows());
+    max_rows = std::max(max_rows, ds.table(t).NumRows());
+  }
+  int non_key = 0;
+  for (int t = 0; t < ds.NumTables(); ++t) {
+    for (int c = 0; c < ds.table(t).NumColumns(); ++c) {
+      bool is_key = (c == ds.table(t).primary_key);
+      for (const auto& fk : ds.foreign_keys()) {
+        if (fk.fk_table == t && fk.fk_column == c) is_key = true;
+      }
+      if (!is_key) ++non_key;
+    }
+  }
+  PrintDatasetRow(name, ds.NumTables(), min_rows, max_rows, non_key,
+                  static_cast<double>(ds.TotalDomainSize()));
+}
+
+int Run() {
+  std::printf("== Table I: statistics of datasets ==\n");
+  PrintRow({"Dataset", "#Table", "#Row", "#Column", "TotalDomain"});
+
+  Rng rng(1);
+  double scale = PaperScale() ? 1.0 : 0.02;
+  Describe("IMDB-light", data::MakeImdbLike(scale, &rng));
+  Describe("STATS-light", data::MakeStatsLike(scale, &rng));
+
+  BenchSpec spec = DefaultSpec(2);
+  auto corpus = data::GenerateCorpus(spec.gen, 50, &rng);
+  int64_t min_rows = INT64_MAX, max_rows = 0, domain = 0;
+  int min_tables = 99, max_tables = 0, min_cols = 99, max_cols = 0;
+  for (const auto& ds : corpus) {
+    min_tables = std::min(min_tables, ds.NumTables());
+    max_tables = std::max(max_tables, ds.NumTables());
+    min_cols = std::min(min_cols, ds.TotalColumns());
+    max_cols = std::max(max_cols, ds.TotalColumns());
+    for (int t = 0; t < ds.NumTables(); ++t) {
+      min_rows = std::min(min_rows, ds.table(t).NumRows());
+      max_rows = std::max(max_rows, ds.table(t).NumRows());
+    }
+    domain += ds.TotalDomainSize();
+  }
+  char tables[32], rows[64], cols[32];
+  std::snprintf(tables, sizeof(tables), "%d-%d", min_tables, max_tables);
+  std::snprintf(rows, sizeof(rows), "%lld-%lld",
+                static_cast<long long>(min_rows),
+                static_cast<long long>(max_rows));
+  std::snprintf(cols, sizeof(cols), "%d-%d", min_cols, max_cols);
+  PrintRow({"Synthetic(50)", tables, rows, cols,
+            Fmt(static_cast<double>(domain) / 50.0, 0)});
+  std::printf(
+      "\nPaper shape: IMDB-light 6 tables/12 cols, STATS-light 8 tables/23 "
+      "cols,\nsynthetic 1-5 tables; row counts scale with "
+      "AUTOCE_BENCH_SCALE.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace autoce::bench
+
+int main() { return autoce::bench::Run(); }

@@ -1,0 +1,85 @@
+// Reproduces paper Table II: recommendation accuracy (fraction of
+// datasets whose recommended model has D-error <= epsilon) of AutoCE and
+// the four baselines over synthetic and real-world-like test datasets,
+// for epsilon in {0.1, 0.15, 0.2} and w_a in {1.0, 0.9, 0.7}.
+
+#include <memory>
+
+#include "bench/common.h"
+#include "data/realworld.h"
+
+namespace autoce::bench {
+namespace {
+
+void Evaluate(const char* section,
+              std::vector<std::unique_ptr<advisor::ModelSelector>>& selectors,
+              const advisor::LabeledCorpus& corpus) {
+  const double weights[] = {1.0, 0.9, 0.7};
+  const double epsilons[] = {0.1, 0.15, 0.2};
+  std::printf("\n-- %s (%zu datasets) --\n", section, corpus.size());
+  std::vector<std::string> header{"Advisor"};
+  for (double w : weights) {
+    for (double e : epsilons) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "w%.1f/e%.2f", w, e);
+      header.push_back(buf);
+    }
+  }
+  PrintRow(header, 12);
+  for (auto& sel : selectors) {
+    std::vector<std::string> row{sel->name()};
+    for (double w : weights) {
+      for (double e : epsilons) {
+        row.push_back(Pct(SelectorAccuracy(sel.get(), corpus, w, e)));
+      }
+    }
+    PrintRow(row, 12);
+  }
+}
+
+int Run() {
+  std::printf("== Table II: recommendation accuracy ==\n");
+  BenchSpec spec = DefaultSpec(222);
+  BenchData data = BuildCorpus(spec);
+
+  std::vector<std::unique_ptr<advisor::ModelSelector>> selectors;
+  selectors.push_back(std::make_unique<advisor::MlpSelector>());
+  selectors.push_back(std::make_unique<advisor::RuleSelector>());
+  selectors.push_back(std::make_unique<advisor::KnnSelector>());
+  selectors.push_back(
+      std::make_unique<advisor::SamplingSelector>(BenchSamplingConfig(spec)));
+  selectors.push_back(std::make_unique<AutoCeSelector>());
+  for (auto& sel : selectors) AUTOCE_CHECK(sel->Fit(data.train).ok());
+
+  Evaluate("Synthetic", selectors, data.test);
+
+  // Real-world-like splits (IMDB-20 / STATS-20 procedure).
+  Rng rng(31);
+  featgraph::FeatureExtractor extractor;
+  double scale = PaperScale() ? 0.1 : 0.01;
+  ce::TestbedConfig tb = spec.testbed;
+  tb.seed = 999;
+  {
+    data::Dataset imdb = data::MakeImdbLike(scale, &rng);
+    auto splits = data::SplitSamples(imdb, 20, 5, &rng);
+    auto corpus = advisor::LabelCorpus(std::move(splits), tb, extractor);
+    Evaluate("IMDB-20", selectors, corpus);
+  }
+  {
+    data::Dataset stats = data::MakeStatsLike(scale, &rng);
+    auto splits = data::SplitSamples(stats, 20, 5, &rng);
+    auto corpus = advisor::LabelCorpus(std::move(splits), tb, extractor);
+    Evaluate("STATS-20", selectors, corpus);
+  }
+
+  std::printf(
+      "\nPaper shape: AutoCE leads in all settings; on average 1.4x over\n"
+      "MLP, 2.8x over Rule, 1.8x over Sampling, 2.4x over Knn "
+      "(synthetic).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace autoce::bench
+
+int main() { return autoce::bench::Run(); }

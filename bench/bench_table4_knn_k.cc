@@ -1,0 +1,59 @@
+// Reproduces paper Table IV: AutoCE's D-error as the KNN predictor's k
+// varies from 1 to 5, for w_a in {1.0, 0.9, 0.7, 0.5}. The paper finds
+// k = 2 best: k = 1 is hostage to a single nearest embedding, k >= 3
+// pulls in far-away neighbors.
+
+#include "bench/common.h"
+
+namespace autoce::bench {
+namespace {
+
+int Run() {
+  std::printf("== Table IV: AutoCE D-error under different k ==\n");
+  BenchSpec spec = DefaultSpec(404);
+  BenchData data = BuildCorpus(spec);
+
+  const std::vector<double> weights = {1.0, 0.9, 0.7, 0.5};
+  std::vector<std::string> header{"w_a"};
+  for (int k = 1; k <= 5; ++k) header.push_back("k=" + std::to_string(k));
+  PrintRow(header);
+
+  std::vector<std::vector<double>> derr(weights.size());
+  for (int k = 1; k <= 5; ++k) {
+    advisor::AutoCeConfig cfg = BenchAutoCeConfig();
+    cfg.knn_k = k;
+    AutoCeSelector sel(cfg);
+    AUTOCE_CHECK(sel.Fit(data.train).ok());
+    for (size_t wi = 0; wi < weights.size(); ++wi) {
+      derr[wi].push_back(SelectorMeanDError(&sel, data.test, weights[wi]));
+    }
+  }
+  for (size_t wi = 0; wi < weights.size(); ++wi) {
+    std::vector<std::string> row{Fmt(weights[wi], 1)};
+    for (double d : derr[wi]) row.push_back(Fmt(d, 3));
+    PrintRow(row);
+  }
+
+  // Column means, to surface the best k.
+  std::vector<std::string> mean_row{"mean"};
+  int best_k = 1;
+  double best = 1e300;
+  for (int k = 0; k < 5; ++k) {
+    double sum = 0;
+    for (size_t wi = 0; wi < weights.size(); ++wi) sum += derr[wi][static_cast<size_t>(k)];
+    double mean = sum / weights.size();
+    mean_row.push_back(Fmt(mean, 3));
+    if (mean < best) {
+      best = mean;
+      best_k = k + 1;
+    }
+  }
+  PrintRow(mean_row);
+  std::printf("\nbest k = %d (paper: k = 2)\n", best_k);
+  return 0;
+}
+
+}  // namespace
+}  // namespace autoce::bench
+
+int main() { return autoce::bench::Run(); }

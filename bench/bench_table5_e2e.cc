@@ -1,0 +1,243 @@
+// Reproduces paper Table V: end-to-end latency with injected
+// cardinalities. Each method's estimates are injected into the DP
+// join-order optimizer; the chosen physical plans are then executed for
+// real in the engine (hash joins; index-vs-sequential scans chosen from
+// the injected estimates). Reported per method: total plan running time,
+// total inference time, and improvement over the PostgreSQL baseline —
+// separately for single-table and multi-table workloads.
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "bench/common.h"
+#include "ce/testbed.h"
+#include "engine/executor.h"
+#include "engine/histogram.h"
+#include "engine/optimizer.h"
+#include "engine/plan_executor.h"
+
+namespace autoce::bench {
+namespace {
+
+struct MethodTotals {
+  double run_seconds = 0.0;
+  double infer_seconds = 0.0;
+  /// Plan cost evaluated under *true* cardinalities (deterministic,
+  /// scale-free): exposes plan-quality differences that millisecond
+  /// wall-clock hides at reduced scale.
+  double true_cost = 0.0;
+};
+
+/// Cost of a plan under true cardinalities (the optimizer's own cost
+/// model, fed exact counts).
+double TrueCostOf(const data::Dataset& ds, const engine::PlanNode& p,
+                  const query::Query& q) {
+  engine::CostModel cm;
+  if (p.kind == engine::PlanNode::Kind::kScan) {
+    return cm.scan_cost_per_row *
+           static_cast<double>(ds.table(p.table).NumRows());
+  }
+  auto card_of = [&](const std::vector<int>& tables) {
+    query::Query sub = engine::JoinOrderOptimizer::SubQuery(q, tables);
+    auto r = engine::TrueCardinality(ds, sub);
+    return r.ok() ? static_cast<double>(*r) : 0.0;
+  };
+  return TrueCostOf(ds, *p.left, q) + TrueCostOf(ds, *p.right, q) +
+         cm.build_cost_per_row * card_of(p.right->Tables()) +
+         cm.probe_cost_per_row * card_of(p.left->Tables()) +
+         cm.output_cost_per_row * card_of(p.Tables());
+}
+
+/// Runs `queries` against `ds` with cardinalities from `estimate`;
+/// accumulates real execution + estimation wall time.
+void RunWorkload(const data::Dataset& ds,
+                 const std::vector<query::Query>& queries,
+                 const std::function<double(const query::Query&)>& estimate,
+                 MethodTotals* totals) {
+  engine::JoinOrderOptimizer opt(&ds);
+  engine::PlanExecutor exec(&ds);
+  for (const auto& q : queries) {
+    double infer = 0.0;
+    engine::CardinalityFn fn = [&](const query::Query& sub) {
+      Timer t;
+      double card = estimate(sub);
+      infer += t.ElapsedSeconds();
+      return card;
+    };
+    auto plan = opt.Optimize(q, fn);
+    if (!plan.ok()) continue;
+    auto result = exec.Execute(q, **plan);
+    totals->run_seconds += result.seconds;
+    totals->infer_seconds += infer;
+    totals->true_cost += TrueCostOf(ds, **plan, q);
+  }
+}
+
+int Run() {
+  std::printf("== Table V: end-to-end latency with injected "
+              "cardinalities ==\n");
+
+  // Offline: train AutoCE on a synthetic corpus.
+  BenchSpec spec = DefaultSpec(555);
+  spec.num_train_datasets = PaperScale() ? 300 : 70;
+  spec.num_test_datasets = 1;
+  BenchData corpus = BuildCorpus(spec);
+  AutoCeSelector autoce;
+  AUTOCE_CHECK(autoce.Fit(corpus.train).ok());
+
+  // Evaluation datasets: 15 single-table + 15 multi-table.
+  int per_group = PaperScale() ? 15 : 8;
+  int queries_per_dataset = PaperScale() ? 100 : 30;
+  Rng rng(77);
+  data::DatasetGenParams single_gen = spec.gen;
+  single_gen.min_tables = single_gen.max_tables = 1;
+  single_gen.min_rows = PaperScale() ? 100000 : 20000;
+  single_gen.max_rows = PaperScale() ? 200000 : 40000;
+  data::DatasetGenParams multi_gen = spec.gen;
+  multi_gen.min_tables = 2;
+  multi_gen.max_tables = 5;
+  multi_gen.min_rows = PaperScale() ? 20000 : 10000;
+  multi_gen.max_rows = PaperScale() ? 50000 : 20000;
+
+  struct MethodDef {
+    std::string name;
+    bool is_autoce = false;
+    double w_a = 1.0;
+    ce::ModelId model = ce::ModelId::kMscn;
+    bool is_true = false;
+    bool is_pg = false;
+  };
+  std::vector<MethodDef> methods;
+  methods.push_back({"PostgreSQL", false, 1, ce::ModelId::kMscn, false, true});
+  methods.push_back({"TrueCard", false, 1, ce::ModelId::kMscn, true, false});
+  for (ce::ModelId id : ce::AllModels()) {
+    methods.push_back({ce::ModelName(id), false, 1, id, false, false});
+  }
+  methods.push_back({"AutoCE w=0.5", true, 0.5});
+  methods.push_back({"AutoCE w=1.0", true, 1.0});
+
+  auto run_group = [&](const data::DatasetGenParams& gen, int max_tables) {
+    std::vector<MethodTotals> totals(methods.size());
+    for (int d = 0; d < per_group; ++d) {
+      Rng child = rng.Fork(static_cast<uint64_t>(d + max_tables * 100));
+      data::Dataset ds = data::GenerateDataset(gen, &child);
+      featgraph::FeatureExtractor fx;
+      auto graph = fx.Extract(ds);
+
+      query::WorkloadParams wp;
+      wp.num_queries = spec.testbed.num_train_queries + queries_per_dataset;
+      wp.max_tables = max_tables;
+      wp.min_predicates_per_table = 1;
+      auto all = query::GenerateWorkload(ds, wp, &child);
+      std::vector<query::Query> train_q(
+          all.begin(), all.begin() + spec.testbed.num_train_queries);
+      std::vector<query::Query> run_q(
+          all.begin() + spec.testbed.num_train_queries, all.end());
+      auto train_c = engine::TrueCardinalities(ds, train_q);
+
+      // Train all 7 candidate models once per dataset.
+      ce::TrainContext ctx;
+      ctx.dataset = &ds;
+      ctx.train_queries = &train_q;
+      ctx.train_cards = &train_c;
+      std::vector<std::unique_ptr<ce::CardinalityEstimator>> models(
+          static_cast<size_t>(ce::kNumModels));
+      for (ce::ModelId id : ce::AllModels()) {
+        ctx.seed = 900 + static_cast<uint64_t>(id);
+        models[static_cast<size_t>(id)] = ce::CreateModel(id, spec.testbed.scale);
+        AUTOCE_CHECK(models[static_cast<size_t>(id)]->Train(ctx).ok());
+      }
+      engine::PostgresStyleEstimator pg(&ds);
+
+      for (size_t m = 0; m < methods.size(); ++m) {
+        const MethodDef& def = methods[m];
+        std::function<double(const query::Query&)> est;
+        if (def.is_pg) {
+          est = [&](const query::Query& q) {
+            return pg.EstimateCardinality(q);
+          };
+        } else if (def.is_true) {
+          // The paper's TrueCard injects *known* true cardinalities; the
+          // cost of obtaining them is not part of the measurement, so
+          // pre-compute outside the inference timer via a cache.
+          auto cache = std::make_shared<std::map<std::string, double>>();
+          est = [&ds, cache](const query::Query& q) {
+            std::string key;
+            for (int t : q.tables) key += std::to_string(t) + ",";
+            for (const auto& p : q.predicates) {
+              key += std::to_string(p.table) + ":" +
+                     std::to_string(p.column) + ":" + std::to_string(p.lo) +
+                     "-" + std::to_string(p.hi) + ";";
+            }
+            auto it = cache->find(key);
+            if (it != cache->end()) return it->second;
+            auto r = engine::TrueCardinality(ds, q);
+            double v = r.ok() ? static_cast<double>(*r) : 0.0;
+            (*cache)[key] = v;
+            return v;
+          };
+        } else if (def.is_autoce) {
+          auto rec = autoce.Recommend(ds, graph, def.w_a);
+          AUTOCE_CHECK(rec.ok());
+          ce::CardinalityEstimator* chosen =
+              models[static_cast<size_t>(*rec)].get();
+          est = [chosen](const query::Query& q) {
+            return chosen->EstimateCardinality(q);
+          };
+        } else {
+          ce::CardinalityEstimator* model =
+              models[static_cast<size_t>(def.model)].get();
+          est = [model](const query::Query& q) {
+            return model->EstimateCardinality(q);
+          };
+        }
+        RunWorkload(ds, run_q, est, &totals[m]);
+        if (def.is_true) totals[m].infer_seconds = 0.0;  // cards are given
+      }
+    }
+    return totals;
+  };
+
+  std::printf("# executing %d single-table + %d multi-table datasets, %d "
+              "queries each...\n",
+              per_group, per_group, queries_per_dataset);
+  auto single = run_group(single_gen, 1);
+  auto multi = run_group(multi_gen, 5);
+
+  std::printf("\n");
+  PrintRow({"Method", "Single(run+inf)", "Multi(run+inf)", "Single.Impr",
+            "Multi.Impr", "Multi.PlanCost"},
+           18);
+  double pg_single = single[0].run_seconds + single[0].infer_seconds;
+  double pg_multi = multi[0].run_seconds + multi[0].infer_seconds;
+  double pg_cost = multi[0].true_cost;
+  for (size_t m = 0; m < methods.size(); ++m) {
+    double s_total = single[m].run_seconds + single[m].infer_seconds;
+    double mt_total = multi[m].run_seconds + multi[m].infer_seconds;
+    char s_buf[64], m_buf[64], c_buf[64];
+    std::snprintf(s_buf, sizeof(s_buf), "%.2fs+%.2fs",
+                  single[m].run_seconds, single[m].infer_seconds);
+    std::snprintf(m_buf, sizeof(m_buf), "%.2fs+%.2fs",
+                  multi[m].run_seconds, multi[m].infer_seconds);
+    // Plan cost of this method's plans relative to the PostgreSQL
+    // baseline's plans, in true-cost units (1.00 = same quality).
+    std::snprintf(c_buf, sizeof(c_buf), "%.3fx",
+                  multi[m].true_cost / std::max(pg_cost, 1e-9));
+    PrintRow({methods[m].name, s_buf, m_buf,
+              Pct((pg_single - s_total) / pg_single),
+              Pct((pg_multi - mt_total) / pg_multi), c_buf},
+             18);
+  }
+  std::printf(
+      "\npaper shape: on single-table workloads inference latency "
+      "dominates\n(NeuroCard/UAE regress, AutoCE w=0.5 best); on "
+      "multi-table workloads\nplan quality dominates (TrueCard best "
+      "possible, AutoCE w=1.0 leads the\nestimators, LW-* regress).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace autoce::bench
+
+int main() { return autoce::bench::Run(); }

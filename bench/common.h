@@ -1,0 +1,180 @@
+#ifndef AUTOCE_BENCH_COMMON_H_
+#define AUTOCE_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "advisor/autoce.h"
+#include "advisor/baselines.h"
+#include "advisor/label.h"
+#include "data/generator.h"
+#include "data/realworld.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace autoce::bench {
+
+/// Global scale knob: AUTOCE_BENCH_SCALE=paper runs closer to the
+/// paper's corpus sizes; the default "small" finishes each bench in a
+/// couple of minutes on one core. Absolute numbers shift with scale; the
+/// comparative shapes (who wins, by roughly what factor) do not.
+inline bool PaperScale() {
+  const char* env = std::getenv("AUTOCE_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "paper";
+}
+
+/// Corpus + testbed sizes used by most benches.
+struct BenchSpec {
+  int num_train_datasets = PaperScale() ? 1000 : 150;
+  int num_test_datasets = PaperScale() ? 200 : 40;
+  data::DatasetGenParams gen;
+  ce::TestbedConfig testbed;
+  uint64_t seed = 97;
+};
+
+inline BenchSpec DefaultSpec(uint64_t seed = 97) {
+  BenchSpec spec;
+  spec.seed = seed;
+  spec.gen.min_tables = 1;
+  spec.gen.max_tables = 5;
+  spec.gen.min_columns = 1;
+  spec.gen.max_columns = 6;
+  spec.gen.min_domain = 20;
+  spec.gen.max_fanout_skew = 2.0;
+  spec.gen.max_domain = 2000;
+  spec.gen.min_rows = PaperScale() ? 10000 : 600;
+  spec.gen.max_rows = PaperScale() ? 50000 : 1500;
+  spec.testbed.num_train_queries = PaperScale() ? 800 : 250;
+  spec.testbed.num_test_queries = PaperScale() ? 200 : 100;
+  spec.testbed.scale = ce::ModelTrainingScale::Fast();
+  return spec;
+}
+
+/// Labeled train/test corpora shared across benches.
+struct BenchData {
+  advisor::LabeledCorpus train;
+  advisor::LabeledCorpus test;
+};
+
+inline BenchData BuildCorpus(const BenchSpec& spec) {
+  Rng rng(spec.seed);
+  featgraph::FeatureExtractor extractor;
+  Timer timer;
+  auto train_ds = data::GenerateCorpus(spec.gen, spec.num_train_datasets,
+                                       &rng);
+  auto test_ds =
+      data::GenerateCorpus(spec.gen, spec.num_test_datasets, &rng);
+  BenchData out;
+  out.train = advisor::LabelCorpus(std::move(train_ds), spec.testbed,
+                                   extractor, /*verbose=*/true);
+  ce::TestbedConfig test_cfg = spec.testbed;
+  test_cfg.seed = spec.testbed.seed ^ 0xABCDEFULL;
+  out.test =
+      advisor::LabelCorpus(std::move(test_ds), test_cfg, extractor, true);
+  std::printf("# corpus: %d train + %d test datasets labeled in %.1fs\n",
+              spec.num_train_datasets, spec.num_test_datasets,
+              timer.ElapsedSeconds());
+  return out;
+}
+
+/// AutoCE configuration tuned for bench corpora.
+inline advisor::AutoCeConfig BenchAutoCeConfig() {
+  advisor::AutoCeConfig cfg;
+  cfg.dml.epochs = PaperScale() ? 60 : 40;
+  cfg.gin.hidden = 32;
+  cfg.gin.embedding_dim = 16;
+  // The paper's k = 2 optimum holds at its 1000-dataset RCS density; on
+  // the reduced default corpus a slightly wider neighborhood is more
+  // robust (see bench_table4_knn_k, which sweeps k at the active scale).
+  cfg.knn_k = PaperScale() ? 2 : 5;
+  return cfg;
+}
+
+/// Sampling-baseline configuration: a genuinely small sample (the paper's
+/// point is that model rankings are unstable on samples).
+inline advisor::SamplingSelector::Config BenchSamplingConfig(
+    const BenchSpec& spec) {
+  advisor::SamplingSelector::Config scfg;
+  scfg.sample_fraction = 0.1;
+  scfg.max_sample_rows = PaperScale() ? 1500 : 120;
+  scfg.testbed = spec.testbed;
+  scfg.testbed.num_train_queries = spec.testbed.num_train_queries / 2;
+  scfg.testbed.num_test_queries = spec.testbed.num_test_queries / 2;
+  return scfg;
+}
+
+/// Mean D-error of a fitted selector over a labeled corpus.
+inline double SelectorMeanDError(advisor::ModelSelector* selector,
+                                 const advisor::LabeledCorpus& corpus,
+                                 double w_a) {
+  std::vector<double> errs;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    auto rec = selector->Recommend(corpus.datasets[i], corpus.graphs[i], w_a);
+    if (!rec.ok()) continue;
+    errs.push_back(corpus.labels[i].DError(*rec, w_a));
+  }
+  return stats::Mean(errs);
+}
+
+/// Fraction of corpus datasets whose D-error is within `epsilon`.
+inline double SelectorAccuracy(advisor::ModelSelector* selector,
+                               const advisor::LabeledCorpus& corpus,
+                               double w_a, double epsilon) {
+  int hits = 0, total = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    auto rec = selector->Recommend(corpus.datasets[i], corpus.graphs[i], w_a);
+    if (!rec.ok()) continue;
+    ++total;
+    if (corpus.labels[i].DError(*rec, w_a) <= epsilon) ++hits;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+}
+
+/// AutoCe adapter implementing the ModelSelector interface so benches
+/// can sweep AutoCE and the baselines uniformly.
+class AutoCeSelector : public advisor::ModelSelector {
+ public:
+  explicit AutoCeSelector(advisor::AutoCeConfig cfg = BenchAutoCeConfig())
+      : advisor_(std::move(cfg)) {}
+
+  std::string name() const override { return "AutoCE"; }
+  Status Fit(const advisor::LabeledCorpus& corpus) override {
+    return advisor_.Fit(corpus.graphs, corpus.labels);
+  }
+  Result<ce::ModelId> Recommend(const data::Dataset& /*dataset*/,
+                                const featgraph::FeatureGraph& graph,
+                                double w_a) override {
+    auto rec = advisor_.Recommend(graph, w_a);
+    if (!rec.ok()) return rec.status();
+    return rec->model;
+  }
+  advisor::AutoCe* advisor() { return &advisor_; }
+
+ private:
+  advisor::AutoCe advisor_;
+};
+
+/// Simple fixed-width table printing.
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string Pct(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * v);
+  return buf;
+}
+
+}  // namespace autoce::bench
+
+#endif  // AUTOCE_BENCH_COMMON_H_

@@ -1,0 +1,71 @@
+// Example: using the CE model zoo directly — train each of the seven
+// learned estimators on one dataset and compare their estimates on a few
+// queries against the exact engine. A compact tour of the
+// CardinalityEstimator API.
+//
+// Build & run:  ./build/examples/ce_playground
+
+#include <cstdio>
+
+#include "ce/estimator.h"
+#include "ce/metrics.h"
+#include "data/generator.h"
+#include "engine/executor.h"
+#include "query/query.h"
+#include "util/timer.h"
+
+using namespace autoce;
+
+int main() {
+  Rng rng(3);
+  data::DatasetGenParams gen;
+  gen.min_tables = gen.max_tables = 2;
+  gen.min_rows = gen.max_rows = 2000;
+  gen.max_fanout_skew = 1.5;
+  data::Dataset ds = data::GenerateDataset(gen, &rng);
+
+  query::WorkloadParams wp;
+  wp.num_queries = 160;
+  wp.max_tables = 2;
+  auto queries = query::GenerateWorkload(ds, wp, &rng);
+  auto cards = engine::TrueCardinalities(ds, queries);
+  std::vector<query::Query> train_q(queries.begin(), queries.begin() + 120);
+  std::vector<double> train_c(cards.begin(), cards.begin() + 120);
+
+  ce::TrainContext ctx;
+  ctx.dataset = &ds;
+  ctx.train_queries = &train_q;
+  ctx.train_cards = &train_c;
+
+  std::printf("%-10s %10s %10s %12s %12s\n", "model", "train(s)",
+              "qerr-mean", "qerr-p95", "infer(ms)");
+  for (ce::ModelId id : ce::AllModels()) {
+    auto model = ce::CreateModel(id, ce::ModelTrainingScale::Fast());
+    Timer train_t;
+    if (!model->Train(ctx).ok()) {
+      std::printf("%-10s   training failed\n", model->name().c_str());
+      continue;
+    }
+    double train_s = train_t.ElapsedSeconds();
+
+    std::vector<double> qerrors;
+    Timer infer_t;
+    for (size_t i = 120; i < queries.size(); ++i) {
+      double est = model->EstimateCardinality(queries[i]);
+      qerrors.push_back(ce::QError(est, cards[i]));
+    }
+    double infer_ms = infer_t.ElapsedMillis() / 40.0;
+    auto summary = ce::SummarizeQErrors(qerrors);
+    std::printf("%-10s %10.2f %10.2f %12.2f %12.4f\n",
+                model->name().c_str(), train_s, summary.mean, summary.p95,
+                infer_ms);
+  }
+
+  // Show one concrete query with all estimates.
+  const query::Query& q = queries.back();
+  std::printf("\nexample query: %s\n", q.ToString(ds).c_str());
+  auto truth = engine::TrueCardinality(ds, q);
+  std::printf("  true cardinality: %lld\n",
+              truth.ok() ? static_cast<long long>(*truth) : -1);
+  return 0;
+}

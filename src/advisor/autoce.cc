@@ -1,0 +1,510 @@
+#include "advisor/autoce.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/serde.h"
+#include "util/stats.h"
+
+namespace autoce::advisor {
+
+AutoCe::AutoCe(AutoCeConfig config)
+    : config_(std::move(config)),
+      extractor_(config_.feature),
+      rng_(config_.seed) {}
+
+Status AutoCe::Fit(const std::vector<featgraph::FeatureGraph>& graphs,
+                   const std::vector<DatasetLabel>& labels) {
+  if (graphs.size() != labels.size()) {
+    return Status::InvalidArgument("graphs/labels size mismatch");
+  }
+  if (graphs.size() < 4) {
+    return Status::InvalidArgument("need at least 4 labeled datasets");
+  }
+  graphs_ = graphs;
+  labels_ = labels;
+  // DML similarity labels: concatenated score vectors, centered on the
+  // corpus mean. Centering matters: the efficiency components share a
+  // large dataset-independent structure (the models' inherent latency
+  // profile), which would saturate raw cosine similarity near 1 for all
+  // pairs and starve the metric learner of negatives.
+  label_mean_.assign(
+      config_.training_weights.size() * ce::kNumModels, 0.0);
+  for (const auto& label : labels_) {
+    auto concat = label.ConcatScores(config_.training_weights);
+    for (size_t i = 0; i < concat.size(); ++i) {
+      label_mean_[i] += concat[i] / static_cast<double>(labels_.size());
+    }
+  }
+  dml_labels_.clear();
+  for (const auto& label : labels_) {
+    dml_labels_.push_back(BuildDmlLabel(label));
+  }
+
+  Rng init_rng = rng_.Fork(1);
+  encoder_ = std::make_unique<gnn::GinEncoder>(extractor_.vertex_dim(),
+                                               config_.gin, &init_rng);
+  trainer_ = std::make_unique<gnn::DmlTrainer>(encoder_.get(), config_.dml);
+
+  Rng train_rng = rng_.Fork(2);
+  if (config_.validation_interval <= 0) {
+    auto loss = trainer_->Train(graphs_, dml_labels_, &train_rng);
+    if (!loss.ok()) return loss.status();
+    RefreshEmbeddings();
+  } else {
+    // Train in chunks on an 80% split, checkpointing the encoder on the
+    // D-error of a held-out 20% validation split. Validating on held-out
+    // data (rather than leave-one-out over the training set) is what
+    // detects embedding collapse: the contrastive objective pulls
+    // training neighbors together *by label*, so training-set KNN keeps
+    // improving even as generalization degrades.
+    size_t n = graphs_.size();
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    Rng split_rng = rng_.Fork(7);
+    split_rng.Shuffle(&order);
+    size_t val_n = std::max<size_t>(4, n / 5);
+    std::vector<size_t> val_idx(order.begin(),
+                                order.begin() + static_cast<ptrdiff_t>(val_n));
+    std::vector<featgraph::FeatureGraph> fit_graphs;
+    std::vector<std::vector<double>> fit_labels;
+    {
+      std::vector<char> is_val(n, 0);
+      for (size_t i : val_idx) is_val[i] = 1;
+      for (size_t i = 0; i < n; ++i) {
+        if (!is_val[i]) {
+          fit_graphs.push_back(graphs_[i]);
+          fit_labels.push_back(dml_labels_[i]);
+        }
+      }
+    }
+
+    RefreshEmbeddings();
+    double best_err = HoldOutDError(val_idx);
+    std::vector<nn::Matrix> best = encoder_->SnapshotParams();
+    gnn::DmlConfig chunk_cfg = config_.dml;
+    chunk_cfg.epochs = config_.validation_interval;
+    int trained = 0;
+    while (trained < config_.dml.epochs) {
+      gnn::DmlTrainer chunk_trainer(encoder_.get(), chunk_cfg);
+      auto loss = chunk_trainer.Train(fit_graphs, fit_labels, &train_rng);
+      if (!loss.ok()) return loss.status();
+      trained += chunk_cfg.epochs;
+      RefreshEmbeddings();
+      double err = HoldOutDError(val_idx);
+      if (err < best_err) {
+        best_err = err;
+        best = encoder_->SnapshotParams();
+      }
+    }
+    encoder_->RestoreParams(best);
+    RefreshEmbeddings();
+
+    if (config_.enable_incremental) {
+      std::vector<nn::Matrix> pre_il = encoder_->SnapshotParams();
+      AUTOCE_RETURN_NOT_OK(RunIncrementalLearning());
+      if (HoldOutDError(val_idx) > best_err) {
+        // Incremental training hurt the held-out error; keep the
+        // augmented RCS but restore the better encoder.
+        encoder_->RestoreParams(pre_il);
+        RefreshEmbeddings();
+      }
+    }
+    RefreshDriftThreshold();
+    return Status::OK();
+  }
+
+  if (config_.enable_incremental) {
+    AUTOCE_RETURN_NOT_OK(RunIncrementalLearning());
+  }
+  RefreshDriftThreshold();
+  return Status::OK();
+}
+
+double AutoCe::HoldOutDError(const std::vector<size_t>& val_idx) const {
+  std::vector<char> is_val(graphs_.size(), 0);
+  for (size_t i : val_idx) {
+    if (i < is_val.size()) is_val[i] = 1;
+  }
+  double total = 0.0;
+  int count = 0;
+  for (size_t i : val_idx) {
+    if (i >= graphs_.size()) continue;
+    // Nearest non-validation neighbors only.
+    std::vector<std::pair<double, size_t>> dist;
+    for (size_t j = 0; j < embeddings_.size(); ++j) {
+      if (is_val[j]) continue;
+      dist.emplace_back(
+          nn::EuclideanDistance(embeddings_[i], embeddings_[j]), j);
+    }
+    size_t k = std::min<size_t>(static_cast<size_t>(config_.knn_k),
+                                dist.size());
+    if (k == 0) continue;
+    std::partial_sort(dist.begin(), dist.begin() + static_cast<ptrdiff_t>(k),
+                      dist.end());
+    for (double w : config_.training_weights) {
+      std::vector<double> avg(ce::kNumModels, 0.0);
+      for (size_t kk = 0; kk < k; ++kk) {
+        auto s = labels_[dist[kk].second].ScoreVector(w);
+        for (size_t m = 0; m < avg.size(); ++m) avg[m] += s[m];
+      }
+      size_t best = 0;
+      for (size_t m = 1; m < avg.size(); ++m) {
+        if (avg[m] > avg[best]) best = m;
+      }
+      total += labels_[i].DError(static_cast<ce::ModelId>(best), w);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / count;
+}
+
+void AutoCe::RefreshEmbeddings() {
+  embeddings_.clear();
+  embeddings_.reserve(graphs_.size());
+  for (const auto& g : graphs_) embeddings_.push_back(encoder_->Embed(g));
+}
+
+void AutoCe::RefreshDriftThreshold() {
+  // 90th percentile of each member's nearest-neighbor distance.
+  std::vector<double> nn_dist;
+  for (size_t i = 0; i < embeddings_.size(); ++i) {
+    auto nn = NearestNeighbors(embeddings_[i], 1, /*exclude=*/i);
+    if (!nn.empty()) {
+      nn_dist.push_back(
+          nn::EuclideanDistance(embeddings_[i], embeddings_[nn[0]]));
+    }
+  }
+  drift_threshold_ = stats::Percentile(nn_dist, config_.drift_percentile);
+}
+
+std::vector<double> AutoCe::BuildDmlLabel(const DatasetLabel& label) const {
+  auto concat = label.ConcatScores(config_.training_weights);
+  AUTOCE_CHECK(concat.size() == label_mean_.size());
+  for (size_t i = 0; i < concat.size(); ++i) concat[i] -= label_mean_[i];
+  return concat;
+}
+
+std::vector<size_t> AutoCe::NearestNeighbors(
+    const std::vector<double>& embedding, size_t k, size_t exclude) const {
+  std::vector<std::pair<double, size_t>> dist;
+  dist.reserve(embeddings_.size());
+  for (size_t i = 0; i < embeddings_.size(); ++i) {
+    if (i == exclude) continue;
+    dist.emplace_back(nn::EuclideanDistance(embedding, embeddings_[i]), i);
+  }
+  k = std::min(k, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<ptrdiff_t>(k),
+                    dist.end());
+  std::vector<size_t> out;
+  for (size_t i = 0; i < k; ++i) out.push_back(dist[i].second);
+  return out;
+}
+
+Status AutoCe::RunIncrementalLearning() {
+  // Algorithm 2: cross-validated feedback collection + Mixup.
+  size_t n = graphs_.size();
+  size_t folds = std::min<size_t>(static_cast<size_t>(config_.incremental_folds),
+                                  n);
+  if (folds < 2) return Status::OK();
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng fold_rng = rng_.Fork(3);
+  fold_rng.Shuffle(&order);
+
+  std::vector<size_t> feedback, reference;
+  for (size_t i = 0; i < n; ++i) {
+    size_t idx = order[i];
+    // Validation fold of `idx` excludes its whole fold from the RCS; for
+    // simplicity and per the spirit of Alg. 2 we exclude the sample
+    // itself (leave-one-out within folds behaves identically at our
+    // corpus sizes).
+    auto nn = NearestNeighbors(embeddings_[idx],
+                               static_cast<size_t>(config_.knn_k), idx);
+    // Mean D-error across the supported weight combinations.
+    double d_err = 0.0;
+    for (double w : config_.training_weights) {
+      std::vector<double> avg(ce::kNumModels, 0.0);
+      for (size_t j : nn) {
+        auto s = labels_[j].ScoreVector(w);
+        for (size_t m = 0; m < avg.size(); ++m) avg[m] += s[m];
+      }
+      size_t best = 0;
+      for (size_t m = 1; m < avg.size(); ++m) {
+        if (avg[m] > avg[best]) best = m;
+      }
+      d_err += labels_[idx].DError(static_cast<ce::ModelId>(best), w);
+    }
+    d_err /= static_cast<double>(config_.training_weights.size());
+    (d_err > config_.d_error_threshold ? feedback : reference).push_back(idx);
+  }
+
+  if (feedback.empty() || reference.empty()) return Status::OK();
+
+  std::vector<featgraph::FeatureGraph> new_graphs = graphs_;
+  std::vector<std::vector<double>> new_dml_labels = dml_labels_;
+  std::vector<DatasetLabel> new_labels = labels_;
+
+  if (config_.enable_augmentation) {
+    Rng mix_rng = rng_.Fork(4);
+    for (size_t idx : feedback) {
+      // Nearest reference neighbor in embedding space.
+      double best_d = 1e300;
+      size_t best_j = reference[0];
+      for (size_t j : reference) {
+        double d = nn::EuclideanDistance(embeddings_[idx], embeddings_[j]);
+        if (d < best_d) {
+          best_d = d;
+          best_j = j;
+        }
+      }
+      double lambda = mix_rng.Beta(config_.mixup_alpha, config_.mixup_beta);
+      featgraph::FeatureGraph mixed_graph =
+          featgraph::MixupGraphs(graphs_[idx], graphs_[best_j], lambda);
+      DatasetLabel mixed_label =
+          DatasetLabel::Mixup(labels_[idx], labels_[best_j], lambda);
+      new_graphs.push_back(std::move(mixed_graph));
+      new_labels.push_back(mixed_label);
+      new_dml_labels.push_back(BuildDmlLabel(mixed_label));
+    }
+  }
+
+  // Incremental training on original + synthetic data.
+  gnn::DmlConfig inc_cfg = config_.dml;
+  inc_cfg.epochs = config_.incremental_epochs;
+  gnn::DmlTrainer inc_trainer(encoder_.get(), inc_cfg);
+  Rng inc_rng = rng_.Fork(5);
+  auto loss = inc_trainer.Train(new_graphs, new_dml_labels, &inc_rng);
+  if (!loss.ok()) return loss.status();
+
+  // Synthetic samples also join the RCS (they carry valid labels).
+  graphs_ = std::move(new_graphs);
+  labels_ = std::move(new_labels);
+  dml_labels_ = std::move(new_dml_labels);
+  RefreshEmbeddings();
+  return Status::OK();
+}
+
+std::vector<double> AutoCe::Embed(
+    const featgraph::FeatureGraph& graph) const {
+  AUTOCE_CHECK(encoder_ != nullptr);
+  return encoder_->Embed(graph);
+}
+
+Result<AutoCe::Recommendation> AutoCe::Recommend(
+    const featgraph::FeatureGraph& graph, double w_a) const {
+  if (encoder_ == nullptr || embeddings_.empty()) {
+    return Status::FailedPrecondition("advisor is not fitted");
+  }
+  auto embedding = encoder_->Embed(graph);
+  auto nn = NearestNeighbors(embedding, static_cast<size_t>(config_.knn_k));
+  if (nn.empty()) return Status::Internal("empty RCS");
+
+  Recommendation rec;
+  rec.neighbors = nn;
+  rec.score_vector.assign(ce::kNumModels, 0.0);
+  for (size_t j : nn) {
+    auto s = labels_[j].ScoreVector(w_a);
+    for (size_t m = 0; m < rec.score_vector.size(); ++m) {
+      rec.score_vector[m] += s[m];
+    }
+  }
+  for (double& v : rec.score_vector) {
+    v /= static_cast<double>(nn.size());
+  }
+  size_t best = 0;
+  for (size_t m = 1; m < rec.score_vector.size(); ++m) {
+    if (rec.score_vector[m] > rec.score_vector[best]) best = m;
+  }
+  rec.model = static_cast<ce::ModelId>(best);
+  return rec;
+}
+
+Result<AutoCe::Recommendation> AutoCe::RecommendDataset(
+    const data::Dataset& dataset, double w_a) const {
+  return Recommend(extractor_.Extract(dataset), w_a);
+}
+
+double AutoCe::DistanceToRcs(const featgraph::FeatureGraph& graph) const {
+  AUTOCE_CHECK(encoder_ != nullptr && !embeddings_.empty());
+  auto embedding = encoder_->Embed(graph);
+  auto nn = NearestNeighbors(embedding, 1);
+  return nn::EuclideanDistance(embedding, embeddings_[nn[0]]);
+}
+
+bool AutoCe::IsOutOfDistribution(
+    const featgraph::FeatureGraph& graph) const {
+  return DistanceToRcs(graph) > drift_threshold_;
+}
+
+Status AutoCe::AddLabeledSample(const featgraph::FeatureGraph& graph,
+                                const DatasetLabel& label) {
+  if (encoder_ == nullptr) {
+    return Status::FailedPrecondition("advisor is not fitted");
+  }
+  graphs_.push_back(graph);
+  labels_.push_back(label);
+  dml_labels_.push_back(BuildDmlLabel(label));
+
+  // Fine-tune with a few DML epochs over the updated corpus.
+  gnn::DmlConfig cfg = config_.dml;
+  cfg.epochs = config_.online_update_epochs;
+  gnn::DmlTrainer tuner(encoder_.get(), cfg);
+  Rng tune_rng = rng_.Fork(graphs_.size());
+  auto loss = tuner.Train(graphs_, dml_labels_, &tune_rng);
+  if (!loss.ok()) return loss.status();
+  RefreshEmbeddings();
+  RefreshDriftThreshold();
+  return Status::OK();
+}
+
+double AutoCe::EvaluateMeanDError(
+    const std::vector<featgraph::FeatureGraph>& graphs,
+    const std::vector<DatasetLabel>& labels, double w_a) const {
+  AUTOCE_CHECK(graphs.size() == labels.size());
+  std::vector<double> errs;
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    auto rec = Recommend(graphs[i], w_a);
+    if (!rec.ok()) continue;
+    errs.push_back(labels[i].DError(rec->model, w_a));
+  }
+  return stats::Mean(errs);
+}
+
+namespace {
+
+constexpr uint32_t kMagic = 0x41434531;  // "ACE1"
+constexpr uint32_t kVersion = 1;
+
+void WriteMatrix(BinaryWriter* w, const nn::Matrix& m) {
+  w->WriteU64(m.rows());
+  w->WriteU64(m.cols());
+  std::vector<double> data(m.data(), m.data() + m.size());
+  w->WriteDoubles(data);
+}
+
+Result<nn::Matrix> ReadMatrix(BinaryReader* r) {
+  uint64_t rows = r->ReadU64();
+  uint64_t cols = r->ReadU64();
+  std::vector<double> data = r->ReadDoubles();
+  if (!r->status().ok()) return r->status();
+  if (data.size() != rows * cols) {
+    return Status::Internal("matrix payload size mismatch");
+  }
+  nn::Matrix m(rows, cols);
+  for (size_t i = 0; i < data.size(); ++i) m.data()[i] = data[i];
+  return m;
+}
+
+}  // namespace
+
+Status AutoCe::Save(const std::string& path) const {
+  if (encoder_ == nullptr) {
+    return Status::FailedPrecondition("cannot save an unfitted advisor");
+  }
+  BinaryWriter w(path);
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+
+  // Config (the parts inference depends on).
+  w.WriteU32(static_cast<uint32_t>(config_.feature.max_columns));
+  w.WriteU32(static_cast<uint32_t>(config_.gin.num_layers));
+  w.WriteU32(static_cast<uint32_t>(config_.gin.hidden));
+  w.WriteU32(static_cast<uint32_t>(config_.gin.embedding_dim));
+  w.WriteU32(static_cast<uint32_t>(config_.knn_k));
+  w.WriteDouble(config_.drift_percentile);
+  w.WriteDoubles(config_.training_weights);
+
+  // RCS graphs + labels.
+  w.WriteU64(graphs_.size());
+  for (size_t i = 0; i < graphs_.size(); ++i) {
+    w.WriteString(graphs_[i].dataset_name);
+    WriteMatrix(&w, graphs_[i].vertices);
+    WriteMatrix(&w, graphs_[i].edges);
+    const DatasetLabel& label = labels_[i];
+    for (int m = 0; m < ce::kNumModels; ++m) {
+      w.WriteDouble(label.accuracy_score[static_cast<size_t>(m)]);
+      w.WriteDouble(label.efficiency_score[static_cast<size_t>(m)]);
+      w.WriteDouble(label.qerror_mean[static_cast<size_t>(m)]);
+      w.WriteDouble(label.latency_ms[static_cast<size_t>(m)]);
+    }
+  }
+
+  w.WriteDoubles(label_mean_);
+
+  // Encoder parameters.
+  auto params = const_cast<gnn::GinEncoder*>(encoder_.get())->Params();
+  w.WriteU64(params.size());
+  for (const nn::Matrix* p : params) WriteMatrix(&w, *p);
+  return w.Close();
+}
+
+Result<AutoCe> AutoCe::Load(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.status().ok()) return r.status();
+  if (r.ReadU32() != kMagic) {
+    return Status::InvalidArgument("not an AutoCE model file: " + path);
+  }
+  if (r.ReadU32() != kVersion) {
+    return Status::InvalidArgument("unsupported model file version");
+  }
+
+  AutoCeConfig config;
+  config.feature.max_columns = static_cast<int>(r.ReadU32());
+  config.gin.num_layers = static_cast<int>(r.ReadU32());
+  config.gin.hidden = static_cast<int>(r.ReadU32());
+  config.gin.embedding_dim = static_cast<int>(r.ReadU32());
+  config.knn_k = static_cast<int>(r.ReadU32());
+  config.drift_percentile = r.ReadDouble();
+  config.training_weights = r.ReadDoubles();
+
+  AutoCe advisor(config);
+
+  uint64_t n = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  for (uint64_t i = 0; i < n; ++i) {
+    featgraph::FeatureGraph g;
+    g.dataset_name = r.ReadString();
+    AUTOCE_ASSIGN_OR_RETURN(g.vertices, ReadMatrix(&r));
+    AUTOCE_ASSIGN_OR_RETURN(g.edges, ReadMatrix(&r));
+    DatasetLabel label;
+    for (int m = 0; m < ce::kNumModels; ++m) {
+      label.accuracy_score[static_cast<size_t>(m)] = r.ReadDouble();
+      label.efficiency_score[static_cast<size_t>(m)] = r.ReadDouble();
+      label.qerror_mean[static_cast<size_t>(m)] = r.ReadDouble();
+      label.latency_ms[static_cast<size_t>(m)] = r.ReadDouble();
+    }
+    advisor.graphs_.push_back(std::move(g));
+    advisor.labels_.push_back(label);
+  }
+  advisor.label_mean_ = r.ReadDoubles();
+  for (const auto& label : advisor.labels_) {
+    advisor.dml_labels_.push_back(advisor.BuildDmlLabel(label));
+  }
+
+  Rng init_rng(1);
+  advisor.encoder_ = std::make_unique<gnn::GinEncoder>(
+      advisor.extractor_.vertex_dim(), config.gin, &init_rng);
+  auto params = advisor.encoder_->Params();
+  uint64_t num_params = r.ReadU64();
+  if (r.status().ok() && num_params != params.size()) {
+    return Status::Internal("encoder parameter count mismatch");
+  }
+  for (nn::Matrix* p : params) {
+    AUTOCE_ASSIGN_OR_RETURN(nn::Matrix m, ReadMatrix(&r));
+    if (!m.SameShape(*p)) {
+      return Status::Internal("encoder parameter shape mismatch");
+    }
+    *p = std::move(m);
+  }
+  if (!r.status().ok()) return r.status();
+
+  advisor.RefreshEmbeddings();
+  advisor.RefreshDriftThreshold();
+  return advisor;
+}
+
+}  // namespace autoce::advisor

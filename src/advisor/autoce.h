@@ -1,0 +1,157 @@
+#ifndef AUTOCE_ADVISOR_AUTOCE_H_
+#define AUTOCE_ADVISOR_AUTOCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/label.h"
+#include "gnn/metric_learning.h"
+#include "util/result.h"
+
+namespace autoce::advisor {
+
+/// Configuration of the full AutoCE advisor.
+struct AutoCeConfig {
+  featgraph::FeatureGraphConfig feature;
+  gnn::GinConfig gin;
+  gnn::DmlConfig dml;
+
+  /// k of the KNN predictor (paper Table IV: k = 2 is best).
+  int knn_k = 2;
+
+  /// Weight combinations whose score vectors form the DML similarity
+  /// label (and are supported at recommendation time).
+  std::vector<double> training_weights = {1.0, 0.9, 0.7, 0.5, 0.3, 0.1};
+
+  /// Stage 3 (incremental learning, Algorithm 2).
+  bool enable_incremental = true;
+  bool enable_augmentation = true;  ///< false = retrain without Mixup
+  double d_error_threshold = 0.1;   ///< b in Algorithm 2
+  int incremental_folds = 5;        ///< xi in Algorithm 2
+  double mixup_alpha = 2.0;
+  double mixup_beta = 2.0;
+  int incremental_epochs = 10;
+
+  /// Validation-based checkpointing: DML training runs in chunks of
+  /// `validation_interval` epochs; after each chunk the leave-one-out
+  /// cross-validated D-error over the training corpus (the signal
+  /// Algorithm 2 already computes) is evaluated and the best encoder
+  /// state is kept. Guards against embedding collapse from over-training
+  /// the contrastive objective on small corpora. 0 disables.
+  int validation_interval = 5;
+
+  /// Online adapting (Sec. V-E): drift threshold percentile.
+  double drift_percentile = 90.0;
+  int online_update_epochs = 3;
+
+  uint64_t seed = 42;
+};
+
+/// \brief The AutoCE model advisor (paper Sec. III-VI).
+///
+/// `Fit` runs Stages 2-3: trains the similarity-aware GIN encoder with
+/// deep metric learning over the labeled corpus, then (optionally) runs
+/// the incremental-learning phase that Mixup-augments poorly-predicted
+/// samples. `Recommend` runs Stage 4: embeds the target dataset,
+/// retrieves the k nearest labeled embeddings, averages their score
+/// vectors under the requested metric weights, and returns the arg-max
+/// model (Eq. 13).
+class AutoCe {
+ public:
+  explicit AutoCe(AutoCeConfig config = {});
+
+  const AutoCeConfig& config() const { return config_; }
+  const featgraph::FeatureExtractor& extractor() const { return extractor_; }
+
+  /// Stage 2 + 3. Graphs/labels are copied into the recommendation
+  /// candidate set (RCS).
+  Status Fit(const std::vector<featgraph::FeatureGraph>& graphs,
+             const std::vector<DatasetLabel>& labels);
+
+  struct Recommendation {
+    ce::ModelId model = ce::ModelId::kMscn;
+    std::vector<double> score_vector;   // averaged neighbor scores at w_a
+    std::vector<size_t> neighbors;      // RCS indices used
+  };
+
+  /// Stage 4 for a pre-extracted feature graph.
+  Result<Recommendation> Recommend(const featgraph::FeatureGraph& graph,
+                                   double w_a) const;
+
+  /// Stage 4 end-to-end from a dataset.
+  Result<Recommendation> RecommendDataset(const data::Dataset& dataset,
+                                          double w_a) const;
+
+  /// Embedding of a graph under the trained encoder.
+  std::vector<double> Embed(const featgraph::FeatureGraph& graph) const;
+
+  /// --- Online adapting (Sec. V-E) ---
+
+  /// Distance from a graph's embedding to the nearest RCS embedding.
+  double DistanceToRcs(const featgraph::FeatureGraph& graph) const;
+
+  /// The drift threshold: the configured percentile of each RCS member's
+  /// nearest-neighbor distance.
+  double DriftThreshold() const { return drift_threshold_; }
+
+  /// True when the graph is an unexpected distribution (distance beyond
+  /// the drift threshold).
+  bool IsOutOfDistribution(const featgraph::FeatureGraph& graph) const;
+
+  /// Online learning: adds a freshly labeled sample to the RCS and
+  /// fine-tunes the encoder on it (a few DML epochs over the
+  /// neighborhood), then refreshes embeddings and the drift threshold.
+  Status AddLabeledSample(const featgraph::FeatureGraph& graph,
+                          const DatasetLabel& label);
+
+  /// Number of labeled samples in the RCS.
+  size_t RcsSize() const { return labels_.size(); }
+
+  /// Persists the fitted advisor (config, RCS graphs + labels, encoder
+  /// weights) to `path`; reload with Load(). Embeddings and the drift
+  /// threshold are recomputed on load.
+  Status Save(const std::string& path) const;
+
+  /// Restores an advisor saved with Save().
+  static Result<AutoCe> Load(const std::string& path);
+
+  /// Mean D-error of the advisor over labeled evaluation data.
+  double EvaluateMeanDError(
+      const std::vector<featgraph::FeatureGraph>& graphs,
+      const std::vector<DatasetLabel>& labels, double w_a) const;
+
+ private:
+  /// Centered DML similarity label for one dataset label.
+  std::vector<double> BuildDmlLabel(const DatasetLabel& label) const;
+
+  /// Mean D-error of the held-out validation members under KNN over the
+  /// non-validation RCS (averaged over the supported weights) — the
+  /// checkpointing signal of Fit.
+  double HoldOutDError(const std::vector<size_t>& val_idx) const;
+
+  void RefreshEmbeddings();
+  void RefreshDriftThreshold();
+  Status RunIncrementalLearning();
+  std::vector<size_t> NearestNeighbors(const std::vector<double>& embedding,
+                                       size_t k,
+                                       size_t exclude = SIZE_MAX) const;
+
+  AutoCeConfig config_;
+  featgraph::FeatureExtractor extractor_;
+  std::unique_ptr<gnn::GinEncoder> encoder_;
+  std::unique_ptr<gnn::DmlTrainer> trainer_;
+  Rng rng_;
+
+  // Recommendation candidate set.
+  std::vector<featgraph::FeatureGraph> graphs_;
+  std::vector<DatasetLabel> labels_;
+  std::vector<double> label_mean_;               // centering vector
+  std::vector<std::vector<double>> dml_labels_;  // centered concat scores
+  std::vector<std::vector<double>> embeddings_;
+  double drift_threshold_ = 0.0;
+};
+
+}  // namespace autoce::advisor
+
+#endif  // AUTOCE_ADVISOR_AUTOCE_H_

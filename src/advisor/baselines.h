@@ -1,0 +1,172 @@
+#ifndef AUTOCE_ADVISOR_BASELINES_H_
+#define AUTOCE_ADVISOR_BASELINES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/label.h"
+#include "gnn/gin.h"
+#include "nn/optimizer.h"
+#include "util/result.h"
+
+namespace autoce::advisor {
+
+/// \brief Common interface of the paper's four selection baselines
+/// (Sec. VII-A) and AutoCE ablation variants.
+class ModelSelector {
+ public:
+  virtual ~ModelSelector() = default;
+  virtual std::string name() const = 0;
+
+  /// Trains on the labeled corpus.
+  virtual Status Fit(const LabeledCorpus& corpus) = 0;
+
+  /// Recommends a model for `dataset` (graph pre-extracted by the
+  /// caller) under accuracy weight w_a.
+  virtual Result<ce::ModelId> Recommend(
+      const data::Dataset& dataset, const featgraph::FeatureGraph& graph,
+      double w_a) = 0;
+};
+
+/// Baseline (1): GIN + 3-layer MLP trained as a classifier with
+/// cross-entropy against the best model per dataset; one head per
+/// supported weight combination.
+class MlpSelector : public ModelSelector {
+ public:
+  struct Config {
+    featgraph::FeatureGraphConfig feature;
+    gnn::GinConfig gin;
+    std::vector<double> weights = {1.0, 0.9, 0.7, 0.5, 0.3, 0.1};
+    int epochs = 40;
+    int hidden = 32;
+    double learning_rate = 0.003;
+    uint64_t seed = 42;
+  };
+
+  MlpSelector() : MlpSelector(Config()) {}
+  explicit MlpSelector(Config config);
+  std::string name() const override { return "MLP-based"; }
+  Status Fit(const LabeledCorpus& corpus) override;
+  Result<ce::ModelId> Recommend(const data::Dataset& dataset,
+                                const featgraph::FeatureGraph& graph,
+                                double w_a) override;
+
+ private:
+  size_t NearestWeightIndex(double w_a) const;
+
+  Config config_;
+  std::unique_ptr<gnn::GinEncoder> encoder_;
+  std::vector<nn::Mlp> heads_;  // one per weight combination
+};
+
+/// Baseline (2): the rule of thumb from empirical CE studies — randomly
+/// pick a data-driven model for single-table datasets and a query-driven
+/// model for multi-table datasets.
+class RuleSelector : public ModelSelector {
+ public:
+  explicit RuleSelector(uint64_t seed = 42) : rng_(seed) {}
+  std::string name() const override { return "Rule-based"; }
+  Status Fit(const LabeledCorpus& corpus) override;
+  Result<ce::ModelId> Recommend(const data::Dataset& dataset,
+                                const featgraph::FeatureGraph& graph,
+                                double w_a) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Baseline (3): KNN directly on flattened raw dataset features (no
+/// learned embedding).
+class KnnSelector : public ModelSelector {
+ public:
+  struct Config {
+    featgraph::FeatureGraphConfig feature;
+    int k = 2;
+    int max_tables = 8;
+  };
+
+  KnnSelector() : KnnSelector(Config()) {}
+  explicit KnnSelector(Config config);
+  std::string name() const override { return "Knn-based"; }
+  Status Fit(const LabeledCorpus& corpus) override;
+  Result<ce::ModelId> Recommend(const data::Dataset& dataset,
+                                const featgraph::FeatureGraph& graph,
+                                double w_a) override;
+
+ private:
+  Config config_;
+  featgraph::FeatureExtractor extractor_;
+  std::vector<std::vector<double>> features_;
+  std::vector<DatasetLabel> labels_;
+};
+
+/// Baseline (4): online learning on a sample — train and test every CE
+/// model against a row sample of the target dataset and pick the winner.
+/// No offline training; expensive at recommendation time (paper Fig. 12).
+class SamplingSelector : public ModelSelector {
+ public:
+  struct Config {
+    double sample_fraction = 0.2;
+    int64_t max_sample_rows = 1000;
+    ce::TestbedConfig testbed;
+    uint64_t seed = 42;
+  };
+
+  SamplingSelector() : SamplingSelector(Config()) {}
+  explicit SamplingSelector(Config config);
+  std::string name() const override { return "Sampling"; }
+  Status Fit(const LabeledCorpus& corpus) override;
+  Result<ce::ModelId> Recommend(const data::Dataset& dataset,
+                                const featgraph::FeatureGraph& graph,
+                                double w_a) override;
+
+ private:
+  Config config_;
+  Rng rng_;
+  /// One sampled-testbed label per dataset (keyed by name), so weight
+  /// sweeps do not re-train the candidate models.
+  std::map<std::string, DatasetLabel> cache_;
+};
+
+/// Ablation variant "AutoCE (Without DML)" (paper Sec. VII-E): the same
+/// GIN backbone with three fully connected layers trained by MSE against
+/// the score vectors; recommendation is argmax of the regressed vector.
+class MseRegressorSelector : public ModelSelector {
+ public:
+  struct Config {
+    featgraph::FeatureGraphConfig feature;
+    gnn::GinConfig gin;
+    std::vector<double> weights = {1.0, 0.9, 0.7, 0.5, 0.3, 0.1};
+    int epochs = 40;
+    int hidden = 32;
+    double learning_rate = 0.003;
+    uint64_t seed = 42;
+  };
+
+  MseRegressorSelector() : MseRegressorSelector(Config()) {}
+  explicit MseRegressorSelector(Config config);
+  std::string name() const override { return "AutoCE (Without DML)"; }
+  Status Fit(const LabeledCorpus& corpus) override;
+  Result<ce::ModelId> Recommend(const data::Dataset& dataset,
+                                const featgraph::FeatureGraph& graph,
+                                double w_a) override;
+
+ private:
+  size_t NearestWeightIndex(double w_a) const;
+
+  Config config_;
+  std::unique_ptr<gnn::GinEncoder> encoder_;
+  std::vector<nn::Mlp> heads_;
+};
+
+/// Samples a fraction of each table's rows (used by SamplingSelector and
+/// the online-learning comparison of Fig. 12); FK columns are left as-is,
+/// so join correlations survive approximately.
+data::Dataset SampleDataset(const data::Dataset& dataset, double fraction,
+                            int64_t max_rows, Rng* rng);
+
+}  // namespace autoce::advisor
+
+#endif  // AUTOCE_ADVISOR_BASELINES_H_

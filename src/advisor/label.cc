@@ -1,0 +1,121 @@
+#include "advisor/label.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autoce::advisor {
+
+std::vector<double> DatasetLabel::ScoreVector(double w_a) const {
+  w_a = std::clamp(w_a, 0.0, 1.0);
+  std::vector<double> out(ce::kNumModels);
+  for (int m = 0; m < ce::kNumModels; ++m) {
+    out[static_cast<size_t>(m)] =
+        w_a * accuracy_score[static_cast<size_t>(m)] +
+        (1.0 - w_a) * efficiency_score[static_cast<size_t>(m)];
+  }
+  return out;
+}
+
+ce::ModelId DatasetLabel::BestModel(double w_a) const {
+  auto s = ScoreVector(w_a);
+  size_t best = 0;
+  for (size_t m = 1; m < s.size(); ++m) {
+    if (s[m] > s[best]) best = m;
+  }
+  return static_cast<ce::ModelId>(best);
+}
+
+double DatasetLabel::DError(ce::ModelId chosen, double w_a) const {
+  auto s = ScoreVector(w_a);
+  double s_opt = *std::max_element(s.begin(), s.end());
+  double s_m = std::max(s[static_cast<size_t>(chosen)], 1e-6);
+  return (s_opt - s_m) / s_m;
+}
+
+std::vector<double> DatasetLabel::ConcatScores(
+    const std::vector<double>& weights) const {
+  std::vector<double> out;
+  out.reserve(weights.size() * ce::kNumModels);
+  for (double w : weights) {
+    auto s = ScoreVector(w);
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  return out;
+}
+
+DatasetLabel DatasetLabel::Mixup(const DatasetLabel& a, const DatasetLabel& b,
+                                 double lambda) {
+  lambda = std::clamp(lambda, 0.0, 1.0);
+  DatasetLabel out;
+  for (size_t m = 0; m < ce::kNumModels; ++m) {
+    out.accuracy_score[m] =
+        lambda * a.accuracy_score[m] + (1 - lambda) * b.accuracy_score[m];
+    out.efficiency_score[m] =
+        lambda * a.efficiency_score[m] + (1 - lambda) * b.efficiency_score[m];
+    out.qerror_mean[m] =
+        lambda * a.qerror_mean[m] + (1 - lambda) * b.qerror_mean[m];
+    out.latency_ms[m] =
+        lambda * a.latency_ms[m] + (1 - lambda) * b.latency_ms[m];
+  }
+  return out;
+}
+
+DatasetLabel MakeLabel(const ce::TestbedResult& result) {
+  DatasetLabel label;
+  AUTOCE_CHECK(result.models.size() <= ce::kNumModels);
+
+  std::vector<double> log_qe, log_lat;
+  for (const auto& perf : result.models) {
+    log_qe.push_back(
+        std::log(std::clamp(perf.qerror.mean, 1.0, kQErrorCap)));
+    log_lat.push_back(
+        std::log(std::clamp(perf.latency_mean_ms, 1e-6, kLatencyCapMs)));
+  }
+  double qe_max = *std::max_element(log_qe.begin(), log_qe.end());
+  double qe_min = *std::min_element(log_qe.begin(), log_qe.end());
+  double lat_max = *std::max_element(log_lat.begin(), log_lat.end());
+  double lat_min = *std::min_element(log_lat.begin(), log_lat.end());
+
+  for (size_t i = 0; i < result.models.size(); ++i) {
+    size_t m = static_cast<size_t>(result.models[i].id);
+    label.qerror_mean[m] = result.models[i].qerror.mean;
+    label.latency_ms[m] = result.models[i].latency_mean_ms;
+    double sa = (qe_max - qe_min < 1e-12)
+                    ? 1.0
+                    : (qe_max - log_qe[i]) / (qe_max - qe_min);
+    double se = (lat_max - lat_min < 1e-12)
+                    ? 1.0
+                    : (lat_max - log_lat[i]) / (lat_max - lat_min);
+    label.accuracy_score[m] = kScoreFloor + (1.0 - kScoreFloor) * sa;
+    label.efficiency_score[m] = kScoreFloor + (1.0 - kScoreFloor) * se;
+  }
+  return label;
+}
+
+LabeledCorpus LabelCorpus(std::vector<data::Dataset> datasets,
+                          const ce::TestbedConfig& testbed,
+                          const featgraph::FeatureExtractor& extractor,
+                          bool verbose) {
+  LabeledCorpus corpus;
+  corpus.datasets = std::move(datasets);
+  corpus.graphs.reserve(corpus.datasets.size());
+  corpus.labels.reserve(corpus.datasets.size());
+  for (size_t i = 0; i < corpus.datasets.size(); ++i) {
+    const data::Dataset& ds = corpus.datasets[i];
+    ce::TestbedConfig cfg = testbed;
+    cfg.seed = testbed.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1));
+    auto result = ce::RunTestbed(ds, cfg);
+    AUTOCE_CHECK(result.ok());
+    corpus.graphs.push_back(extractor.Extract(ds));
+    corpus.labels.push_back(MakeLabel(*result));
+    if (verbose && (i + 1) % 25 == 0) {
+      AUTOCE_LOG(Info) << "labeled " << (i + 1) << "/"
+                       << corpus.datasets.size() << " datasets";
+    }
+  }
+  return corpus;
+}
+
+}  // namespace autoce::advisor

@@ -1,0 +1,79 @@
+#ifndef AUTOCE_ADVISOR_LABEL_H_
+#define AUTOCE_ADVISOR_LABEL_H_
+
+#include <array>
+#include <vector>
+
+#include "ce/testbed.h"
+#include "data/dataset.h"
+#include "featgraph/featgraph.h"
+
+namespace autoce::advisor {
+
+/// Lower bound of normalized scores: Eq. 3-4 map the worst model to this
+/// floor instead of 0 so D-error (Def. 1, which divides by the chosen
+/// model's score) stays bounded at (1 - floor) / floor = 900%.
+inline constexpr double kScoreFloor = 0.1;
+
+/// Caps applied to raw metrics before normalization so one diverging
+/// (or failed) model cannot flatten the scores of all others.
+inline constexpr double kQErrorCap = 1e4;
+inline constexpr double kLatencyCapMs = 1e3;
+
+/// \brief The label of one dataset: normalized per-model accuracy and
+/// efficiency scores (paper Eq. 3-4) plus the raw testbed metrics.
+///
+/// Score vectors for any accuracy weight w_a are derived on demand
+/// (Eq. 2), so one label supports every user requirement combination.
+struct DatasetLabel {
+  std::array<double, ce::kNumModels> accuracy_score{};    // S_a per model
+  std::array<double, ce::kNumModels> efficiency_score{};  // S_e per model
+  std::array<double, ce::kNumModels> qerror_mean{};
+  std::array<double, ce::kNumModels> latency_ms{};
+
+  /// Score vector S = w_a * S_a + (1 - w_a) * S_e (Eq. 2).
+  std::vector<double> ScoreVector(double w_a) const;
+
+  /// The optimal model under weight w_a (highest score).
+  ce::ModelId BestModel(double w_a) const;
+
+  /// D-error of choosing `chosen` (paper Def. 1):
+  /// (S_opt - S_chosen) / S_chosen.
+  double DError(ce::ModelId chosen, double w_a) const;
+
+  /// Concatenated score vectors across several weights — the similarity
+  /// label used for deep metric learning, so the encoder is
+  /// simultaneously faithful to every requirement combination.
+  std::vector<double> ConcatScores(const std::vector<double>& weights) const;
+
+  /// Element-wise linear interpolation (Mixup on labels, Eq. 14).
+  static DatasetLabel Mixup(const DatasetLabel& a, const DatasetLabel& b,
+                            double lambda);
+};
+
+/// Builds a label from testbed measurements. Accuracy scores normalize
+/// log mean Q-errors per Eq. 3 (log-space keeps one diverging model from
+/// flattening the rest); efficiency scores normalize log latencies per
+/// Eq. 4.
+DatasetLabel MakeLabel(const ce::TestbedResult& result);
+
+/// A labeled corpus: datasets (kept for online-learning baselines),
+/// their feature graphs, and their labels.
+struct LabeledCorpus {
+  std::vector<data::Dataset> datasets;
+  std::vector<featgraph::FeatureGraph> graphs;
+  std::vector<DatasetLabel> labels;
+
+  size_t size() const { return labels.size(); }
+};
+
+/// Runs the CE testbed over every dataset (the paper's Stage 1 labeling)
+/// and extracts feature graphs. `datasets` is moved into the result.
+LabeledCorpus LabelCorpus(std::vector<data::Dataset> datasets,
+                          const ce::TestbedConfig& testbed,
+                          const featgraph::FeatureExtractor& extractor,
+                          bool verbose = false);
+
+}  // namespace autoce::advisor
+
+#endif  // AUTOCE_ADVISOR_LABEL_H_

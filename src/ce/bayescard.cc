@@ -1,0 +1,256 @@
+#include "ce/bayescard.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autoce::ce {
+
+namespace {
+constexpr size_t kMaxMiRows = 2000;  // rows used for mutual information
+}
+
+int BayesNet::BinOf(const NodeInfo& n, int32_t value) const {
+  int32_t v = std::clamp(value, 1, n.domain);
+  return static_cast<int>((static_cast<int64_t>(v) - 1) * n.num_bins /
+                          n.domain);
+}
+
+double BayesNet::BinCoverage(const NodeInfo& n, int b, int32_t lo,
+                             int32_t hi) const {
+  // Bin b covers coded values (lo_b, hi_b].
+  int64_t lo_b = static_cast<int64_t>(b) * n.domain / n.num_bins + 1;
+  int64_t hi_b = static_cast<int64_t>(b + 1) * n.domain / n.num_bins;
+  if (hi_b < lo_b) return 0.0;
+  int64_t ov_lo = std::max<int64_t>(lo, lo_b);
+  int64_t ov_hi = std::min<int64_t>(hi, hi_b);
+  if (ov_hi < ov_lo) return 0.0;
+  return static_cast<double>(ov_hi - ov_lo + 1) /
+         static_cast<double>(hi_b - lo_b + 1);
+}
+
+void BayesNet::Fit(const data::Table& table, const std::vector<int>& columns,
+                   const Params& params) {
+  nodes_.clear();
+  roots_.clear();
+  size_t n_cols = columns.size();
+  if (n_cols == 0) return;
+  size_t n_rows = static_cast<size_t>(table.NumRows());
+
+  // Node setup + per-row binned values.
+  std::vector<std::vector<int>> binned(n_cols);
+  for (size_t ci = 0; ci < n_cols; ++ci) {
+    NodeInfo node;
+    node.column = columns[ci];
+    const auto& col = table.columns[static_cast<size_t>(columns[ci])];
+    node.domain = std::max<int32_t>(1, col.domain_size);
+    node.num_bins = std::min(params.max_bins, node.domain);
+    nodes_.push_back(node);
+  }
+  size_t mi_rows = std::min(n_rows, kMaxMiRows);
+  for (size_t ci = 0; ci < n_cols; ++ci) {
+    binned[ci].reserve(mi_rows);
+    const auto& col = table.columns[static_cast<size_t>(columns[ci])];
+    for (size_t i = 0; i < mi_rows; ++i) {
+      size_t r = i * n_rows / mi_rows;
+      binned[ci].push_back(BinOf(nodes_[ci], col.values[r]));
+    }
+  }
+
+  // Pairwise mutual information on binned values.
+  auto mutual_information = [&](size_t a, size_t b) {
+    int ba = nodes_[a].num_bins, bb = nodes_[b].num_bins;
+    std::vector<double> joint(static_cast<size_t>(ba * bb), 0.0);
+    std::vector<double> pa(static_cast<size_t>(ba), 0.0);
+    std::vector<double> pb(static_cast<size_t>(bb), 0.0);
+    double n = static_cast<double>(mi_rows);
+    for (size_t i = 0; i < mi_rows; ++i) {
+      joint[static_cast<size_t>(binned[a][i] * bb + binned[b][i])] += 1.0;
+      pa[static_cast<size_t>(binned[a][i])] += 1.0;
+      pb[static_cast<size_t>(binned[b][i])] += 1.0;
+    }
+    double mi = 0.0;
+    for (int i = 0; i < ba; ++i) {
+      for (int j = 0; j < bb; ++j) {
+        double pij = joint[static_cast<size_t>(i * bb + j)] / n;
+        if (pij <= 0.0) continue;
+        double pi = pa[static_cast<size_t>(i)] / n;
+        double pj = pb[static_cast<size_t>(j)] / n;
+        mi += pij * std::log(pij / (pi * pj));
+      }
+    }
+    return mi;
+  };
+
+  // Chow-Liu: maximum spanning tree via Prim from node 0.
+  std::vector<char> in_tree(n_cols, 0);
+  std::vector<double> best_w(n_cols, -1.0);
+  std::vector<int> best_parent(n_cols, -1);
+  in_tree[0] = 1;
+  roots_.push_back(0);
+  for (size_t j = 1; j < n_cols; ++j) {
+    best_w[j] = mutual_information(0, j);
+    best_parent[j] = 0;
+  }
+  for (size_t added = 1; added < n_cols; ++added) {
+    int pick = -1;
+    double w = -1.0;
+    for (size_t j = 0; j < n_cols; ++j) {
+      if (!in_tree[j] && best_w[j] > w) {
+        w = best_w[j];
+        pick = static_cast<int>(j);
+      }
+    }
+    if (pick < 0) break;
+    in_tree[static_cast<size_t>(pick)] = 1;
+    nodes_[static_cast<size_t>(pick)].parent = best_parent[static_cast<size_t>(pick)];
+    nodes_[static_cast<size_t>(best_parent[static_cast<size_t>(pick)])]
+        .children.push_back(pick);
+    for (size_t j = 0; j < n_cols; ++j) {
+      if (in_tree[j]) continue;
+      double mij = mutual_information(static_cast<size_t>(pick), j);
+      if (mij > best_w[j]) {
+        best_w[j] = mij;
+        best_parent[j] = pick;
+      }
+    }
+  }
+
+  // CPTs and marginals over the full table with Laplace smoothing.
+  for (size_t ci = 0; ci < n_cols; ++ci) {
+    NodeInfo& node = nodes_[ci];
+    const auto& col = table.columns[static_cast<size_t>(node.column)];
+    int bins = node.num_bins;
+    node.marginal.assign(static_cast<size_t>(bins), params.laplace);
+    for (int32_t v : col.values) {
+      node.marginal[static_cast<size_t>(BinOf(node, v))] += 1.0;
+    }
+    double total = static_cast<double>(col.values.size()) +
+                   params.laplace * bins;
+    for (double& m : node.marginal) m /= total;
+
+    if (node.parent < 0) continue;
+    const NodeInfo& parent = nodes_[static_cast<size_t>(node.parent)];
+    const auto& pcol = table.columns[static_cast<size_t>(parent.column)];
+    int pbins = parent.num_bins;
+    node.cpt.assign(static_cast<size_t>(pbins * bins), params.laplace);
+    std::vector<double> parent_count(static_cast<size_t>(pbins),
+                                     params.laplace * bins);
+    for (size_t r = 0; r < col.values.size(); ++r) {
+      int pb = BinOf(parent, pcol.values[r]);
+      int b = BinOf(node, col.values[r]);
+      node.cpt[static_cast<size_t>(pb * bins + b)] += 1.0;
+      parent_count[static_cast<size_t>(pb)] += 1.0;
+    }
+    for (int pb = 0; pb < pbins; ++pb) {
+      for (int b = 0; b < bins; ++b) {
+        node.cpt[static_cast<size_t>(pb * bins + b)] /=
+            parent_count[static_cast<size_t>(pb)];
+      }
+    }
+  }
+}
+
+std::vector<double> BayesNet::MessageVector(
+    size_t node_idx, const std::vector<query::Predicate>& preds) const {
+  // Bottom-up dynamic program (O(nodes * bins^2) total): returns, for
+  // every bin of this node's *parent*, the probability mass of the
+  // subtree rooted here that satisfies all predicates. Each child's
+  // vector is computed exactly once.
+  const NodeInfo& node = nodes_[node_idx];
+  int bins = node.num_bins;
+
+  // Per-own-bin predicate coverage times children mass.
+  std::vector<double> own(static_cast<size_t>(bins), 1.0);
+  for (int b = 0; b < bins; ++b) {
+    for (const auto& p : preds) {
+      if (p.column != node.column) continue;
+      own[static_cast<size_t>(b)] *= BinCoverage(node, b, p.lo, p.hi);
+    }
+  }
+  for (int child : node.children) {
+    const NodeInfo& child_node = nodes_[static_cast<size_t>(child)];
+    AUTOCE_CHECK(child_node.parent == static_cast<int>(node_idx));
+    std::vector<double> msg = MessageVector(static_cast<size_t>(child), preds);
+    for (int b = 0; b < bins; ++b) {
+      own[static_cast<size_t>(b)] *= msg[static_cast<size_t>(b)];
+    }
+  }
+
+  int pbins =
+      node.parent < 0 ? 1 : nodes_[static_cast<size_t>(node.parent)].num_bins;
+  std::vector<double> out(static_cast<size_t>(pbins), 0.0);
+  for (int pb = 0; pb < pbins; ++pb) {
+    double total = 0.0;
+    for (int b = 0; b < bins; ++b) {
+      if (own[static_cast<size_t>(b)] == 0.0) continue;
+      double prior = (node.parent < 0)
+                         ? node.marginal[static_cast<size_t>(b)]
+                         : node.cpt[static_cast<size_t>(pb * bins + b)];
+      total += prior * own[static_cast<size_t>(b)];
+    }
+    out[static_cast<size_t>(pb)] = total;
+  }
+  return out;
+}
+
+double BayesNet::Message(size_t node_idx,
+                         const std::vector<query::Predicate>& preds,
+                         int parent_bin) const {
+  std::vector<double> msg = MessageVector(node_idx, preds);
+  size_t idx = parent_bin < 0 ? 0 : static_cast<size_t>(parent_bin);
+  return msg[std::min(idx, msg.size() - 1)];
+}
+
+double BayesNet::Probability(
+    const std::vector<query::Predicate>& preds) const {
+  if (nodes_.empty()) return 0.0;
+  if (preds.empty()) return 1.0;
+  double p = 1.0;
+  for (int root : roots_) {
+    p *= Message(static_cast<size_t>(root), preds, -1);
+  }
+  return p;
+}
+
+BayesCardEstimator::BayesCardEstimator(const ModelTrainingScale& scale)
+    : scale_(scale) {}
+
+Status BayesCardEstimator::Train(const TrainContext& ctx) {
+  if (ctx.dataset == nullptr) {
+    return Status::InvalidArgument("BayesCard requires a dataset");
+  }
+  dataset_ = ctx.dataset;
+  nets_.clear();
+  nets_.resize(static_cast<size_t>(dataset_->NumTables()));
+  BayesNet::Params params;
+  params.max_bins = scale_.bn_max_bins;
+  for (int t = 0; t < dataset_->NumTables(); ++t) {
+    std::vector<int> cols;
+    for (int c = 0; c < dataset_->table(t).NumColumns(); ++c) {
+      cols.push_back(c);
+    }
+    nets_[static_cast<size_t>(t)].Fit(dataset_->table(t), cols, params);
+  }
+  join_model_.Build(*dataset_);
+  return Status::OK();
+}
+
+double BayesCardEstimator::EstimateCardinality(const query::Query& q) {
+  if (dataset_ == nullptr || q.tables.empty()) return 1.0;
+  if (q.IsSingleTable()) {
+    int t = q.tables[0];
+    double rows = static_cast<double>(dataset_->table(t).NumRows());
+    return rows * nets_[static_cast<size_t>(t)].Probability(q.PredicatesOn(t));
+  }
+  double size = join_model_.UnfilteredJoinSize(q);
+  for (int t : q.tables) {
+    auto preds = q.PredicatesOn(t);
+    if (preds.empty()) continue;
+    size *= nets_[static_cast<size_t>(t)].Probability(preds);
+  }
+  return size;
+}
+
+}  // namespace autoce::ce

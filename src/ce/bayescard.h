@@ -1,0 +1,81 @@
+#ifndef AUTOCE_CE_BAYESCARD_H_
+#define AUTOCE_CE_BAYESCARD_H_
+
+#include <memory>
+#include <vector>
+
+#include "ce/estimator.h"
+#include "ce/join_stats.h"
+
+namespace autoce::ce {
+
+/// \brief A tree-shaped Bayesian network over the (binned) columns of one
+/// table: Chow-Liu structure learning by maximum mutual-information
+/// spanning tree, CPTs with Laplace smoothing, and exact tree inference
+/// for conjunctive range predicates.
+class BayesNet {
+ public:
+  struct Params {
+    int max_bins = 24;
+    double laplace = 0.5;
+  };
+
+  void Fit(const data::Table& table, const std::vector<int>& columns,
+           const Params& params);
+
+  /// P(all predicates hold) for a random row; predicates reference
+  /// table-column ids from the fitted set (others are ignored).
+  double Probability(const std::vector<query::Predicate>& preds) const;
+
+  /// Diagnostics.
+  size_t NumNodes() const { return nodes_.size(); }
+  int ParentOf(size_t node) const { return nodes_[node].parent; }
+
+ private:
+  struct NodeInfo {
+    int column = -1;           // table-column id
+    int parent = -1;           // node index of parent, -1 for root
+    int num_bins = 0;
+    int32_t domain = 1;
+    std::vector<double> marginal;  // root (or standalone) marginal P(b)
+    // cpt[parent_bin * num_bins + b] = P(b | parent_bin).
+    std::vector<double> cpt;
+    std::vector<int> children;  // node indices
+  };
+
+  int BinOf(const NodeInfo& n, int32_t value) const;
+  /// Fraction of bin `b`'s value range covered by [lo, hi].
+  double BinCoverage(const NodeInfo& n, int b, int32_t lo, int32_t hi) const;
+  /// Bottom-up message of node's subtree, one entry per parent bin
+  /// (single entry for roots).
+  std::vector<double> MessageVector(
+      size_t node, const std::vector<query::Predicate>& preds) const;
+  double Message(size_t node, const std::vector<query::Predicate>& preds,
+                 int parent_bin) const;
+
+  std::vector<NodeInfo> nodes_;
+  std::vector<int> roots_;  // node indices with no parent
+};
+
+/// \brief BayesCard (Wu et al., paper baseline (5)): Bayesian-network
+/// cardinality estimation. One Chow-Liu tree BN per table; multi-table
+/// queries combine BN selectivities with PK-FK fan-out statistics.
+class BayesCardEstimator : public CardinalityEstimator {
+ public:
+  explicit BayesCardEstimator(const ModelTrainingScale& scale);
+
+  ModelId id() const override { return ModelId::kBayesCard; }
+  bool is_data_driven() const override { return true; }
+  Status Train(const TrainContext& ctx) override;
+  double EstimateCardinality(const query::Query& q) override;
+
+ private:
+  ModelTrainingScale scale_;
+  const data::Dataset* dataset_ = nullptr;
+  std::vector<BayesNet> nets_;
+  JoinCardModel join_model_;
+};
+
+}  // namespace autoce::ce
+
+#endif  // AUTOCE_CE_BAYESCARD_H_

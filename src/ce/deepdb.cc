@@ -1,0 +1,60 @@
+#include "ce/deepdb.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace autoce::ce {
+
+DeepDbEstimator::DeepDbEstimator(const ModelTrainingScale& scale)
+    : scale_(scale) {}
+
+Status DeepDbEstimator::Train(const TrainContext& ctx) {
+  if (ctx.dataset == nullptr) {
+    return Status::InvalidArgument("DeepDB requires a dataset");
+  }
+  dataset_ = ctx.dataset;
+  Rng rng(ctx.seed);
+
+  spns_.clear();
+  spns_.resize(static_cast<size_t>(dataset_->NumTables()));
+  for (int t = 0; t < dataset_->NumTables(); ++t) {
+    // RSPN granularity scales with table size (as in the original
+    // system, whose SPNs grow with the data): roughly one row cluster
+    // per 48 rows, bounded below so leaves stay statistically stable.
+    SumProductNetwork::Params params;
+    params.min_slice = std::max<int64_t>(
+        24, std::min<int64_t>(scale_.spn_min_slice,
+                              dataset_->table(t).NumRows() / 48));
+    params.max_depth = 12;
+    // Model all columns (keys included — predicates never target them in
+    // generated workloads, but ad-hoc queries may).
+    std::vector<int> cols;
+    for (int c = 0; c < dataset_->table(t).NumColumns(); ++c) {
+      cols.push_back(c);
+    }
+    Rng child = rng.Fork(static_cast<uint64_t>(t));
+    spns_[static_cast<size_t>(t)].Fit(dataset_->table(t), cols, params,
+                                      &child);
+  }
+  join_model_.Build(*dataset_);
+  return Status::OK();
+}
+
+double DeepDbEstimator::EstimateCardinality(const query::Query& q) {
+  if (dataset_ == nullptr || q.tables.empty()) return 1.0;
+  if (q.IsSingleTable()) {
+    int t = q.tables[0];
+    double rows = static_cast<double>(dataset_->table(t).NumRows());
+    return rows * spns_[static_cast<size_t>(t)].Probability(q.PredicatesOn(t));
+  }
+  double size = join_model_.UnfilteredJoinSize(q);
+  for (int t : q.tables) {
+    auto preds = q.PredicatesOn(t);
+    if (preds.empty()) continue;
+    size *= spns_[static_cast<size_t>(t)].Probability(preds);
+  }
+  return size;
+}
+
+}  // namespace autoce::ce

@@ -1,0 +1,41 @@
+#ifndef AUTOCE_CE_DEEPDB_H_
+#define AUTOCE_CE_DEEPDB_H_
+
+#include <memory>
+#include <vector>
+
+#include "ce/estimator.h"
+#include "ce/join_stats.h"
+#include "ce/spn.h"
+
+namespace autoce::ce {
+
+/// \brief DeepDB (Hilprecht et al., paper baseline (4)): relational
+/// sum-product networks. One SPN per table models the joint distribution
+/// of its non-key columns (sum nodes = row clusters, product nodes =
+/// column clusters); multi-table cardinalities combine per-table SPN
+/// selectivities with learned PK-FK fan-out statistics.
+class DeepDbEstimator : public CardinalityEstimator {
+ public:
+  explicit DeepDbEstimator(const ModelTrainingScale& scale);
+
+  ModelId id() const override { return ModelId::kDeepDb; }
+  bool is_data_driven() const override { return true; }
+  Status Train(const TrainContext& ctx) override;
+  double EstimateCardinality(const query::Query& q) override;
+
+  /// Diagnostic access for tests.
+  const SumProductNetwork& spn(int table) const {
+    return spns_[static_cast<size_t>(table)];
+  }
+
+ private:
+  ModelTrainingScale scale_;
+  const data::Dataset* dataset_ = nullptr;
+  std::vector<SumProductNetwork> spns_;
+  JoinCardModel join_model_;
+};
+
+}  // namespace autoce::ce
+
+#endif  // AUTOCE_CE_DEEPDB_H_

@@ -1,0 +1,65 @@
+#include "ce/extra_estimators.h"
+
+#include <cmath>
+
+#include "ce/metrics.h"
+#include "util/logging.h"
+
+namespace autoce::ce {
+
+EnsembleEstimator::EnsembleEstimator(
+    std::vector<CardinalityEstimator*> members)
+    : members_(std::move(members)),
+      weights_(members_.size(),
+               members_.empty() ? 0.0 : 1.0 / static_cast<double>(
+                                                  members_.size())) {}
+
+Status EnsembleEstimator::Fit(const std::vector<query::Query>& queries,
+                              const std::vector<double>& true_cards) {
+  if (queries.size() != true_cards.size()) {
+    return Status::InvalidArgument("queries/cards size mismatch");
+  }
+  if (members_.empty()) {
+    return Status::FailedPrecondition("ensemble has no members");
+  }
+  weights_.assign(members_.size(), 0.0);
+  double total = 0.0;
+  for (size_t m = 0; m < members_.size(); ++m) {
+    std::vector<double> qerrors;
+    qerrors.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      qerrors.push_back(
+          QError(members_[m]->EstimateCardinality(queries[i]),
+                 true_cards[i]));
+    }
+    double mean = SummarizeQErrors(qerrors).mean;
+    weights_[m] = 1.0 / std::max(mean, 1.0);
+    total += weights_[m];
+  }
+  for (double& w : weights_) w /= total;
+  return Status::OK();
+}
+
+double EnsembleEstimator::EstimateCardinality(const query::Query& q) const {
+  double log_sum = 0.0;
+  for (size_t m = 0; m < members_.size(); ++m) {
+    double est = std::max(members_[m]->EstimateCardinality(q), 1.0);
+    log_sum += weights_[m] * std::log(est);
+  }
+  return std::exp(log_sum);
+}
+
+Status PostgresEstimatorAdapter::Train(const TrainContext& ctx) {
+  if (ctx.dataset == nullptr) {
+    return Status::InvalidArgument("PostgreSQL estimator requires a dataset");
+  }
+  estimator_ = std::make_unique<engine::PostgresStyleEstimator>(ctx.dataset);
+  return Status::OK();
+}
+
+double PostgresEstimatorAdapter::EstimateCardinality(const query::Query& q) {
+  if (estimator_ == nullptr) return 1.0;
+  return estimator_->EstimateCardinality(q);
+}
+
+}  // namespace autoce::ce

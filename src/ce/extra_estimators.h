@@ -1,0 +1,54 @@
+#ifndef AUTOCE_CE_EXTRA_ESTIMATORS_H_
+#define AUTOCE_CE_EXTRA_ESTIMATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "ce/estimator.h"
+#include "engine/histogram.h"
+
+namespace autoce::ce {
+
+/// \brief Paper baseline (8): an ensemble that averages the estimates of
+/// all member models in log space, weighted by each model's accuracy on
+/// the training workload (weight proportional to 1 / mean Q-error).
+class EnsembleEstimator {
+ public:
+  /// Members must already be trained; the ensemble does not own them.
+  EnsembleEstimator(std::vector<CardinalityEstimator*> members);
+
+  /// Fits the member weights on a labeled workload.
+  Status Fit(const std::vector<query::Query>& queries,
+             const std::vector<double>& true_cards);
+
+  double EstimateCardinality(const query::Query& q) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<CardinalityEstimator*> members_;
+  std::vector<double> weights_;
+};
+
+/// \brief Paper baseline (9): the default (PostgreSQL-style) estimator
+/// exposed through the CardinalityEstimator interface so it can be
+/// compared in the same harness.
+class PostgresEstimatorAdapter : public CardinalityEstimator {
+ public:
+  PostgresEstimatorAdapter() = default;
+
+  /// Not one of the advisor's candidates; id() reuses kMscn's slot only
+  /// for interface completeness and must not be registered.
+  ModelId id() const override { return ModelId::kMscn; }
+  std::string display_name() const { return "PostgreSQL"; }
+  bool is_data_driven() const override { return true; }
+  Status Train(const TrainContext& ctx) override;
+  double EstimateCardinality(const query::Query& q) override;
+
+ private:
+  std::unique_ptr<engine::PostgresStyleEstimator> estimator_;
+};
+
+}  // namespace autoce::ce
+
+#endif  // AUTOCE_CE_EXTRA_ESTIMATORS_H_

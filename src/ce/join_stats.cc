@@ -1,0 +1,81 @@
+#include "ce/join_stats.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace autoce::ce {
+
+void JoinCardModel::Build(const data::Dataset& dataset) {
+  edges_.clear();
+  table_rows_.clear();
+  for (int t = 0; t < dataset.NumTables(); ++t) {
+    table_rows_.push_back(static_cast<double>(dataset.table(t).NumRows()));
+  }
+  for (const auto& fk : dataset.foreign_keys()) {
+    const auto& fk_col = dataset.table(fk.fk_table)
+                             .columns[static_cast<size_t>(fk.fk_column)];
+    const auto& pk_col = dataset.table(fk.pk_table)
+                             .columns[static_cast<size_t>(fk.pk_column)];
+    std::unordered_set<int32_t> pk_set(pk_col.values.begin(),
+                                       pk_col.values.end());
+    int64_t matching = 0;
+    for (int32_t v : fk_col.values) matching += pk_set.count(v);
+    EdgeStats es;
+    double parent_rows =
+        std::max(1.0, static_cast<double>(pk_col.values.size()));
+    double child_rows =
+        std::max(1.0, static_cast<double>(fk_col.values.size()));
+    es.fanout = static_cast<double>(matching) / parent_rows;
+    es.match_fraction = static_cast<double>(matching) / child_rows;
+    edges_[KeyOf(fk)] = es;
+  }
+}
+
+double JoinCardModel::Fanout(const data::ForeignKey& fk) const {
+  auto it = edges_.find(KeyOf(fk));
+  return it == edges_.end() ? 0.0 : it->second.fanout;
+}
+
+double JoinCardModel::MatchFraction(const data::ForeignKey& fk) const {
+  auto it = edges_.find(KeyOf(fk));
+  return it == edges_.end() ? 0.0 : it->second.match_fraction;
+}
+
+double JoinCardModel::UnfilteredJoinSize(const query::Query& q) const {
+  if (q.tables.empty()) return 0.0;
+  int root = q.tables[0];
+  if (root < 0 || static_cast<size_t>(root) >= table_rows_.size()) return 0.0;
+  double size = table_rows_[static_cast<size_t>(root)];
+
+  // DFS over the join tree from the root; each traversed edge multiplies
+  // the size by the fan-out (parent -> child direction) or the match
+  // fraction (child -> parent direction).
+  std::unordered_set<int> visited{root};
+  std::vector<int> stack{root};
+  std::vector<char> used(q.joins.size(), 0);
+  while (!stack.empty()) {
+    int t = stack.back();
+    stack.pop_back();
+    for (size_t e = 0; e < q.joins.size(); ++e) {
+      if (used[e]) continue;
+      const auto& j = q.joins[e];
+      int other = -1;
+      bool toward_child = false;
+      if (j.pk_table == t && !visited.count(j.fk_table)) {
+        other = j.fk_table;
+        toward_child = true;  // parent -> child
+      } else if (j.fk_table == t && !visited.count(j.pk_table)) {
+        other = j.pk_table;  // child -> parent
+      }
+      if (other < 0) continue;
+      used[e] = 1;
+      visited.insert(other);
+      stack.push_back(other);
+      size *= toward_child ? Fanout(j) : MatchFraction(j);
+    }
+  }
+  return size;
+}
+
+}  // namespace autoce::ce

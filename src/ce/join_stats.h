@@ -1,0 +1,51 @@
+#ifndef AUTOCE_CE_JOIN_STATS_H_
+#define AUTOCE_CE_JOIN_STATS_H_
+
+#include <map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "query/query.h"
+
+namespace autoce::ce {
+
+/// \brief Data-driven join-size model shared by DeepDB and BayesCard.
+///
+/// For every PK-FK edge it stores the average fan-out (matching child rows
+/// per parent row) and the child match fraction (child rows with a valid
+/// parent). The unfiltered size of a tree join is then approximated
+/// multiplicatively from the root outward; per-table selectivities from
+/// the density models multiply on top (independence across tables, the
+/// standard fan-out decomposition used by DeepDB-style estimators).
+class JoinCardModel {
+ public:
+  JoinCardModel() = default;
+
+  /// Scans the dataset once and records per-edge fan-out statistics.
+  void Build(const data::Dataset& dataset);
+
+  /// Approximate COUNT(*) of the unfiltered join over q's tables/joins.
+  double UnfilteredJoinSize(const query::Query& q) const;
+
+  /// Fan-out of an edge (matching child rows per parent row).
+  double Fanout(const data::ForeignKey& fk) const;
+
+  /// Fraction of child rows with a matching parent row.
+  double MatchFraction(const data::ForeignKey& fk) const;
+
+ private:
+  struct EdgeStats {
+    double fanout = 0.0;
+    double match_fraction = 0.0;
+  };
+  static std::pair<int, int> KeyOf(const data::ForeignKey& fk) {
+    return {fk.fk_table, fk.pk_table};
+  }
+
+  std::map<std::pair<int, int>, EdgeStats> edges_;
+  std::vector<double> table_rows_;
+};
+
+}  // namespace autoce::ce
+
+#endif  // AUTOCE_CE_JOIN_STATS_H_

@@ -1,0 +1,34 @@
+#ifndef AUTOCE_CE_LW_NN_H_
+#define AUTOCE_CE_LW_NN_H_
+
+#include <memory>
+
+#include "ce/estimator.h"
+#include "nn/layers.h"
+#include "query/featurize.h"
+
+namespace autoce::ce {
+
+/// \brief LW-NN (Dutt et al., paper baseline (3)): a lightweight fully
+/// connected network regressing log-cardinality from the flat query
+/// encoding (selection ranges). The fastest model at inference — a single
+/// small MLP pass — which is exactly its role in the paper's
+/// accuracy/efficiency trade-off experiments.
+class LwNnEstimator : public CardinalityEstimator {
+ public:
+  explicit LwNnEstimator(const ModelTrainingScale& scale);
+
+  ModelId id() const override { return ModelId::kLwNn; }
+  bool is_data_driven() const override { return false; }
+  Status Train(const TrainContext& ctx) override;
+  double EstimateCardinality(const query::Query& q) override;
+
+ private:
+  ModelTrainingScale scale_;
+  std::unique_ptr<query::QueryFeaturizer> featurizer_;
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+}  // namespace autoce::ce
+
+#endif  // AUTOCE_CE_LW_NN_H_

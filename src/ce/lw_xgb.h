@@ -1,0 +1,33 @@
+#ifndef AUTOCE_CE_LW_XGB_H_
+#define AUTOCE_CE_LW_XGB_H_
+
+#include <memory>
+
+#include "ce/estimator.h"
+#include "gbdt/gbdt.h"
+#include "query/featurize.h"
+
+namespace autoce::ce {
+
+/// \brief LW-XGB (Dutt et al., paper baseline (2)): a tree-ensemble
+/// regressor over the flat selection-range encoding, predicting
+/// log-cardinality. Built on the library's own gradient-boosting
+/// substrate (`autoce::gbdt`).
+class LwXgbEstimator : public CardinalityEstimator {
+ public:
+  explicit LwXgbEstimator(const ModelTrainingScale& scale);
+
+  ModelId id() const override { return ModelId::kLwXgb; }
+  bool is_data_driven() const override { return false; }
+  Status Train(const TrainContext& ctx) override;
+  double EstimateCardinality(const query::Query& q) override;
+
+ private:
+  ModelTrainingScale scale_;
+  std::unique_ptr<query::QueryFeaturizer> featurizer_;
+  std::unique_ptr<gbdt::GradientBoosting> booster_;
+};
+
+}  // namespace autoce::ce
+
+#endif  // AUTOCE_CE_LW_XGB_H_

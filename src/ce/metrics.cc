@@ -1,0 +1,26 @@
+#include "ce/metrics.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace autoce::ce {
+
+double QError(double estimate, double truth) {
+  double e = std::max(estimate, 1.0);
+  double t = std::max(truth, 1.0);
+  return std::max(e / t, t / e);
+}
+
+QErrorSummary SummarizeQErrors(const std::vector<double>& qerrors) {
+  QErrorSummary s;
+  if (qerrors.empty()) return s;
+  s.mean = stats::Mean(qerrors);
+  s.p50 = stats::Percentile(qerrors, 50);
+  s.p95 = stats::Percentile(qerrors, 95);
+  s.p99 = stats::Percentile(qerrors, 99);
+  s.max = stats::Max(qerrors);
+  return s;
+}
+
+}  // namespace autoce::ce

@@ -1,0 +1,27 @@
+#ifndef AUTOCE_CE_METRICS_H_
+#define AUTOCE_CE_METRICS_H_
+
+#include <vector>
+
+namespace autoce::ce {
+
+/// Q-error of one estimate (paper Sec. II, Moerkotte et al.):
+/// max(est, truth) / min(est, truth), with both sides clamped to >= 1 so
+/// empty results do not blow up the metric.
+double QError(double estimate, double truth);
+
+/// Aggregates of a Q-error vector.
+struct QErrorSummary {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summary of per-query Q-errors.
+QErrorSummary SummarizeQErrors(const std::vector<double>& qerrors);
+
+}  // namespace autoce::ce
+
+#endif  // AUTOCE_CE_METRICS_H_

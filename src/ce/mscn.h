@@ -1,0 +1,53 @@
+#ifndef AUTOCE_CE_MSCN_H_
+#define AUTOCE_CE_MSCN_H_
+
+#include <memory>
+
+#include "ce/estimator.h"
+#include "nn/layers.h"
+#include "query/featurize.h"
+
+namespace autoce::ce {
+
+/// \brief MSCN (Kipf et al., paper baseline (1)): a multi-set
+/// convolutional network. The query is encoded as three sets — tables,
+/// joins, predicates — each element passed through a per-set MLP and
+/// average-pooled; the pooled vectors are concatenated and fed to an
+/// output MLP regressing log-cardinality.
+class MscnEstimator : public CardinalityEstimator {
+ public:
+  explicit MscnEstimator(const ModelTrainingScale& scale);
+
+  ModelId id() const override { return ModelId::kMscn; }
+  bool is_data_driven() const override { return false; }
+  Status Train(const TrainContext& ctx) override;
+  double EstimateCardinality(const query::Query& q) override;
+
+ private:
+  /// Forward pass for one query. When traces are non-null, records the
+  /// state required for backprop; `pooled` receives the three pooled
+  /// vectors (for the backward pass).
+  double Forward(const query::QueryFeaturizer::SetEncoding& enc,
+                 std::vector<nn::MlpTrace>* table_traces,
+                 std::vector<nn::MlpTrace>* join_traces,
+                 std::vector<nn::MlpTrace>* pred_traces,
+                 nn::MlpTrace* out_trace);
+
+  /// Backward pass matching the last Forward with the same encoding.
+  void Backward(const query::QueryFeaturizer::SetEncoding& enc,
+                double grad_out, std::vector<nn::MlpTrace>& table_traces,
+                std::vector<nn::MlpTrace>& join_traces,
+                std::vector<nn::MlpTrace>& pred_traces,
+                nn::MlpTrace& out_trace);
+
+  ModelTrainingScale scale_;
+  std::unique_ptr<query::QueryFeaturizer> featurizer_;
+  std::unique_ptr<nn::Mlp> table_mlp_;
+  std::unique_ptr<nn::Mlp> join_mlp_;
+  std::unique_ptr<nn::Mlp> pred_mlp_;
+  std::unique_ptr<nn::Mlp> out_mlp_;
+};
+
+}  // namespace autoce::ce
+
+#endif  // AUTOCE_CE_MSCN_H_

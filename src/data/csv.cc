@@ -1,0 +1,246 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/serde.h"
+
+namespace autoce::data {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, delimiter)) out.push_back(field);
+  if (!line.empty() && line.back() == delimiter) out.emplace_back();
+  return out;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (size_t j = i; j < s.size(); ++j) {
+    if (!std::isdigit(static_cast<unsigned char>(s[j]))) return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string FileStem(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = name.find_last_of('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+}  // namespace
+
+Result<Table> LoadCsvTable(const std::string& path,
+                           const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+
+  std::vector<std::vector<std::string>> raw;
+  std::vector<std::string> header;
+  std::string line;
+  size_t num_columns = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = SplitLine(line, options.delimiter);
+    if (header.empty() && options.has_header) {
+      header = fields;
+      num_columns = fields.size();
+      continue;
+    }
+    if (num_columns == 0) num_columns = fields.size();
+    if (fields.size() != num_columns) {
+      return Status::InvalidArgument(
+          "ragged CSV row (expected " + std::to_string(num_columns) +
+          " fields, got " + std::to_string(fields.size()) + ")");
+    }
+    raw.push_back(std::move(fields));
+  }
+  if (raw.empty()) {
+    return Status::InvalidArgument("CSV file has no data rows: " + path);
+  }
+
+  Table table;
+  table.name =
+      options.table_name.empty() ? FileStem(path) : options.table_name;
+  for (size_t c = 0; c < num_columns; ++c) {
+    Column col;
+    col.name = (c < header.size() && !header[c].empty())
+                   ? header[c]
+                   : table.name + "_c" + std::to_string(c);
+
+    // Pass 1: is the column fully integer?
+    bool all_int = true;
+    int64_t min_v = 0, max_v = 0;
+    for (size_t r = 0; r < raw.size() && all_int; ++r) {
+      int64_t v;
+      if (raw[r][c].empty()) continue;  // missing -> handled later
+      if (!ParseInt(raw[r][c], &v)) {
+        all_int = false;
+        break;
+      }
+      if (r == 0 || v < min_v) min_v = std::min(v, min_v);
+      max_v = std::max(v, max_v);
+      if (r == 0) {
+        min_v = v;
+        max_v = v;
+      }
+    }
+
+    if (all_int &&
+        max_v - min_v + 1 <= static_cast<int64_t>(options.max_domain)) {
+      // Order-preserving shift into [1, domain]; missing values -> 1.
+      col.domain_size = static_cast<int32_t>(max_v - min_v + 1);
+      if (col.domain_size < 1) col.domain_size = 1;
+      for (const auto& row : raw) {
+        int64_t v;
+        if (row[c].empty() || !ParseInt(row[c], &v)) {
+          col.values.push_back(1);
+        } else {
+          col.values.push_back(static_cast<int32_t>(v - min_v + 1));
+        }
+      }
+    } else {
+      // Dictionary encoding by first appearance.
+      std::unordered_map<std::string, int32_t> dict;
+      for (const auto& row : raw) {
+        auto [it, inserted] = dict.emplace(
+            row[c], static_cast<int32_t>(dict.size() + 1));
+        col.values.push_back(it->second);
+      }
+      col.domain_size = static_cast<int32_t>(dict.size());
+      if (col.domain_size > options.max_domain) {
+        return Status::InvalidArgument(
+            "column " + col.name + " exceeds max_domain (" +
+            std::to_string(dict.size()) + " distinct values)");
+      }
+    }
+    table.columns.push_back(std::move(col));
+  }
+  return table;
+}
+
+Status SaveCsvTable(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    if (c > 0) out << delimiter;
+    out << table.columns[c].name;
+  }
+  out << "\n";
+  for (int64_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      if (c > 0) out << delimiter;
+      out << table.columns[c].values[static_cast<size_t>(r)];
+    }
+    out << "\n";
+  }
+  return out.good() ? Status::OK() : Status::Internal("write failed");
+}
+
+namespace {
+constexpr uint32_t kDatasetMagic = 0x41444154;  // "ADAT"
+}
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteU32(kDatasetMagic);
+  w.WriteU32(1);  // version
+  w.WriteString(dataset.name());
+  w.WriteU64(static_cast<uint64_t>(dataset.NumTables()));
+  for (int t = 0; t < dataset.NumTables(); ++t) {
+    const Table& table = dataset.table(t);
+    w.WriteString(table.name);
+    w.WriteI64(table.primary_key);
+    w.WriteU64(table.columns.size());
+    for (const auto& col : table.columns) {
+      w.WriteString(col.name);
+      w.WriteI64(col.domain_size);
+      w.WriteU64(col.values.size());
+      for (int32_t v : col.values) w.WriteU32(static_cast<uint32_t>(v));
+    }
+  }
+  w.WriteU64(dataset.foreign_keys().size());
+  for (const auto& fk : dataset.foreign_keys()) {
+    w.WriteI64(fk.fk_table);
+    w.WriteI64(fk.fk_column);
+    w.WriteI64(fk.pk_table);
+    w.WriteI64(fk.pk_column);
+  }
+  return w.Close();
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.status().ok()) return r.status();
+  if (r.ReadU32() != kDatasetMagic) {
+    return Status::InvalidArgument("not a dataset file: " + path);
+  }
+  if (r.ReadU32() != 1) {
+    return Status::InvalidArgument("unsupported dataset file version");
+  }
+  Dataset ds(r.ReadString());
+  uint64_t num_tables = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  if (num_tables > 4096) {
+    return Status::Internal("implausible table count (corrupt file)");
+  }
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    Table table;
+    table.name = r.ReadString();
+    table.primary_key = static_cast<int>(r.ReadI64());
+    uint64_t num_cols = r.ReadU64();
+    if (!r.status().ok()) return r.status();
+    if (num_cols > 65536) {
+      return Status::Internal("implausible column count (corrupt file)");
+    }
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      Column col;
+      col.name = r.ReadString();
+      col.domain_size = static_cast<int32_t>(r.ReadI64());
+      uint64_t rows = r.ReadU64();
+      if (!r.status().ok()) return r.status();
+      col.values.reserve(rows);
+      for (uint64_t i = 0; i < rows; ++i) {
+        col.values.push_back(static_cast<int32_t>(r.ReadU32()));
+      }
+      table.columns.push_back(std::move(col));
+    }
+    ds.AddTable(std::move(table));
+  }
+  uint64_t num_fks = r.ReadU64();
+  if (!r.status().ok()) return r.status();
+  for (uint64_t i = 0; i < num_fks; ++i) {
+    ForeignKey fk;
+    fk.fk_table = static_cast<int>(r.ReadI64());
+    fk.fk_column = static_cast<int>(r.ReadI64());
+    fk.pk_table = static_cast<int>(r.ReadI64());
+    fk.pk_column = static_cast<int>(r.ReadI64());
+    AUTOCE_RETURN_NOT_OK(ds.AddForeignKey(fk));
+  }
+  if (!r.status().ok()) return r.status();
+  return ds;
+}
+
+}  // namespace autoce::data

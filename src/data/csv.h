@@ -1,0 +1,47 @@
+#ifndef AUTOCE_DATA_CSV_H_
+#define AUTOCE_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace autoce::data {
+
+/// Options for CSV import.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Name given to the loaded table (defaults to the file stem).
+  std::string table_name;
+  /// Values are dictionary-encoded per column in order of first
+  /// appearance when non-numeric; numeric columns are value-coded after
+  /// shifting into [1, domain]. Columns with more distinct values than
+  /// this are quantile-bucketed instead.
+  int32_t max_domain = 100000;
+};
+
+/// \brief Loads one CSV file as a `Table`.
+///
+/// AutoCE operates on integer-coded columns (see data/dataset.h); this
+/// loader brings external data into that representation: integer columns
+/// are shifted to [1, max-min+1] (preserving order, so range predicates
+/// remain meaningful), everything else is dictionary-encoded by first
+/// appearance. Missing values become code 1.
+Result<Table> LoadCsvTable(const std::string& path,
+                           const CsvOptions& options = {});
+
+/// Writes a table back out as CSV (coded values; header = column names).
+Status SaveCsvTable(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+/// Binary round-trip of whole datasets (schema + data + FK edges), used
+/// by the CLI to pass corpora between `generate`, `label`, and
+/// `recommend` steps.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+Result<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace autoce::data
+
+#endif  // AUTOCE_DATA_CSV_H_

@@ -1,0 +1,208 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autoce::data {
+
+namespace {
+
+/// Draws one F1 column: bounded Pareto values in [1, domain].
+Column GenerateSkewedColumn(const std::string& name, int64_t rows,
+                            int32_t domain, double skew, Rng* rng) {
+  Column col;
+  col.name = name;
+  col.domain_size = domain;
+  col.values.reserve(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    double v = rng->ParetoSkewed(skew, 1.0, static_cast<double>(domain));
+    int32_t iv = static_cast<int32_t>(std::lround(v));
+    col.values.push_back(std::clamp<int32_t>(iv, 1, domain));
+  }
+  return col;
+}
+
+}  // namespace
+
+Table GenerateSingleTable(const SingleTableParams& params, Rng* rng) {
+  AUTOCE_CHECK(params.num_columns >= 1 && params.num_rows >= 1);
+  Table table;
+  table.name = params.name;
+
+  if (params.with_primary_key) {
+    Column pk;
+    pk.name = params.name + "_id";
+    pk.domain_size = static_cast<int32_t>(params.num_rows);
+    pk.values.reserve(static_cast<size_t>(params.num_rows));
+    for (int64_t i = 1; i <= params.num_rows; ++i) {
+      pk.values.push_back(static_cast<int32_t>(i));
+    }
+    // Shuffle so PK order carries no information.
+    rng->Shuffle(&pk.values);
+    table.columns.push_back(std::move(pk));
+    table.primary_key = 0;
+  }
+
+  for (int c = 0; c < params.num_columns; ++c) {
+    int32_t domain = static_cast<int32_t>(
+        rng->UniformInt(params.min_domain, params.max_domain));
+    double skew = rng->Uniform(0.0, params.max_skew);
+    table.columns.push_back(GenerateSkewedColumn(
+        params.name + "_c" + std::to_string(c), params.num_rows, domain, skew,
+        rng));
+  }
+
+  // F2: positional correlation between adjacent non-key columns.
+  int first_data_col = params.with_primary_key ? 1 : 0;
+  for (int c = first_data_col + 1; c < table.NumColumns(); ++c) {
+    double r = rng->Uniform(0.0, params.max_correlation);
+    Column& prev = table.columns[static_cast<size_t>(c - 1)];
+    Column& cur = table.columns[static_cast<size_t>(c)];
+    for (size_t i = 0; i < cur.values.size(); ++i) {
+      if (rng->Bernoulli(r)) {
+        cur.values[i] = std::min(prev.values[i], cur.domain_size);
+      }
+    }
+  }
+  return table;
+}
+
+std::vector<int32_t> GenerateForeignKeyColumn(
+    const std::vector<int32_t>& pk_values, int64_t num_rows, double p,
+    Rng* rng, const std::vector<int32_t>* parent_rank_values,
+    double fanout_skew) {
+  AUTOCE_CHECK(!pk_values.empty());
+  p = std::clamp(p, 0.0, 1.0);
+  int64_t portion_size = std::max<int64_t>(
+      1, static_cast<int64_t>(std::lround(
+             p * static_cast<double>(pk_values.size()))));
+  auto idx = rng->SampleWithoutReplacement(
+      static_cast<int64_t>(pk_values.size()), portion_size);
+
+  std::vector<int32_t> out;
+  out.reserve(static_cast<size_t>(num_rows));
+
+  if (fanout_skew <= 1e-9 || parent_rank_values == nullptr) {
+    for (int64_t i = 0; i < num_rows; ++i) {
+      int64_t j = rng->UniformInt(0, portion_size - 1);
+      out.push_back(
+          pk_values[static_cast<size_t>(idx[static_cast<size_t>(j)])]);
+    }
+    return out;
+  }
+
+  // Rank portion keys by the parent attribute so fan-out correlates with
+  // it, then sample with Zipf weights over the ranks.
+  AUTOCE_CHECK(parent_rank_values->size() == pk_values.size());
+  std::sort(idx.begin(), idx.end(), [&](int64_t a, int64_t b) {
+    return (*parent_rank_values)[static_cast<size_t>(a)] <
+           (*parent_rank_values)[static_cast<size_t>(b)];
+  });
+  std::vector<double> cum(static_cast<size_t>(portion_size));
+  double total = 0.0;
+  for (int64_t r = 0; r < portion_size; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), fanout_skew);
+    cum[static_cast<size_t>(r)] = total;
+  }
+  for (int64_t i = 0; i < num_rows; ++i) {
+    double u = rng->Uniform() * total;
+    auto it = std::lower_bound(cum.begin(), cum.end(), u);
+    size_t r = static_cast<size_t>(it - cum.begin());
+    if (r >= cum.size()) r = cum.size() - 1;
+    out.push_back(pk_values[static_cast<size_t>(idx[r])]);
+  }
+  return out;
+}
+
+Dataset GenerateDataset(const DatasetGenParams& params, Rng* rng) {
+  Dataset ds(params.name);
+  int num_tables =
+      static_cast<int>(rng->UniformInt(params.min_tables, params.max_tables));
+
+  // Step 1: generate tables independently (every table gets a PK so it can
+  // serve as a join parent; single-table datasets get plain tables).
+  for (int t = 0; t < num_tables; ++t) {
+    SingleTableParams tp;
+    tp.name = params.name + "_t" + std::to_string(t);
+    tp.num_columns =
+        static_cast<int>(rng->UniformInt(params.min_columns, params.max_columns));
+    tp.num_rows = rng->UniformInt(params.min_rows, params.max_rows);
+    tp.min_domain = params.min_domain;
+    tp.max_domain = params.max_domain;
+    tp.max_skew = params.max_skew;
+    tp.max_correlation = params.max_correlation;
+    tp.with_primary_key = (num_tables > 1);
+    ds.AddTable(GenerateSingleTable(tp, rng));
+  }
+
+  if (num_tables == 1) return ds;
+
+  // Step 2 of the paper selects "main" tables; here every table carries a
+  // PK and can serve as a join parent (a superset of that scheme). The
+  // draw below only advances the seed stream — kept so corpora remain
+  // bit-identical across library versions.
+  (void)rng->UniformInt(1, std::max(1, num_tables / 2 + 1));
+
+  // Step 3: tables join in random order, each picking a random parent
+  // among the tables attached so far. This yields a connected join
+  // *tree*, which the paper's generator also produces since each FK is
+  // populated from a single parent's PK.
+  std::vector<int> order(static_cast<size_t>(num_tables));
+  for (int t = 0; t < num_tables; ++t) order[static_cast<size_t>(t)] = t;
+  rng->Shuffle(&order);
+  std::vector<int> attached{order[0]};
+  for (size_t i = 1; i < order.size(); ++i) {
+    int child = order[i];
+    int parent =
+        attached[static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(attached.size()) - 1))];
+    Table* child_t = ds.mutable_table(child);
+    const Table& parent_t = ds.table(parent);
+    AUTOCE_CHECK(parent_t.primary_key >= 0);
+    const Column& pk_col =
+        parent_t.columns[static_cast<size_t>(parent_t.primary_key)];
+
+    double p = rng->Uniform(params.j_min, params.j_max);
+    double fanout_skew = rng->Uniform(0.0, params.max_fanout_skew);
+    // Rank fan-outs by the parent's first non-key attribute (F4).
+    const std::vector<int32_t>* rank_values = nullptr;
+    for (int c = 0; c < parent_t.NumColumns(); ++c) {
+      if (c != parent_t.primary_key) {
+        rank_values = &parent_t.columns[static_cast<size_t>(c)].values;
+        break;
+      }
+    }
+    Column fk;
+    fk.name = child_t->name + "_fk_" + parent_t.name;
+    fk.domain_size = pk_col.domain_size;
+    fk.values = GenerateForeignKeyColumn(pk_col.values, child_t->NumRows(),
+                                         p, rng, rank_values, fanout_skew);
+    child_t->columns.push_back(std::move(fk));
+
+    ForeignKey edge;
+    edge.fk_table = child;
+    edge.fk_column = child_t->NumColumns() - 1;
+    edge.pk_table = parent;
+    edge.pk_column = parent_t.primary_key;
+    AUTOCE_CHECK(ds.AddForeignKey(edge).ok());
+    attached.push_back(child);
+  }
+  return ds;
+}
+
+std::vector<Dataset> GenerateCorpus(const DatasetGenParams& params, int count,
+                                    Rng* rng) {
+  std::vector<Dataset> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    DatasetGenParams p = params;
+    p.name = params.name + "_" + std::to_string(i);
+    Rng child = rng->Fork(static_cast<uint64_t>(i));
+    out.push_back(GenerateDataset(p, &child));
+  }
+  return out;
+}
+
+}  // namespace autoce::data

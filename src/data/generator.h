@@ -1,0 +1,84 @@
+#ifndef AUTOCE_DATA_GENERATOR_H_
+#define AUTOCE_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace autoce::data {
+
+/// Parameters of single-table generation (paper Sec. IV-A1).
+///
+/// Column values are drawn from the bounded Pareto family (F1) with a
+/// per-column skew in [0, max_skew]; every pair of adjacent columns is
+/// positionally correlated (F2) with a pair correlation drawn from
+/// [0, max_correlation].
+struct SingleTableParams {
+  std::string name = "t0";
+  int num_columns = 3;  ///< non-key columns
+  int64_t num_rows = 1000;
+  int32_t min_domain = 10;
+  int32_t max_domain = 1000;
+  double max_skew = 1.0;
+  double max_correlation = 1.0;
+  /// When true, a distinct-valued PK column "<name>_id" is prepended.
+  bool with_primary_key = false;
+};
+
+/// Generates one table according to F1 + F2.
+Table GenerateSingleTable(const SingleTableParams& params, Rng* rng);
+
+/// Parameters of whole-dataset generation (paper Sec. IV-A2). Ranges are
+/// sampled per dataset/table so a corpus covers a wide feature space.
+struct DatasetGenParams {
+  std::string name = "synthetic";
+  int min_tables = 1;
+  int max_tables = 5;
+  int min_columns = 2;  ///< non-key columns per table
+  int max_columns = 5;
+  int64_t min_rows = 1000;
+  int64_t max_rows = 5000;
+  int32_t min_domain = 10;
+  int32_t max_domain = 1000;
+  double max_skew = 1.0;
+  double max_correlation = 1.0;
+  /// Join-correlation range [j_min, j_max] for F3.
+  double j_min = 0.2;
+  double j_max = 1.0;
+  /// Fan-out skew upper bound: each FK edge draws a skew in
+  /// [0, max_fanout_skew] that Zipf-weights how often each parent key is
+  /// referenced, ranked by the parent's first attribute. This correlates
+  /// join fan-out with parent attributes (as in real schemas: popular
+  /// movies have more cast entries), which is what defeats
+  /// independence-based multi-table estimators.
+  double max_fanout_skew = 1.0;
+};
+
+/// Generates a multi-table dataset: tables via single-table generation,
+/// then a forest of PK-FK joins with join correlations in [j_min, j_max]
+/// (F3). With one table no joins are created.
+Dataset GenerateDataset(const DatasetGenParams& params, Rng* rng);
+
+/// Generates `count` datasets with independent random characteristics;
+/// dataset i is named "<params.name>_<i>".
+std::vector<Dataset> GenerateCorpus(const DatasetGenParams& params, int count,
+                                    Rng* rng);
+
+/// Populates an FK column of `num_rows` values referencing `pk_values`
+/// with join correlation `p` (F3): a fraction p of the PK values is chosen
+/// without replacement and FK values are sampled from it. With
+/// `fanout_skew > 0`, keys are drawn with Zipf weights ranked by
+/// `parent_rank_values` (typically the parent's first attribute column),
+/// correlating fan-out with parent attributes; `fanout_skew == 0` (or a
+/// null `parent_rank_values`) degrades to uniform sampling.
+std::vector<int32_t> GenerateForeignKeyColumn(
+    const std::vector<int32_t>& pk_values, int64_t num_rows, double p,
+    Rng* rng, const std::vector<int32_t>* parent_rank_values = nullptr,
+    double fanout_skew = 0.0);
+
+}  // namespace autoce::data
+
+#endif  // AUTOCE_DATA_GENERATOR_H_

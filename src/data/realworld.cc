@@ -1,0 +1,323 @@
+#include "data/realworld.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "data/generator.h"
+#include "util/logging.h"
+
+namespace autoce::data {
+
+namespace {
+
+/// Specification of one column of a real-world-like table.
+struct ColSpec {
+  const char* name;
+  int32_t domain;
+  double skew;
+};
+
+/// Specification of one table of a real-world-like schema.
+struct TableSpec {
+  const char* name;
+  int64_t base_rows;
+  std::vector<ColSpec> cols;
+  /// Index into the schema's table list of the FK parent, or -1 for root.
+  int parent = -1;
+  double join_correlation = 0.8;
+};
+
+Table BuildTable(const TableSpec& spec, int64_t rows, bool with_pk, Rng* rng) {
+  Table t;
+  t.name = spec.name;
+  if (with_pk) {
+    Column pk;
+    pk.name = std::string(spec.name) + "_id";
+    pk.domain_size = static_cast<int32_t>(rows);
+    pk.values.reserve(static_cast<size_t>(rows));
+    for (int64_t i = 1; i <= rows; ++i) pk.values.push_back(static_cast<int32_t>(i));
+    rng->Shuffle(&pk.values);
+    t.columns.push_back(std::move(pk));
+    t.primary_key = 0;
+  }
+  for (const auto& cs : spec.cols) {
+    Column c;
+    c.name = std::string(spec.name) + "_" + cs.name;
+    c.domain_size = cs.domain;
+    c.values.reserve(static_cast<size_t>(rows));
+    for (int64_t i = 0; i < rows; ++i) {
+      double v = rng->ParetoSkewed(cs.skew, 1.0, cs.domain);
+      c.values.push_back(
+          std::clamp<int32_t>(static_cast<int32_t>(std::lround(v)), 1,
+                              cs.domain));
+    }
+    t.columns.push_back(std::move(c));
+  }
+  return t;
+}
+
+Dataset BuildSchema(const char* ds_name,
+                    const std::vector<TableSpec>& specs, double scale,
+                    double pairwise_corr, Rng* rng) {
+  Dataset ds(ds_name);
+  std::vector<int64_t> rows(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    rows[i] = std::max<int64_t>(
+        50, static_cast<int64_t>(std::llround(
+                static_cast<double>(specs[i].base_rows) * scale)));
+    ds.AddTable(BuildTable(specs[i], rows[i], /*with_pk=*/true, rng));
+  }
+  // Correlate adjacent non-key columns within each table.
+  for (int t = 0; t < ds.NumTables(); ++t) {
+    Table* tab = ds.mutable_table(t);
+    for (int c = 2; c < tab->NumColumns(); ++c) {
+      double r = rng->Uniform(0.0, pairwise_corr);
+      Column& prev = tab->columns[static_cast<size_t>(c - 1)];
+      Column& cur = tab->columns[static_cast<size_t>(c)];
+      for (size_t i = 0; i < cur.values.size(); ++i) {
+        if (rng->Bernoulli(r)) {
+          cur.values[i] = std::min(prev.values[i], cur.domain_size);
+        }
+      }
+    }
+  }
+  // Wire FK edges.
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].parent < 0) continue;
+    int parent = specs[i].parent;
+    Table* child = ds.mutable_table(static_cast<int>(i));
+    const Table& parent_t = ds.table(parent);
+    const Column& pk_col =
+        parent_t.columns[static_cast<size_t>(parent_t.primary_key)];
+    Column fk;
+    fk.name = child->name + "_fk_" + parent_t.name;
+    fk.domain_size = pk_col.domain_size;
+    // Real schemas have attribute-correlated fan-outs (popular entities
+    // are referenced more); rank by the parent's first attribute.
+    const std::vector<int32_t>* rank_values =
+        parent_t.NumColumns() > 1 ? &parent_t.columns[1].values : nullptr;
+    fk.values = GenerateForeignKeyColumn(pk_col.values, child->NumRows(),
+                                         specs[i].join_correlation, rng,
+                                         rank_values, /*fanout_skew=*/0.8);
+    child->columns.push_back(std::move(fk));
+    ForeignKey edge;
+    edge.fk_table = static_cast<int>(i);
+    edge.fk_column = child->NumColumns() - 1;
+    edge.pk_table = parent;
+    edge.pk_column = parent_t.primary_key;
+    AUTOCE_CHECK(ds.AddForeignKey(edge).ok());
+  }
+  return ds;
+}
+
+}  // namespace
+
+Dataset MakeImdbLike(double scale, Rng* rng) {
+  // 6 tables, 12 non-key columns, star around `title` (index 0).
+  std::vector<TableSpec> specs = {
+      {"title",
+       339000,
+       {{"production_year", 150, 0.55},
+        {"kind", 7, 0.75},
+        {"season_nr", 90, 0.85}},
+       -1,
+       0.0},
+      {"movie_info",
+       150000,
+       {{"info_type", 110, 0.8}, {"info_val", 4000, 0.6}},
+       0,
+       0.85},
+      {"movie_info_idx",
+       250000,
+       {{"info_type", 8, 0.7}, {"rating_bucket", 100, 0.4}},
+       0,
+       0.9},
+      {"movie_companies",
+       200000,
+       {{"company", 9000, 0.75}, {"company_type", 4, 0.6}},
+       0,
+       0.8},
+      {"cast_info",
+       330000,
+       {{"role", 11, 0.8}, {"nr_order", 250, 0.9}},
+       0,
+       0.95},
+      {"movie_keyword", 300000, {{"keyword", 12000, 0.85}}, 0, 0.85},
+  };
+  return BuildSchema("imdb_like", specs, scale, 0.6, rng);
+}
+
+Dataset MakeStatsLike(double scale, Rng* rng) {
+  // 8 tables, 23 non-key columns; users and posts are hubs.
+  std::vector<TableSpec> specs = {
+      {"users",
+       40000,
+       {{"reputation", 5000, 0.9},
+        {"views", 1200, 0.85},
+        {"upvotes", 1500, 0.85},
+        {"downvotes", 300, 0.9}},
+       -1,
+       0.0},
+      {"posts",
+       92000,
+       {{"score", 250, 0.8},
+        {"viewcount", 8000, 0.85},
+        {"answercount", 40, 0.7},
+        {"commentcount", 50, 0.7},
+        {"favoritecount", 120, 0.9}},
+       0,
+       0.9},
+      {"comments", 175000, {{"score", 120, 0.9}, {"clen", 600, 0.5}}, 1, 0.85},
+      {"badges", 80000, {{"class", 3, 0.5}, {"tagbased", 2, 0.3}}, 0, 0.7},
+      {"votes",
+       328000,
+       {{"votetype", 15, 0.85}, {"bountyamount", 110, 0.95}},
+       1,
+       0.9},
+      {"postHistory",
+       300000,
+       {{"type", 30, 0.8}, {"len", 900, 0.55}, {"revision", 25, 0.75}},
+       1,
+       0.9},
+      {"postLinks", 11000, {{"linktype", 3, 0.6}, {"age", 400, 0.5}}, 1, 0.5},
+      {"tags",
+       1000,
+       {{"count", 900, 0.9}, {"excerpt", 2, 0.4}, {"wiki", 2, 0.4}},
+       1,
+       0.4},
+  };
+  return BuildSchema("stats_like", specs, scale, 0.5, rng);
+}
+
+Dataset MakePowerLike(int64_t num_rows, Rng* rng) {
+  Dataset ds("power_like");
+  TableSpec spec{"power",
+                 num_rows,
+                 {{"global_active_power", 2000, 0.65},
+                  {"global_reactive_power", 600, 0.7},
+                  {"voltage", 300, 0.15},
+                  {"global_intensity", 220, 0.65},
+                  {"sub_metering_1", 80, 0.92},
+                  {"sub_metering_2", 90, 0.9},
+                  {"sub_metering_3", 32, 0.55}},
+                 -1,
+                 0.0};
+  Table t = BuildTable(spec, num_rows, /*with_pk=*/false, rng);
+  // The Power dataset's columns are physically coupled (power = V * I):
+  // enforce strong pairwise correlation between the electrical columns.
+  for (int c = 1; c < t.NumColumns(); ++c) {
+    double r = 0.75;
+    Column& prev = t.columns[static_cast<size_t>(c - 1)];
+    Column& cur = t.columns[static_cast<size_t>(c)];
+    for (size_t i = 0; i < cur.values.size(); ++i) {
+      if (rng->Bernoulli(r)) {
+        cur.values[i] = std::min(prev.values[i], cur.domain_size);
+      }
+    }
+  }
+  ds.AddTable(std::move(t));
+  return ds;
+}
+
+std::vector<Dataset> SplitSamples(const Dataset& base, int count,
+                                  int max_tables, Rng* rng) {
+  std::vector<Dataset> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int s = 0; s < count; ++s) {
+    // Grow a random connected set of tables over the join graph.
+    int target = static_cast<int>(
+        rng->UniformInt(1, std::min(max_tables, base.NumTables())));
+    std::vector<int> chosen{
+        static_cast<int>(rng->UniformInt(0, base.NumTables() - 1))};
+    std::unordered_set<int> in_set(chosen.begin(), chosen.end());
+    while (static_cast<int>(chosen.size()) < target) {
+      // Collect frontier tables joined to the current set.
+      std::vector<int> frontier;
+      for (int t : chosen) {
+        for (const auto& fk : base.JoinsOf(t)) {
+          int other = (fk.fk_table == t) ? fk.pk_table : fk.fk_table;
+          if (!in_set.count(other)) frontier.push_back(other);
+        }
+      }
+      if (frontier.empty()) break;
+      int pick = frontier[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(frontier.size()) - 1))];
+      chosen.push_back(pick);
+      in_set.insert(pick);
+    }
+
+    // Induced FK edges among chosen tables.
+    std::vector<ForeignKey> edges;
+    for (const auto& fk : base.foreign_keys()) {
+      if (in_set.count(fk.fk_table) && in_set.count(fk.pk_table)) {
+        edges.push_back(fk);
+      }
+    }
+
+    Dataset sub(base.name() + "_s" + std::to_string(s));
+    std::unordered_map<int, int> table_remap;      // base table -> sub table
+    std::unordered_map<int64_t, int> col_remap;    // (t<<32)|c -> sub col
+    auto key_of = [](int t, int c) {
+      return (static_cast<int64_t>(t) << 32) | static_cast<int64_t>(c);
+    };
+
+    for (int t : chosen) {
+      const Table& src = base.table(t);
+      Table dst;
+      dst.name = src.name;
+      // Key columns required by the induced joins (or the PK if this
+      // table is referenced by an induced edge).
+      std::vector<int> keep;
+      for (const auto& e : edges) {
+        if (e.pk_table == t) keep.push_back(e.pk_column);
+        if (e.fk_table == t) keep.push_back(e.fk_column);
+      }
+      // 1-2 random non-key columns.
+      std::vector<int> non_key;
+      for (int c = 0; c < src.NumColumns(); ++c) {
+        bool is_key = (c == src.primary_key);
+        for (const auto& e : edges) {
+          if ((e.fk_table == t && e.fk_column == c) ||
+              (e.pk_table == t && e.pk_column == c)) {
+            is_key = true;
+          }
+        }
+        // Also treat FK columns toward non-chosen tables as keys to skip.
+        for (const auto& fk : base.foreign_keys()) {
+          if (fk.fk_table == t && fk.fk_column == c) is_key = true;
+        }
+        if (!is_key) non_key.push_back(c);
+      }
+      rng->Shuffle(&non_key);
+      int want = static_cast<int>(rng->UniformInt(1, 2));
+      for (int i = 0; i < std::min<int>(want, static_cast<int>(non_key.size()));
+           ++i) {
+        keep.push_back(non_key[static_cast<size_t>(i)]);
+      }
+      std::sort(keep.begin(), keep.end());
+      keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
+
+      for (int c : keep) {
+        col_remap[key_of(t, c)] = dst.NumColumns();
+        if (c == src.primary_key) dst.primary_key = dst.NumColumns();
+        dst.columns.push_back(src.columns[static_cast<size_t>(c)]);
+      }
+      table_remap[t] = sub.AddTable(std::move(dst));
+    }
+
+    for (const auto& e : edges) {
+      ForeignKey fe;
+      fe.fk_table = table_remap[e.fk_table];
+      fe.fk_column = col_remap[key_of(e.fk_table, e.fk_column)];
+      fe.pk_table = table_remap[e.pk_table];
+      fe.pk_column = col_remap[key_of(e.pk_table, e.pk_column)];
+      AUTOCE_CHECK(sub.AddForeignKey(fe).ok());
+    }
+    out.push_back(std::move(sub));
+  }
+  return out;
+}
+
+}  // namespace autoce::data

@@ -1,0 +1,158 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace autoce::engine {
+
+std::vector<char> FilterMask(const data::Table& table,
+                             const std::vector<query::Predicate>& predicates) {
+  std::vector<char> mask(static_cast<size_t>(table.NumRows()), 1);
+  for (const auto& p : predicates) {
+    const auto& values = table.columns[static_cast<size_t>(p.column)].values;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (mask[i] && !p.Matches(values[i])) mask[i] = 0;
+    }
+  }
+  return mask;
+}
+
+std::vector<int32_t> FilterRows(
+    const data::Table& table,
+    const std::vector<query::Predicate>& predicates) {
+  auto mask = FilterMask(table, predicates);
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) out.push_back(static_cast<int32_t>(i));
+  }
+  return out;
+}
+
+int64_t SingleTableCardinality(const data::Table& table,
+                               const std::vector<query::Predicate>& preds) {
+  auto mask = FilterMask(table, preds);
+  int64_t n = 0;
+  for (char m : mask) n += m;
+  return n;
+}
+
+namespace {
+
+struct JoinTree {
+  // adjacency[t] = list of (neighbor table, this table's key column,
+  // neighbor's key column).
+  struct Edge {
+    int other;
+    int my_column;
+    int other_column;
+  };
+  std::unordered_map<int, std::vector<Edge>> adjacency;
+};
+
+/// Bottom-up weight computation: returns, for table `t` (reached from
+/// `parent`), a map join-key-value -> total weight of matching filtered
+/// sub-join rows rooted at t. `parent_col` is t's key column toward the
+/// parent; for the root it is -1 and the function returns the total count
+/// in the single map entry under key 0.
+bool ComputeWeights(const data::Dataset& dataset, const query::Query& q,
+                    const JoinTree& tree, int t, int parent, int parent_col,
+                    std::unordered_map<int32_t, double>* out) {
+  const data::Table& table = dataset.table(t);
+  auto mask = FilterMask(table, q.PredicatesOn(t));
+
+  // Recurse into children first.
+  struct ChildInfo {
+    int my_column;
+    std::unordered_map<int32_t, double> weights;
+  };
+  std::vector<ChildInfo> children;
+  auto it = tree.adjacency.find(t);
+  if (it != tree.adjacency.end()) {
+    for (const auto& e : it->second) {
+      if (e.other == parent) continue;
+      ChildInfo ci;
+      ci.my_column = e.my_column;
+      if (!ComputeWeights(dataset, q, tree, e.other, t, e.other_column,
+                          &ci.weights)) {
+        return false;
+      }
+      children.push_back(std::move(ci));
+    }
+  }
+
+  out->clear();
+  for (size_t r = 0; r < mask.size(); ++r) {
+    if (!mask[r]) continue;
+    double w = 1.0;
+    for (const auto& ci : children) {
+      int32_t key =
+          table.columns[static_cast<size_t>(ci.my_column)].values[r];
+      auto wit = ci.weights.find(key);
+      if (wit == ci.weights.end()) {
+        w = 0.0;
+        break;
+      }
+      w *= wit->second;
+    }
+    if (w == 0.0) continue;
+    int32_t out_key =
+        parent_col >= 0
+            ? table.columns[static_cast<size_t>(parent_col)].values[r]
+            : 0;
+    (*out)[out_key] += w;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<int64_t> TrueCardinality(const data::Dataset& dataset,
+                                const query::Query& q) {
+  if (q.tables.empty()) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  if (q.tables.size() == 1) {
+    return SingleTableCardinality(dataset.table(q.tables[0]),
+                                  q.PredicatesOn(q.tables[0]));
+  }
+  // A connected tree over n tables needs exactly n-1 joins.
+  if (q.joins.size() != q.tables.size() - 1) {
+    return Status::InvalidArgument(
+        "join graph is not a tree (|joins| != |tables| - 1)");
+  }
+  JoinTree tree;
+  for (const auto& j : q.joins) {
+    tree.adjacency[j.fk_table].push_back(
+        {j.pk_table, j.fk_column, j.pk_column});
+    tree.adjacency[j.pk_table].push_back(
+        {j.fk_table, j.pk_column, j.fk_column});
+  }
+  if (!dataset.IsConnected(q.tables)) {
+    return Status::InvalidArgument("query tables are not connected");
+  }
+
+  int root = q.tables[0];
+  std::unordered_map<int32_t, double> total;
+  if (!ComputeWeights(dataset, q, tree, root, /*parent=*/-1,
+                      /*parent_col=*/-1, &total)) {
+    return Status::Internal("weight computation failed");
+  }
+  double sum = 0.0;
+  for (const auto& [k, w] : total) sum += w;
+  return static_cast<int64_t>(sum + 0.5);
+}
+
+std::vector<double> TrueCardinalities(const data::Dataset& dataset,
+                                      const std::vector<query::Query>& qs) {
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const auto& q : qs) {
+    auto r = TrueCardinality(dataset, q);
+    out.push_back(r.ok() ? static_cast<double>(*r) : 0.0);
+  }
+  return out;
+}
+
+}  // namespace autoce::engine

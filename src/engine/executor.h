@@ -1,0 +1,44 @@
+#ifndef AUTOCE_ENGINE_EXECUTOR_H_
+#define AUTOCE_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "query/query.h"
+#include "util/result.h"
+
+namespace autoce::engine {
+
+/// Evaluates the conjunction of `predicates` over `table`, returning a
+/// 0/1 mask over rows.
+std::vector<char> FilterMask(const data::Table& table,
+                             const std::vector<query::Predicate>& predicates);
+
+/// Row indices passing the conjunction of `predicates`.
+std::vector<int32_t> FilterRows(
+    const data::Table& table,
+    const std::vector<query::Predicate>& predicates);
+
+/// \brief Exact COUNT(*) of an SPJ query.
+///
+/// Exploits the fact that generated join graphs are trees: cardinalities
+/// are computed by bottom-up message passing (per-join-key weights),
+/// which is exact and runs in O(total rows × join degree) without
+/// materializing intermediate results. Returns an error if the query's
+/// join graph is not a connected tree over its tables.
+Result<int64_t> TrueCardinality(const data::Dataset& dataset,
+                                const query::Query& q);
+
+/// Exact count over a single table with predicates.
+int64_t SingleTableCardinality(const data::Table& table,
+                               const std::vector<query::Predicate>& preds);
+
+/// Computes true cardinalities for a whole workload (convenience for
+/// labeling/benchmarks); queries with invalid join graphs yield 0.
+std::vector<double> TrueCardinalities(const data::Dataset& dataset,
+                                      const std::vector<query::Query>& qs);
+
+}  // namespace autoce::engine
+
+#endif  // AUTOCE_ENGINE_EXECUTOR_H_

@@ -1,0 +1,129 @@
+#include "engine/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace autoce::engine {
+
+EquiDepthHistogram EquiDepthHistogram::Build(
+    const std::vector<int32_t>& values, int num_buckets) {
+  EquiDepthHistogram h;
+  h.num_rows_ = static_cast<int64_t>(values.size());
+  if (values.empty()) return h;
+
+  std::vector<int32_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  h.min_value_ = sorted.front();
+  h.max_value_ = sorted.back();
+
+  std::unordered_set<int32_t> all_distinct(values.begin(), values.end());
+  h.num_distinct_ = static_cast<int64_t>(all_distinct.size());
+
+  num_buckets = std::max(1, num_buckets);
+  size_t target = (sorted.size() + static_cast<size_t>(num_buckets) - 1) /
+                  static_cast<size_t>(num_buckets);
+
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t end = std::min(i + target, sorted.size());
+    // Extend to include all duplicates of the boundary value so bucket
+    // upper bounds are unique.
+    int32_t bound = sorted[end - 1];
+    while (end < sorted.size() && sorted[end] == bound) ++end;
+    std::unordered_set<int32_t> d(sorted.begin() + static_cast<ptrdiff_t>(i),
+                                  sorted.begin() + static_cast<ptrdiff_t>(end));
+    h.upper_bounds_.push_back(bound);
+    h.counts_.push_back(static_cast<int64_t>(end - i));
+    h.distincts_.push_back(static_cast<int64_t>(d.size()));
+    i = end;
+  }
+  return h;
+}
+
+double EquiDepthHistogram::RangeSelectivity(int32_t lo, int32_t hi) const {
+  if (num_rows_ == 0 || hi < lo) return 0.0;
+  double matched = 0.0;
+  int32_t prev_bound = min_value_ - 1;
+  for (size_t b = 0; b < upper_bounds_.size(); ++b) {
+    int32_t b_lo = prev_bound + 1;
+    int32_t b_hi = upper_bounds_[b];
+    prev_bound = b_hi;
+    if (hi < b_lo || lo > b_hi) continue;
+    int32_t ov_lo = std::max(lo, b_lo);
+    int32_t ov_hi = std::min(hi, b_hi);
+    double frac = static_cast<double>(ov_hi - ov_lo + 1) /
+                  static_cast<double>(b_hi - b_lo + 1);
+    matched += frac * static_cast<double>(counts_[b]);
+  }
+  return std::min(1.0, matched / static_cast<double>(num_rows_));
+}
+
+double EquiDepthHistogram::EqualitySelectivity(int32_t v) const {
+  if (num_rows_ == 0) return 0.0;
+  if (v < min_value_ || v > max_value_) return 0.0;
+  int32_t prev_bound = min_value_ - 1;
+  for (size_t b = 0; b < upper_bounds_.size(); ++b) {
+    int32_t b_lo = prev_bound + 1;
+    int32_t b_hi = upper_bounds_[b];
+    prev_bound = b_hi;
+    if (v < b_lo || v > b_hi) continue;
+    double per_distinct =
+        static_cast<double>(counts_[b]) /
+        static_cast<double>(std::max<int64_t>(1, distincts_[b]));
+    return std::min(1.0, per_distinct / static_cast<double>(num_rows_));
+  }
+  return 0.0;
+}
+
+PostgresStyleEstimator::PostgresStyleEstimator(const data::Dataset* dataset,
+                                               int num_buckets)
+    : dataset_(dataset) {
+  stats_.reserve(static_cast<size_t>(dataset->NumTables()));
+  for (int t = 0; t < dataset->NumTables(); ++t) {
+    TableStats ts;
+    ts.num_rows = dataset->table(t).NumRows();
+    for (const auto& col : dataset->table(t).columns) {
+      ts.columns.push_back(EquiDepthHistogram::Build(col.values, num_buckets));
+    }
+    stats_.push_back(std::move(ts));
+  }
+}
+
+double PostgresStyleEstimator::TableSelectivity(
+    int table, const std::vector<query::Predicate>& preds) const {
+  const TableStats& ts = stats_[static_cast<size_t>(table)];
+  double sel = 1.0;
+  for (const auto& p : preds) {
+    const auto& hist = ts.columns[static_cast<size_t>(p.column)];
+    double s = (p.op == query::PredOp::kEq)
+                   ? hist.EqualitySelectivity(p.lo)
+                   : hist.RangeSelectivity(p.lo, p.hi);
+    sel *= s;  // attribute-value independence
+  }
+  return sel;
+}
+
+double PostgresStyleEstimator::EstimateCardinality(
+    const query::Query& q) const {
+  double card = 1.0;
+  for (int t : q.tables) {
+    double rows = static_cast<double>(stats_[static_cast<size_t>(t)].num_rows);
+    card *= rows * TableSelectivity(t, q.PredicatesOn(t));
+  }
+  for (const auto& j : q.joins) {
+    const auto& fk_hist = stats_[static_cast<size_t>(j.fk_table)]
+                              .columns[static_cast<size_t>(j.fk_column)];
+    const auto& pk_hist = stats_[static_cast<size_t>(j.pk_table)]
+                              .columns[static_cast<size_t>(j.pk_column)];
+    int64_t nd =
+        std::max<int64_t>(1, std::max(fk_hist.num_distinct(),
+                                      pk_hist.num_distinct()));
+    card /= static_cast<double>(nd);
+  }
+  return std::max(card, 0.0);
+}
+
+}  // namespace autoce::engine

@@ -1,0 +1,83 @@
+#ifndef AUTOCE_ENGINE_HISTOGRAM_H_
+#define AUTOCE_ENGINE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "query/query.h"
+
+namespace autoce::engine {
+
+/// \brief Equi-depth histogram over one column, plus distinct count —
+/// the statistics a classical optimizer (PostgreSQL-style) keeps.
+class EquiDepthHistogram {
+ public:
+  EquiDepthHistogram() = default;
+
+  /// Builds from column values with at most `num_buckets` buckets.
+  static EquiDepthHistogram Build(const std::vector<int32_t>& values,
+                                  int num_buckets = 32);
+
+  /// Estimated fraction of rows with value in [lo, hi] (inclusive),
+  /// assuming uniformity within buckets.
+  double RangeSelectivity(int32_t lo, int32_t hi) const;
+
+  /// Estimated fraction of rows equal to `v` (uniform-within-bucket over
+  /// the bucket's distinct values).
+  double EqualitySelectivity(int32_t v) const;
+
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_distinct() const { return num_distinct_; }
+  int32_t min_value() const { return min_value_; }
+  int32_t max_value() const { return max_value_; }
+  size_t num_buckets() const { return upper_bounds_.size(); }
+
+ private:
+  // Bucket i covers (upper_bounds_[i-1], upper_bounds_[i]] with
+  // counts_[i] rows and distincts_[i] distinct values.
+  std::vector<int32_t> upper_bounds_;
+  std::vector<int64_t> counts_;
+  std::vector<int64_t> distincts_;
+  int64_t num_rows_ = 0;
+  int64_t num_distinct_ = 0;
+  int32_t min_value_ = 0;
+  int32_t max_value_ = 0;
+};
+
+/// Per-table statistics: one histogram per column.
+struct TableStats {
+  std::vector<EquiDepthHistogram> columns;
+  int64_t num_rows = 0;
+};
+
+/// \brief PostgreSQL-style cardinality estimator: per-column histograms,
+/// attribute-value independence across predicates, and `1/max(nd)` join
+/// selectivity. This is the "PostgreSQL" baseline of the paper's
+/// experiments (Fig. 9, Table V) and the statistics provider for the
+/// cost-based optimizer.
+class PostgresStyleEstimator {
+ public:
+  /// Builds statistics for every table (ANALYZE equivalent).
+  explicit PostgresStyleEstimator(const data::Dataset* dataset,
+                                  int num_buckets = 32);
+
+  /// Estimated COUNT(*) of an SPJ query.
+  double EstimateCardinality(const query::Query& q) const;
+
+  /// Estimated selectivity of the conjunction of predicates over a table.
+  double TableSelectivity(int table,
+                          const std::vector<query::Predicate>& preds) const;
+
+  const TableStats& table_stats(int t) const {
+    return stats_[static_cast<size_t>(t)];
+  }
+
+ private:
+  const data::Dataset* dataset_;
+  std::vector<TableStats> stats_;
+};
+
+}  // namespace autoce::engine
+
+#endif  // AUTOCE_ENGINE_HISTOGRAM_H_

@@ -1,0 +1,128 @@
+#include "gnn/gin.h"
+
+#include "util/logging.h"
+
+namespace autoce::gnn {
+
+GinEncoder::GinEncoder(size_t input_dim, GinConfig config, Rng* rng)
+    : input_dim_(input_dim), config_(config) {
+  AUTOCE_CHECK(config_.num_layers >= 1);
+  size_t in = input_dim;
+  for (int l = 0; l < config_.num_layers; ++l) {
+    size_t out = (l + 1 == config_.num_layers)
+                     ? static_cast<size_t>(config_.embedding_dim)
+                     : static_cast<size_t>(config_.hidden);
+    layer_mlps_.emplace_back(
+        std::vector<size_t>{in, static_cast<size_t>(config_.hidden), out},
+        nn::Activation::kRelu, nn::Activation::kRelu, rng);
+    eps_.emplace_back(1, 1, 0.0);
+    eps_grad_.emplace_back(1, 1, 0.0);
+    in = out;
+  }
+}
+
+nn::Matrix GinEncoder::Forward(const featgraph::FeatureGraph& graph,
+                               GinTrace* trace) const {
+  AUTOCE_CHECK(graph.vertices.cols() == input_dim_);
+  size_t n = graph.vertices.rows();
+  nn::Matrix h = graph.vertices;
+  if (trace != nullptr) {
+    trace->layer_inputs.clear();
+    trace->aggregated.clear();
+    trace->mlp_traces.assign(layer_mlps_.size(), nn::MlpTrace());
+  }
+  for (size_t l = 0; l < layer_mlps_.size(); ++l) {
+    if (trace != nullptr) trace->layer_inputs.push_back(h);
+    // agg = (1 + eps) * h + E * h   (E is n x n with join-correlation
+    // weights; E(i, j) multiplies neighbor j's features into vertex i).
+    nn::Matrix agg = graph.edges.MatMul(h);
+    double scale = 1.0 + eps_[l](0, 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < h.cols(); ++c) {
+        agg(i, c) += scale * h(i, c);
+      }
+    }
+    if (trace != nullptr) trace->aggregated.push_back(agg);
+    h = layer_mlps_[l].Forward(agg,
+                               trace != nullptr ? &trace->mlp_traces[l]
+                                                : nullptr);
+  }
+  return h.ColSum();  // sum pooling over vertices
+}
+
+std::vector<double> GinEncoder::Embed(
+    const featgraph::FeatureGraph& graph) const {
+  return Forward(graph).Row(0);
+}
+
+void GinEncoder::Backward(const featgraph::FeatureGraph& graph,
+                          const GinTrace& trace,
+                          const nn::Matrix& grad_embedding) {
+  size_t n = graph.vertices.rows();
+  // Sum pooling: gradient broadcasts to every vertex row.
+  nn::Matrix g(n, grad_embedding.cols());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < grad_embedding.cols(); ++c) {
+      g(i, c) = grad_embedding(0, c);
+    }
+  }
+  for (size_t l = layer_mlps_.size(); l-- > 0;) {
+    nn::Matrix g_agg = layer_mlps_[l].Backward(trace.mlp_traces[l], g);
+    const nn::Matrix& h_in = trace.layer_inputs[l];
+    // d(agg)/d(eps) = h_in  ->  eps_grad += sum_ij g_agg .* h_in.
+    double deps = 0.0;
+    for (size_t i = 0; i < g_agg.size(); ++i) {
+      deps += g_agg.data()[i] * h_in.data()[i];
+    }
+    eps_grad_[l](0, 0) += deps;
+    // d(agg)/d(h) = (1 + eps) I + E^T.
+    double scale = 1.0 + eps_[l](0, 0);
+    nn::Matrix g_h = graph.edges.TransposeMatMul(g_agg);
+    for (size_t i = 0; i < g_h.size(); ++i) {
+      g_h.data()[i] += scale * g_agg.data()[i];
+    }
+    g = std::move(g_h);
+  }
+}
+
+void GinEncoder::ZeroGrad() {
+  for (auto& mlp : layer_mlps_) mlp.ZeroGrad();
+  for (auto& eg : eps_grad_) eg.Zero();
+}
+
+std::vector<nn::Matrix*> GinEncoder::Params() {
+  std::vector<nn::Matrix*> out;
+  for (size_t l = 0; l < layer_mlps_.size(); ++l) {
+    auto p = layer_mlps_[l].Params();
+    out.insert(out.end(), p.begin(), p.end());
+    out.push_back(&eps_[l]);
+  }
+  return out;
+}
+
+std::vector<nn::Matrix*> GinEncoder::Grads() {
+  std::vector<nn::Matrix*> out;
+  for (size_t l = 0; l < layer_mlps_.size(); ++l) {
+    auto g = layer_mlps_[l].Grads();
+    out.insert(out.end(), g.begin(), g.end());
+    out.push_back(&eps_grad_[l]);
+  }
+  return out;
+}
+
+std::vector<nn::Matrix> GinEncoder::SnapshotParams() {
+  std::vector<nn::Matrix> out;
+  for (nn::Matrix* p : Params()) out.push_back(*p);
+  return out;
+}
+
+void GinEncoder::RestoreParams(const std::vector<nn::Matrix>& snapshot) {
+  auto params = Params();
+  AUTOCE_CHECK(params.size() == snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    AUTOCE_CHECK(params[i]->SameShape(snapshot[i]));
+    *params[i] = snapshot[i];
+  }
+}
+
+}  // namespace autoce::gnn

@@ -1,0 +1,75 @@
+#ifndef AUTOCE_GNN_GIN_H_
+#define AUTOCE_GNN_GIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "featgraph/featgraph.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace autoce::gnn {
+
+/// Architecture of the graph encoder (paper Sec. V-B).
+struct GinConfig {
+  int num_layers = 2;
+  int hidden = 32;
+  /// Output embedding dimension (last layer width; sum-pooled).
+  int embedding_dim = 16;
+};
+
+/// Per-forward cached state for backprop through one graph.
+struct GinTrace {
+  std::vector<nn::Matrix> layer_inputs;  // H^l before each GINConv
+  std::vector<nn::Matrix> aggregated;    // (1+eps)H + E H (pre-MLP)
+  std::vector<nn::MlpTrace> mlp_traces;
+};
+
+/// \brief Graph Isomorphism Network encoder (Xu et al.; paper Eq. 5).
+///
+/// Each GINConv layer computes h_i' = MLP((1 + eps) h_i +
+/// sum_{j in N(i)} e_ji h_j) with a learnable eps per layer and the join
+/// correlation as the edge weight e_ji; a final sum pooling yields the
+/// dataset embedding.
+class GinEncoder {
+ public:
+  GinEncoder(size_t input_dim, GinConfig config, Rng* rng);
+
+  size_t input_dim() const { return input_dim_; }
+  size_t embedding_dim() const {
+    return static_cast<size_t>(config_.embedding_dim);
+  }
+
+  /// Encodes a feature graph into its embedding (1 x embedding_dim).
+  /// `trace` (optional) records state for Backward.
+  nn::Matrix Forward(const featgraph::FeatureGraph& graph,
+                     GinTrace* trace = nullptr) const;
+
+  /// Convenience: embedding as a plain vector (no trace).
+  std::vector<double> Embed(const featgraph::FeatureGraph& graph) const;
+
+  /// Backpropagates the gradient w.r.t. the pooled embedding through the
+  /// pass recorded in `trace`, accumulating parameter gradients.
+  void Backward(const featgraph::FeatureGraph& graph, const GinTrace& trace,
+                const nn::Matrix& grad_embedding);
+
+  void ZeroGrad();
+  std::vector<nn::Matrix*> Params();
+  std::vector<nn::Matrix*> Grads();
+
+  /// Copies of all parameters (for validation-based checkpointing).
+  std::vector<nn::Matrix> SnapshotParams();
+  /// Restores parameters from a snapshot taken on this encoder.
+  void RestoreParams(const std::vector<nn::Matrix>& snapshot);
+
+ private:
+  size_t input_dim_;
+  GinConfig config_;
+  std::vector<nn::Mlp> layer_mlps_;
+  std::vector<nn::Matrix> eps_;       // 1x1 learnable eps per layer
+  std::vector<nn::Matrix> eps_grad_;
+};
+
+}  // namespace autoce::gnn
+
+#endif  // AUTOCE_GNN_GIN_H_

@@ -1,0 +1,176 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+namespace autoce::nn {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    AUTOCE_CHECK(rows[r].size() == m.cols_);
+    for (size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Xavier(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& v : m.data_) v = rng->Uniform(-limit, limit);
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  AUTOCE_CHECK(r < rows_);
+  return std::vector<double>(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
+                             data_.begin() +
+                                 static_cast<ptrdiff_t>((r + 1) * cols_));
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& v) {
+  AUTOCE_CHECK(r < rows_ && v.size() == cols_);
+  for (size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  AUTOCE_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = data_.data() + i * cols_;
+    double* o = out.data() + i * other.cols_;
+    for (size_t k = 0; k < cols_; ++k) {
+      double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = other.data() + k * other.cols_;
+      for (size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposeMatMul(const Matrix& other) const {
+  AUTOCE_CHECK(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (size_t k = 0; k < rows_; ++k) {
+    const double* a = data_.data() + k * cols_;
+    const double* b = other.data() + k * other.cols_;
+    for (size_t i = 0; i < cols_; ++i) {
+      double aki = a[i];
+      if (aki == 0.0) continue;
+      double* o = out.data() + i * other.cols_;
+      for (size_t j = 0; j < other.cols_; ++j) o[j] += aki * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTranspose(const Matrix& other) const {
+  AUTOCE_CHECK(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = data_.data() + i * cols_;
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const double* b = other.data() + j * other.cols_;
+      double s = 0.0;
+      for (size_t k = 0; k < cols_; ++k) s += a[k] * b[k];
+      out(i, j) = s;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix& Matrix::AddInPlace(const Matrix& other) {
+  AUTOCE_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::SubInPlace(const Matrix& other) {
+  AUTOCE_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::MulInPlace(const Matrix& other) {
+  AUTOCE_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::ScaleInPlace(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix& Matrix::AddRowBroadcast(const Matrix& row) {
+  AUTOCE_CHECK(row.rows() == 1 && row.cols() == cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* d = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) d[c] += row(0, c);
+  }
+  return *this;
+}
+
+Matrix Matrix::ColSum() const {
+  Matrix out(1, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* d = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) out(0, c) += d[c];
+  }
+  return out;
+}
+
+void Matrix::Zero() {
+  for (double& v : data_) v = 0.0;
+}
+
+double Matrix::Norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double SquaredL2(const std::vector<double>& a, const std::vector<double>& b) {
+  AUTOCE_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  return std::sqrt(SquaredL2(a, b));
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  AUTOCE_CHECK(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na < 1e-24 || nb < 1e-24) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace autoce::nn

@@ -1,0 +1,110 @@
+#ifndef AUTOCE_NN_MATRIX_H_
+#define AUTOCE_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace autoce::nn {
+
+/// \brief Dense row-major double matrix — the tensor type of the NN
+/// substrate.
+///
+/// All learned components in this library (MSCN, LW-NN, the NeuroCard-style
+/// autoregressive model, the GIN graph encoder) are built on this type with
+/// hand-written backpropagation; there is no external ML dependency.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  /// Builds a matrix from nested initializer data (row major).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Xavier/Glorot-uniform initialization for a (rows x cols) weight.
+  static Matrix Xavier(size_t rows, size_t cols, Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Row `r` as a copy.
+  std::vector<double> Row(size_t r) const;
+
+  /// Overwrites row `r` with `v` (v.size() must equal cols()).
+  void SetRow(size_t r, const std::vector<double>& v);
+
+  /// this * other  (rows x other.cols).
+  Matrix MatMul(const Matrix& other) const;
+
+  /// this^T * other.
+  Matrix TransposeMatMul(const Matrix& other) const;
+
+  /// this * other^T.
+  Matrix MatMulTranspose(const Matrix& other) const;
+
+  Matrix Transposed() const;
+
+  /// Elementwise operations (shapes must match).
+  Matrix& AddInPlace(const Matrix& other);
+  Matrix& SubInPlace(const Matrix& other);
+  Matrix& MulInPlace(const Matrix& other);  // Hadamard
+  Matrix& ScaleInPlace(double s);
+
+  /// Adds `row` (1 x cols) to every row; broadcast bias add.
+  Matrix& AddRowBroadcast(const Matrix& row);
+
+  /// Column-wise sum producing a (1 x cols) matrix.
+  Matrix ColSum() const;
+
+  /// Sets all elements to zero.
+  void Zero();
+
+  /// Frobenius norm.
+  double Norm() const;
+
+  /// Sum of all elements.
+  double Sum() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Squared L2 distance between two equal-length vectors.
+double SquaredL2(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean distance between two equal-length vectors.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Cosine similarity; 0 when either vector is all-zero.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace autoce::nn
+
+#endif  // AUTOCE_NN_MATRIX_H_

@@ -1,0 +1,99 @@
+#include "query/featurize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autoce::query {
+
+QueryFeaturizer::QueryFeaturizer(const data::Dataset* dataset)
+    : dataset_(dataset),
+      num_tables_(static_cast<size_t>(dataset->NumTables())),
+      num_joins_(dataset->foreign_keys().size()) {
+  col_offsets_.reserve(num_tables_ + 1);
+  size_t off = 0;
+  for (int t = 0; t < dataset->NumTables(); ++t) {
+    col_offsets_.push_back(off);
+    off += static_cast<size_t>(dataset->table(t).NumColumns());
+  }
+  col_offsets_.push_back(off);
+}
+
+size_t QueryFeaturizer::GlobalColumn(int table, int column) const {
+  AUTOCE_CHECK(table >= 0 && static_cast<size_t>(table) < num_tables_);
+  return col_offsets_[static_cast<size_t>(table)] +
+         static_cast<size_t>(column);
+}
+
+double QueryFeaturizer::NormalizeValue(int table, int column,
+                                       int32_t v) const {
+  const data::Column& col =
+      dataset_->table(table).columns[static_cast<size_t>(column)];
+  if (col.domain_size <= 1) return 0.0;
+  double norm = static_cast<double>(v - 1) /
+                static_cast<double>(col.domain_size - 1);
+  return std::clamp(norm, 0.0, 1.0);
+}
+
+std::vector<double> QueryFeaturizer::FlatEncode(const Query& q) const {
+  std::vector<double> out(flat_dim(), 0.0);
+  for (int t : q.tables) out[static_cast<size_t>(t)] = 1.0;
+  // Default bounds: unused columns encode the full range [0, 1] with
+  // used = 0; columns of used tables also default to the full range.
+  for (size_t c = 0; c < num_columns(); ++c) {
+    out[num_tables_ + 3 * c + 1] = 0.0;  // lo
+    out[num_tables_ + 3 * c + 2] = 1.0;  // hi
+  }
+  for (const auto& p : q.predicates) {
+    size_t c = GlobalColumn(p.table, p.column);
+    double lo = NormalizeValue(p.table, p.column, p.lo);
+    double hi = NormalizeValue(p.table, p.column, p.hi);
+    size_t base = num_tables_ + 3 * c;
+    out[base] = 1.0;
+    // Conjunctive predicates on the same column intersect.
+    out[base + 1] = std::max(out[base + 1], lo);
+    out[base + 2] = std::min(out[base + 2], hi);
+  }
+  return out;
+}
+
+QueryFeaturizer::SetEncoding QueryFeaturizer::SetEncode(
+    const Query& q) const {
+  SetEncoding enc;
+  for (int t : q.tables) {
+    std::vector<double> one(num_tables_, 0.0);
+    one[static_cast<size_t>(t)] = 1.0;
+    enc.tables.push_back(std::move(one));
+  }
+  for (const auto& j : q.joins) {
+    std::vector<double> one(join_element_dim(), 0.0);
+    for (size_t i = 0; i < dataset_->foreign_keys().size(); ++i) {
+      if (dataset_->foreign_keys()[i] == j) {
+        one[i] = 1.0;
+        break;
+      }
+    }
+    enc.joins.push_back(std::move(one));
+  }
+  for (const auto& p : q.predicates) {
+    std::vector<double> v(pred_element_dim(), 0.0);
+    v[GlobalColumn(p.table, p.column)] = 1.0;
+    size_t op_base = num_columns();
+    v[op_base + static_cast<size_t>(p.op)] = 1.0;
+    v[op_base + 4] = NormalizeValue(p.table, p.column, p.lo);
+    v[op_base + 5] = NormalizeValue(p.table, p.column, p.hi);
+    enc.predicates.push_back(std::move(v));
+  }
+  return enc;
+}
+
+double LogCardinality(double card) {
+  return std::log(std::max(card, 1.0));
+}
+
+double CardinalityFromLog(double log_card) {
+  return std::max(std::exp(log_card), 0.0);
+}
+
+}  // namespace autoce::query

@@ -1,0 +1,72 @@
+#ifndef AUTOCE_QUERY_FEATURIZE_H_
+#define AUTOCE_QUERY_FEATURIZE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "query/query.h"
+
+namespace autoce::query {
+
+/// \brief Dataset-specific query encoder shared by the query-driven CE
+/// models (MSCN, LW-NN, LW-XGB).
+///
+/// Two encodings are provided:
+///  * `FlatEncode` — a fixed-width vector (LW-style, Dutt et al.): a
+///    table-usage one-hot followed, for every column of the dataset, by
+///    [used, lo_norm, hi_norm].
+///  * `SetEncode` — MSCN-style set encoding (Kipf et al.): one element per
+///    used table (one-hot), per join (one-hot over schema FK edges), and
+///    per predicate (column one-hot + op one-hot + normalized bounds).
+///
+/// The featurizer holds a pointer to the dataset; it must outlive the
+/// featurizer.
+class QueryFeaturizer {
+ public:
+  explicit QueryFeaturizer(const data::Dataset* dataset);
+
+  size_t num_tables() const { return num_tables_; }
+  size_t num_columns() const { return col_offsets_.back(); }
+  size_t num_joins() const { return num_joins_; }
+
+  /// Width of FlatEncode vectors: T + 3C.
+  size_t flat_dim() const { return num_tables_ + 3 * num_columns(); }
+
+  /// Per-element widths of the set encoding.
+  size_t table_element_dim() const { return num_tables_; }
+  size_t join_element_dim() const { return num_joins_ == 0 ? 1 : num_joins_; }
+  size_t pred_element_dim() const { return num_columns() + 4 + 2; }
+
+  std::vector<double> FlatEncode(const Query& q) const;
+
+  struct SetEncoding {
+    std::vector<std::vector<double>> tables;
+    std::vector<std::vector<double>> joins;
+    std::vector<std::vector<double>> predicates;
+  };
+  SetEncoding SetEncode(const Query& q) const;
+
+  /// Global column index of (table, column).
+  size_t GlobalColumn(int table, int column) const;
+
+  /// Normalizes a coded value into [0, 1] for its column.
+  double NormalizeValue(int table, int column, int32_t v) const;
+
+ private:
+  const data::Dataset* dataset_;
+  size_t num_tables_;
+  size_t num_joins_;
+  std::vector<size_t> col_offsets_;  // per table; back() = total columns
+};
+
+/// Natural-log of a cardinality, clamped at log(1) for zero counts. Used
+/// as the regression target of all query-driven models.
+double LogCardinality(double card);
+
+/// Inverse of LogCardinality with a non-negativity clamp.
+double CardinalityFromLog(double log_card);
+
+}  // namespace autoce::query
+
+#endif  // AUTOCE_QUERY_FEATURIZE_H_

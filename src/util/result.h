@@ -1,0 +1,86 @@
+#ifndef AUTOCE_UTIL_RESULT_H_
+#define AUTOCE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace autoce {
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors `arrow::Result`: functions that produce a value but can fail
+/// return `Result<T>`. Accessing the value of an errored result aborts in
+/// debug builds (callers must check `ok()` first or use ValueOrDie in
+/// contexts where failure is a programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Alias matching arrow::Result spelling.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out; requires ok().
+  T MoveValueUnsafe() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace autoce
+
+/// Assigns the value of a Result-returning expression to `lhs`, or
+/// propagates the error status from the enclosing function.
+#define AUTOCE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = tmp.MoveValueUnsafe()
+
+#define AUTOCE_ASSIGN_OR_RETURN(lhs, rexpr) \
+  AUTOCE_ASSIGN_OR_RETURN_IMPL(             \
+      AUTOCE_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define AUTOCE_CONCAT_INNER_(a, b) a##b
+#define AUTOCE_CONCAT_(a, b) AUTOCE_CONCAT_INNER_(a, b)
+
+#endif  // AUTOCE_UTIL_RESULT_H_

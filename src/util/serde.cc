@@ -1,0 +1,119 @@
+#include "util/serde.h"
+
+namespace autoce {
+
+namespace {
+constexpr size_t kMaxStringBytes = 1 << 20;   // 1 MiB names are plenty
+constexpr size_t kMaxVectorElems = 1 << 28;
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::Internal("cannot open for writing: " + path);
+  }
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t bytes) {
+  if (!status_.ok() || file_ == nullptr) return;
+  if (std::fwrite(data, 1, bytes, file_) != bytes) {
+    status_ = Status::Internal("short write");
+  }
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::WriteDoubles(const std::vector<double>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size() * sizeof(double));
+}
+
+Status BinaryWriter::Close() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::Internal("close failed");
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    status_ = Status::NotFound("cannot open for reading: " + path);
+  }
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryReader::ReadRaw(void* data, size_t bytes) {
+  if (!status_.ok() || file_ == nullptr) return;
+  if (std::fread(data, 1, bytes, file_) != bytes) {
+    status_ = Status::Internal("short read (truncated or corrupt file)");
+  }
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+int64_t BinaryReader::ReadI64() {
+  int64_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+double BinaryReader::ReadDouble() {
+  double v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  uint64_t n = ReadU64();
+  if (!status_.ok()) return {};
+  if (n > kMaxStringBytes) {
+    status_ = Status::Internal("string too large (corrupt file)");
+    return {};
+  }
+  std::string s(n, '\0');
+  ReadRaw(s.data(), n);
+  return s;
+}
+
+std::vector<double> BinaryReader::ReadDoubles() {
+  uint64_t n = ReadU64();
+  if (!status_.ok()) return {};
+  if (n > kMaxVectorElems) {
+    status_ = Status::Internal("vector too large (corrupt file)");
+    return {};
+  }
+  std::vector<double> v(n);
+  ReadRaw(v.data(), n * sizeof(double));
+  return v;
+}
+
+}  // namespace autoce

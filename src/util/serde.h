@@ -1,0 +1,75 @@
+#ifndef AUTOCE_UTIL_SERDE_H_
+#define AUTOCE_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace autoce {
+
+/// \brief Little binary writer for model persistence.
+///
+/// All multi-byte values are written in the host byte order with fixed
+/// widths; files carry a magic + version header written by the caller.
+/// Errors are sticky: after the first failure every subsequent write is
+/// a no-op and `status()` reports the original error.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing (truncates).
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteDoubles(const std::vector<double>& v);
+
+  /// Flushes and closes; returns the sticky status.
+  Status Close();
+  const Status& status() const { return status_; }
+
+ private:
+  void WriteRaw(const void* data, size_t bytes);
+
+  FILE* file_ = nullptr;
+  Status status_;
+};
+
+/// \brief Matching reader; errors are sticky and reads after a failure
+/// return zero values.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+  ~BinaryReader();
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int64_t ReadI64();
+  double ReadDouble();
+  std::string ReadString();
+  std::vector<double> ReadDoubles();
+
+  const Status& status() const { return status_; }
+
+ private:
+  void ReadRaw(void* data, size_t bytes);
+
+  FILE* file_ = nullptr;
+  Status status_;
+};
+
+}  // namespace autoce
+
+#endif  // AUTOCE_UTIL_SERDE_H_

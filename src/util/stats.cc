@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autoce {
+namespace stats {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double Skewness(const std::vector<double>& v) {
+  if (v.size() < 3) return 0.0;
+  double m = Mean(v);
+  double sd = StdDev(v);
+  if (sd < 1e-12) return 0.0;
+  double s = 0.0;
+  for (double x : v) {
+    double z = (x - m) / sd;
+    s += z * z * z;
+  }
+  return s / static_cast<double>(v.size());
+}
+
+double Kurtosis(const std::vector<double>& v) {
+  if (v.size() < 4) return 0.0;
+  double m = Mean(v);
+  double sd = StdDev(v);
+  if (sd < 1e-12) return 0.0;
+  double s = 0.0;
+  for (double x : v) {
+    double z = (x - m) / sd;
+    s += z * z * z * z;
+  }
+  return s / static_cast<double>(v.size()) - 3.0;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  double ma = Mean(a), mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = a[i] - ma, db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va < 1e-12 || vb < 1e-12) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double PositionalMatchRatio(const std::vector<int32_t>& a,
+                            const std::vector<int32_t>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(a.size());
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(v.begin(), v.end());
+  double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Min(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return *std::max_element(v.begin(), v.end());
+}
+
+double GeometricMean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += std::log(std::max(x, 1e-300));
+  return std::exp(s / static_cast<double>(v.size()));
+}
+
+}  // namespace stats
+}  // namespace autoce

@@ -1,0 +1,90 @@
+#ifndef AUTOCE_UTIL_STATUS_H_
+#define AUTOCE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace autoce {
+
+/// \brief Error categories used across the library.
+///
+/// AutoCE follows the Arrow/RocksDB convention of returning a `Status`
+/// (or `Result<T>`, see result.h) from any operation that can fail, instead
+/// of throwing exceptions across public API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kNotImplemented,
+};
+
+/// \brief A success-or-error outcome carrying a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: k must be >= 1".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Returns the canonical name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+}  // namespace autoce
+
+/// Evaluates an expression returning Status and propagates any error.
+#define AUTOCE_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::autoce::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#endif  // AUTOCE_UTIL_STATUS_H_

@@ -1,0 +1,37 @@
+#ifndef AUTOCE_UTIL_TIMER_H_
+#define AUTOCE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace autoce {
+
+/// \brief Monotonic wall-clock stopwatch.
+///
+/// Used to measure CE-model inference latency (paper's T_mean metric) and
+/// the end-to-end latency of plan execution in the engine substrate.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace autoce
+
+#endif  // AUTOCE_UTIL_TIMER_H_

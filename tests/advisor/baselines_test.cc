@@ -1,0 +1,143 @@
+#include "advisor/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+
+namespace autoce::advisor {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(77);
+    data::DatasetGenParams gen;
+    gen.min_tables = 1;
+    gen.max_tables = 3;
+    gen.min_rows = 250;
+    gen.max_rows = 500;
+    auto datasets = data::GenerateCorpus(gen, 16, &rng);
+
+    ce::TestbedConfig testbed;
+    testbed.num_train_queries = 30;
+    testbed.num_test_queries = 15;
+    featgraph::FeatureExtractor extractor;
+    corpus_ =
+        new LabeledCorpus(LabelCorpus(std::move(datasets), testbed, extractor));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static LabeledCorpus* corpus_;
+};
+
+LabeledCorpus* BaselinesTest::corpus_ = nullptr;
+
+TEST_F(BaselinesTest, RuleSelectorRespectsTableCount) {
+  RuleSelector rule(5);
+  ASSERT_TRUE(rule.Fit(*corpus_).ok());
+  std::set<ce::ModelId> data_driven{ce::ModelId::kDeepDb,
+                                    ce::ModelId::kBayesCard,
+                                    ce::ModelId::kNeuroCard};
+  std::set<ce::ModelId> query_driven{ce::ModelId::kMscn, ce::ModelId::kLwNn,
+                                     ce::ModelId::kLwXgb};
+  for (size_t i = 0; i < corpus_->size(); ++i) {
+    auto rec =
+        rule.Recommend(corpus_->datasets[i], corpus_->graphs[i], 1.0);
+    ASSERT_TRUE(rec.ok());
+    if (corpus_->datasets[i].NumTables() == 1) {
+      EXPECT_TRUE(data_driven.count(*rec));
+    } else {
+      EXPECT_TRUE(query_driven.count(*rec));
+    }
+  }
+}
+
+TEST_F(BaselinesTest, KnnSelectorRecommends) {
+  KnnSelector knn;
+  ASSERT_TRUE(knn.Fit(*corpus_).ok());
+  for (size_t i = 0; i < 5; ++i) {
+    auto rec = knn.Recommend(corpus_->datasets[i], corpus_->graphs[i], 0.9);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_LT(static_cast<int>(*rec), ce::kNumModels);
+  }
+}
+
+TEST_F(BaselinesTest, KnnSelectorUnfittedFails) {
+  KnnSelector knn;
+  auto rec = knn.Recommend(corpus_->datasets[0], corpus_->graphs[0], 0.9);
+  EXPECT_FALSE(rec.ok());
+}
+
+TEST_F(BaselinesTest, MlpSelectorLearnsTrainingCorpus) {
+  MlpSelector::Config cfg;
+  cfg.epochs = 30;
+  cfg.gin.hidden = 16;
+  cfg.gin.embedding_dim = 8;
+  MlpSelector mlp(cfg);
+  ASSERT_TRUE(mlp.Fit(*corpus_).ok());
+  // The classifier should recover the best model for a decent share of
+  // its own training set (better than the 1/7 random-guess rate).
+  int hits = 0;
+  for (size_t i = 0; i < corpus_->size(); ++i) {
+    auto rec = mlp.Recommend(corpus_->datasets[i], corpus_->graphs[i], 1.0);
+    ASSERT_TRUE(rec.ok());
+    if (*rec == corpus_->labels[i].BestModel(1.0)) ++hits;
+  }
+  EXPECT_GT(hits, static_cast<int>(corpus_->size() / 5));
+}
+
+TEST_F(BaselinesTest, MseRegressorFitsAndRecommends) {
+  MseRegressorSelector::Config cfg;
+  cfg.epochs = 20;
+  cfg.gin.hidden = 16;
+  cfg.gin.embedding_dim = 8;
+  MseRegressorSelector reg(cfg);
+  ASSERT_TRUE(reg.Fit(*corpus_).ok());
+  auto rec = reg.Recommend(corpus_->datasets[0], corpus_->graphs[0], 0.5);
+  ASSERT_TRUE(rec.ok());
+}
+
+TEST_F(BaselinesTest, SamplingSelectorPicksReasonableModel) {
+  SamplingSelector::Config cfg;
+  cfg.testbed.num_train_queries = 20;
+  cfg.testbed.num_test_queries = 10;
+  SamplingSelector sampling(cfg);
+  ASSERT_TRUE(sampling.Fit(*corpus_).ok());
+  auto rec =
+      sampling.Recommend(corpus_->datasets[0], corpus_->graphs[0], 1.0);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_LT(static_cast<int>(*rec), ce::kNumModels);
+}
+
+TEST(SampleDatasetTest, PreservesSchemaAndShrinksRows) {
+  Rng rng(9);
+  data::DatasetGenParams gen;
+  gen.min_tables = gen.max_tables = 3;
+  gen.min_rows = gen.max_rows = 1000;
+  data::Dataset ds = data::GenerateDataset(gen, &rng);
+  data::Dataset sample = SampleDataset(ds, 0.1, 200, &rng);
+  EXPECT_EQ(sample.NumTables(), ds.NumTables());
+  EXPECT_EQ(sample.foreign_keys().size(), ds.foreign_keys().size());
+  for (int t = 0; t < sample.NumTables(); ++t) {
+    EXPECT_LT(sample.table(t).NumRows(), ds.table(t).NumRows());
+    EXPECT_EQ(sample.table(t).NumColumns(), ds.table(t).NumColumns());
+  }
+}
+
+TEST(SampleDatasetTest, RespectsMaxRows) {
+  Rng rng(10);
+  data::DatasetGenParams gen;
+  gen.min_tables = gen.max_tables = 1;
+  gen.min_rows = gen.max_rows = 5000;
+  data::Dataset ds = data::GenerateDataset(gen, &rng);
+  data::Dataset sample = SampleDataset(ds, 0.9, 300, &rng);
+  EXPECT_EQ(sample.table(0).NumRows(), 300);
+}
+
+}  // namespace
+}  // namespace autoce::advisor

@@ -1,0 +1,112 @@
+#include "advisor/label.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace autoce::advisor {
+namespace {
+
+ce::TestbedResult FakeResult(std::vector<double> qerrors,
+                             std::vector<double> latencies) {
+  ce::TestbedResult r;
+  for (size_t i = 0; i < qerrors.size(); ++i) {
+    ce::ModelPerformance perf;
+    perf.id = static_cast<ce::ModelId>(i);
+    perf.qerror.mean = qerrors[i];
+    perf.latency_mean_ms = latencies[i];
+    perf.trained_ok = true;
+    r.models.push_back(perf);
+  }
+  return r;
+}
+
+TEST(LabelTest, BestQErrorGetsAccuracyOne) {
+  auto r = FakeResult({1.5, 10, 100, 2, 3, 4, 5}, {1, 1, 1, 1, 1, 1, 1});
+  DatasetLabel label = MakeLabel(r);
+  EXPECT_DOUBLE_EQ(label.accuracy_score[0], 1.0);   // best q-error
+  EXPECT_DOUBLE_EQ(label.accuracy_score[2], kScoreFloor);  // worst
+  EXPECT_GT(label.accuracy_score[3], label.accuracy_score[1]);
+  // Equal latencies: efficiency degenerates to 1 for all.
+  for (int m = 0; m < ce::kNumModels; ++m) {
+    EXPECT_DOUBLE_EQ(label.efficiency_score[static_cast<size_t>(m)], 1.0);
+  }
+}
+
+TEST(LabelTest, FastestGetsEfficiencyOne) {
+  auto r = FakeResult({2, 2, 2, 2, 2, 2, 2}, {0.01, 0.1, 1, 10, 5, 2, 0.5});
+  DatasetLabel label = MakeLabel(r);
+  EXPECT_DOUBLE_EQ(label.efficiency_score[0], 1.0);
+  EXPECT_DOUBLE_EQ(label.efficiency_score[3], kScoreFloor);
+}
+
+TEST(LabelTest, ScoreVectorInterpolatesWeights) {
+  auto r = FakeResult({1, 100, 2, 3, 4, 5, 6}, {10, 0.01, 1, 1, 1, 1, 1});
+  DatasetLabel label = MakeLabel(r);
+  // Model 0: most accurate but slowest; model 1: fastest but least
+  // accurate.
+  EXPECT_EQ(label.BestModel(1.0), static_cast<ce::ModelId>(0));
+  EXPECT_EQ(label.BestModel(0.0), static_cast<ce::ModelId>(1));
+  auto mid = label.ScoreVector(0.5);
+  EXPECT_EQ(mid.size(), static_cast<size_t>(ce::kNumModels));
+  for (double v : mid) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(LabelTest, DErrorZeroForOptimal) {
+  auto r = FakeResult({1, 5, 10, 3, 4, 6, 7}, {1, 1, 1, 1, 1, 1, 1});
+  DatasetLabel label = MakeLabel(r);
+  EXPECT_DOUBLE_EQ(label.DError(label.BestModel(1.0), 1.0), 0.0);
+  // A suboptimal choice has strictly positive D-error.
+  EXPECT_GT(label.DError(static_cast<ce::ModelId>(2), 1.0), 0.0);
+}
+
+TEST(LabelTest, DErrorMonotoneInScore) {
+  auto r = FakeResult({1, 2, 4, 8, 16, 32, 64}, {1, 1, 1, 1, 1, 1, 1});
+  DatasetLabel label = MakeLabel(r);
+  double prev = -1;
+  for (int m = 0; m < ce::kNumModels; ++m) {
+    double d = label.DError(static_cast<ce::ModelId>(m), 1.0);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(LabelTest, ConcatScoresLayout) {
+  auto r = FakeResult({1, 2, 3, 4, 5, 6, 7}, {7, 6, 5, 4, 3, 2, 1});
+  DatasetLabel label = MakeLabel(r);
+  auto concat = label.ConcatScores({1.0, 0.5});
+  ASSERT_EQ(concat.size(), 2u * ce::kNumModels);
+  auto first = label.ScoreVector(1.0);
+  for (int m = 0; m < ce::kNumModels; ++m) {
+    EXPECT_DOUBLE_EQ(concat[static_cast<size_t>(m)],
+                     first[static_cast<size_t>(m)]);
+  }
+}
+
+TEST(LabelTest, MixupInterpolates) {
+  auto ra = FakeResult({1, 2, 3, 4, 5, 6, 7}, {1, 1, 1, 1, 1, 1, 1});
+  auto rb = FakeResult({7, 6, 5, 4, 3, 2, 1}, {2, 2, 2, 2, 2, 2, 2});
+  DatasetLabel a = MakeLabel(ra);
+  DatasetLabel b = MakeLabel(rb);
+  DatasetLabel m = DatasetLabel::Mixup(a, b, 0.5);
+  for (size_t i = 0; i < ce::kNumModels; ++i) {
+    EXPECT_NEAR(m.accuracy_score[i],
+                0.5 * (a.accuracy_score[i] + b.accuracy_score[i]), 1e-12);
+  }
+  DatasetLabel ma = DatasetLabel::Mixup(a, b, 1.0);
+  EXPECT_DOUBLE_EQ(ma.accuracy_score[0], a.accuracy_score[0]);
+}
+
+TEST(LabelTest, FailedModelGetsWorstScores) {
+  auto r = FakeResult({2, 3, 4, 5, 6, 7, 1e9}, {1, 1, 1, 1, 1, 1, 1e9});
+  DatasetLabel label = MakeLabel(r);
+  EXPECT_DOUBLE_EQ(label.accuracy_score[6], kScoreFloor);
+  EXPECT_NE(label.BestModel(1.0), static_cast<ce::ModelId>(6));
+  EXPECT_NE(label.BestModel(0.0), static_cast<ce::ModelId>(6));
+}
+
+}  // namespace
+}  // namespace autoce::advisor

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "advisor/autoce.h"
+#include "data/generator.h"
+
+namespace autoce::advisor {
+namespace {
+
+/// Builds a tiny corpus with synthetic labels (no testbed run needed):
+/// label structure only has to be internally consistent for persistence
+/// round-trip checks.
+struct TinyCorpus {
+  std::vector<featgraph::FeatureGraph> graphs;
+  std::vector<DatasetLabel> labels;
+};
+
+TinyCorpus MakeTinyCorpus(int n) {
+  TinyCorpus out;
+  featgraph::FeatureExtractor fx;
+  Rng rng(8);
+  for (int i = 0; i < n; ++i) {
+    data::DatasetGenParams p;
+    p.min_tables = 1;
+    p.max_tables = 3;
+    p.min_rows = 100;
+    p.max_rows = 250;
+    Rng child = rng.Fork(static_cast<uint64_t>(i));
+    out.graphs.push_back(fx.Extract(data::GenerateDataset(p, &child)));
+    DatasetLabel label;
+    for (size_t m = 0; m < ce::kNumModels; ++m) {
+      label.accuracy_score[m] = child.Uniform(0.1, 1.0);
+      label.efficiency_score[m] = child.Uniform(0.1, 1.0);
+      label.qerror_mean[m] = child.Uniform(1.0, 50.0);
+      label.latency_ms[m] = child.Uniform(0.1, 100.0);
+    }
+    out.labels.push_back(label);
+  }
+  return out;
+}
+
+TEST(PersistenceTest, SaveLoadRoundTripPreservesRecommendations) {
+  TinyCorpus corpus = MakeTinyCorpus(16);
+  AutoCeConfig cfg;
+  cfg.dml.epochs = 8;
+  cfg.gin.hidden = 12;
+  cfg.gin.embedding_dim = 6;
+  cfg.knn_k = 3;
+  AutoCe advisor(cfg);
+  ASSERT_TRUE(advisor.Fit(corpus.graphs, corpus.labels).ok());
+
+  std::string path = std::string(::testing::TempDir()) + "/advisor.ace";
+  ASSERT_TRUE(advisor.Save(path).ok());
+
+  auto loaded = AutoCe::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->RcsSize(), advisor.RcsSize());
+  EXPECT_NEAR(loaded->DriftThreshold(), advisor.DriftThreshold(), 1e-9);
+  EXPECT_EQ(loaded->config().knn_k, 3);
+
+  // Every recommendation must match exactly (same embeddings, same RCS).
+  TinyCorpus probes = MakeTinyCorpus(6);
+  for (const auto& g : probes.graphs) {
+    for (double w : {1.0, 0.7, 0.3}) {
+      auto a = advisor.Recommend(g, w);
+      auto b = loaded->Recommend(g, w);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(a->model, b->model);
+      EXPECT_EQ(a->neighbors, b->neighbors);
+      for (size_t m = 0; m < a->score_vector.size(); ++m) {
+        EXPECT_NEAR(a->score_vector[m], b->score_vector[m], 1e-12);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, LoadedAdvisorSupportsOnlineUpdates) {
+  TinyCorpus corpus = MakeTinyCorpus(12);
+  AutoCeConfig cfg;
+  cfg.dml.epochs = 6;
+  cfg.gin.hidden = 12;
+  cfg.gin.embedding_dim = 6;
+  AutoCe advisor(cfg);
+  ASSERT_TRUE(advisor.Fit(corpus.graphs, corpus.labels).ok());
+  std::string path = std::string(::testing::TempDir()) + "/advisor2.ace";
+  ASSERT_TRUE(advisor.Save(path).ok());
+  auto loaded = AutoCe::Load(path);
+  ASSERT_TRUE(loaded.ok());
+
+  TinyCorpus extra = MakeTinyCorpus(1);
+  size_t before = loaded->RcsSize();
+  ASSERT_TRUE(
+      loaded->AddLabeledSample(extra.graphs[0], extra.labels[0]).ok());
+  EXPECT_EQ(loaded->RcsSize(), before + 1);
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, UnfittedAdvisorRefusesToSave) {
+  AutoCe advisor;
+  EXPECT_FALSE(advisor.Save("/tmp/never.ace").ok());
+}
+
+TEST(PersistenceTest, LoadRejectsGarbageFile) {
+  std::string path = std::string(::testing::TempDir()) + "/garbage.ace";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("this is not a model file", f);
+  std::fclose(f);
+  auto loaded = AutoCe::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, LoadRejectsMissingFile) {
+  auto loaded = AutoCe::Load("/nonexistent/advisor.ace");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace autoce::advisor

@@ -1,0 +1,205 @@
+// Property-based tests over the CE substrate: invariants that must hold
+// for any model and any dataset (bounds, monotonicity, consistency).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ce/bayescard.h"
+#include "ce/estimator.h"
+#include "ce/spn.h"
+#include "ce/testbed.h"
+#include "data/generator.h"
+#include "engine/executor.h"
+
+namespace autoce::ce {
+namespace {
+
+data::Dataset MakeDs(uint64_t seed, int tables, int64_t rows) {
+  Rng rng(seed);
+  data::DatasetGenParams p;
+  p.min_tables = p.max_tables = tables;
+  p.min_rows = p.max_rows = rows;
+  p.min_columns = 2;
+  p.max_columns = 3;
+  return data::GenerateDataset(p, &rng);
+}
+
+// ---------- SPN probability axioms ----------
+
+class SpnPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpnPropertyTest, ProbabilitiesAreBoundedAndMonotone) {
+  Rng rng(GetParam());
+  data::SingleTableParams tp;
+  tp.num_columns = 3;
+  tp.num_rows = 1500;
+  tp.min_domain = 50;
+  tp.max_domain = 400;
+  data::Table t = data::GenerateSingleTable(tp, &rng);
+  SumProductNetwork spn;
+  spn.Fit(t, {0, 1, 2}, {}, &rng);
+
+  const auto& col = t.columns[0];
+  int32_t mid = col.domain_size / 2;
+  query::Predicate narrow{0, 0, query::PredOp::kRange, mid, mid};
+  query::Predicate wide{0, 0, query::PredOp::kRange, 1, col.domain_size};
+
+  double p_narrow = spn.Probability({narrow});
+  double p_wide = spn.Probability({wide});
+  EXPECT_GE(p_narrow, 0.0);
+  EXPECT_LE(p_narrow, 1.0);
+  EXPECT_LE(p_narrow, p_wide + 1e-9);  // monotone in range width
+  EXPECT_NEAR(p_wide, 1.0, 1e-6);      // full range = everything
+
+  // Conjunction never exceeds either conjunct.
+  query::Predicate other{0, 1, query::PredOp::kLe, 1,
+                         t.columns[1].domain_size / 2};
+  double p_conj = spn.Probability({narrow, other});
+  EXPECT_LE(p_conj, p_narrow + 1e-9);
+  EXPECT_LE(p_conj, spn.Probability({other}) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpnPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------- BayesNet probability axioms ----------
+
+class BayesNetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BayesNetPropertyTest, ProbabilitiesAreBoundedAndMonotone) {
+  Rng rng(GetParam());
+  data::SingleTableParams tp;
+  tp.num_columns = 4;
+  tp.num_rows = 1200;
+  data::Table t = data::GenerateSingleTable(tp, &rng);
+  BayesNet bn;
+  bn.Fit(t, {0, 1, 2, 3}, {});
+
+  for (int c = 0; c < 4; ++c) {
+    int32_t domain = t.columns[static_cast<size_t>(c)].domain_size;
+    query::Predicate half{0, c, query::PredOp::kLe, 1, domain / 2};
+    query::Predicate full{0, c, query::PredOp::kRange, 1, domain};
+    double p_half = bn.Probability({half});
+    double p_full = bn.Probability({full});
+    EXPECT_GE(p_half, 0.0);
+    EXPECT_LE(p_half, 1.0 + 1e-9);
+    EXPECT_LE(p_half, p_full + 1e-9);
+    EXPECT_NEAR(p_full, 1.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BayesNetPropertyTest,
+                         ::testing::Values(5, 6, 7));
+
+// ---------- Cross-model invariants ----------
+
+class ModelInvariantTest
+    : public ::testing::TestWithParam<std::tuple<ModelId, uint64_t>> {};
+
+TEST_P(ModelInvariantTest, FullRangePredicateNearTableSize) {
+  auto [id, seed] = GetParam();
+  data::Dataset ds = MakeDs(seed, 1, 1200);
+  Rng rng(seed + 1);
+  query::WorkloadParams wp;
+  wp.num_queries = 80;
+  auto train = query::GenerateWorkload(ds, wp, &rng);
+  auto cards = engine::TrueCardinalities(ds, train);
+  TrainContext ctx;
+  ctx.dataset = &ds;
+  ctx.train_queries = &train;
+  ctx.train_cards = &cards;
+  auto model = CreateModel(id, ModelTrainingScale::Fast());
+  ASSERT_TRUE(model->Train(ctx).ok());
+
+  // A query whose predicate covers the entire domain selects all rows;
+  // every model must estimate within a modest factor of the table size.
+  query::Query q;
+  q.tables = {0};
+  query::Predicate p{0, 0, query::PredOp::kRange, 1,
+                     ds.table(0).columns[0].domain_size};
+  q.predicates = {p};
+  double est = model->EstimateCardinality(q);
+  double rows = static_cast<double>(ds.table(0).NumRows());
+  EXPECT_GT(est, rows / 25.0) << ModelName(id);
+  EXPECT_LT(est, rows * 25.0) << ModelName(id);
+}
+
+TEST_P(ModelInvariantTest, EstimatesAreDeterministicAcrossInstances) {
+  auto [id, seed] = GetParam();
+  data::Dataset ds = MakeDs(seed, 1, 600);
+  Rng rng(seed + 2);
+  query::WorkloadParams wp;
+  wp.num_queries = 50;
+  auto train = query::GenerateWorkload(ds, wp, &rng);
+  auto cards = engine::TrueCardinalities(ds, train);
+  TrainContext ctx;
+  ctx.dataset = &ds;
+  ctx.train_queries = &train;
+  ctx.train_cards = &cards;
+  ctx.seed = 777;
+
+  auto a = CreateModel(id, ModelTrainingScale::Fast());
+  auto b = CreateModel(id, ModelTrainingScale::Fast());
+  ASSERT_TRUE(a->Train(ctx).ok());
+  ASSERT_TRUE(b->Train(ctx).ok());
+  // Same seed, same data: training is bit-for-bit reproducible. Sampling
+  // models draw from an internal stream at inference, so compare the
+  // FIRST estimate of each fresh instance.
+  double ea = a->EstimateCardinality(train[0]);
+  double eb = b->EstimateCardinality(train[0]);
+  EXPECT_DOUBLE_EQ(ea, eb) << ModelName(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsTimesSeeds, ModelInvariantTest,
+    ::testing::Combine(::testing::ValuesIn(AllModels()),
+                       ::testing::Values<uint64_t>(910, 911)),
+    [](const ::testing::TestParamInfo<std::tuple<ModelId, uint64_t>>& info) {
+      std::string n = ModelName(std::get<0>(info.param));
+      n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+      return n + "_" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------- Testbed latency emulation ----------
+
+TEST(TestbedLatencyTest, ReferenceEmulationPreservesPaperOrdering) {
+  data::Dataset ds = MakeDs(12, 1, 500);
+  TestbedConfig cfg;
+  cfg.num_train_queries = 30;
+  cfg.num_test_queries = 15;
+  cfg.emulate_reference_latency = true;
+  auto result = RunTestbed(ds, cfg);
+  ASSERT_TRUE(result.ok());
+  std::array<double, kNumModels> lat{};
+  for (const auto& perf : result->models) {
+    lat[static_cast<size_t>(perf.id)] = perf.latency_mean_ms;
+  }
+  // Paper Table V ordering: LW-NN < MSCN < LW-XGB < DeepDB < BayesCard
+  // < UAE ~ NeuroCard.
+  EXPECT_LT(lat[static_cast<size_t>(ModelId::kLwNn)],
+            lat[static_cast<size_t>(ModelId::kMscn)]);
+  EXPECT_LT(lat[static_cast<size_t>(ModelId::kMscn)],
+            lat[static_cast<size_t>(ModelId::kDeepDb)]);
+  EXPECT_LT(lat[static_cast<size_t>(ModelId::kDeepDb)],
+            lat[static_cast<size_t>(ModelId::kBayesCard)]);
+  EXPECT_LT(lat[static_cast<size_t>(ModelId::kBayesCard)],
+            lat[static_cast<size_t>(ModelId::kNeuroCard)]);
+}
+
+TEST(TestbedLatencyTest, RawModeIsMuchFaster) {
+  data::Dataset ds = MakeDs(13, 1, 500);
+  TestbedConfig cfg;
+  cfg.num_train_queries = 30;
+  cfg.num_test_queries = 15;
+  cfg.emulate_reference_latency = false;
+  auto result = RunTestbed(ds, cfg);
+  ASSERT_TRUE(result.ok());
+  for (const auto& perf : result->models) {
+    // Real C++ inference is far below the emulated reference costs.
+    EXPECT_LT(perf.latency_mean_ms, ReferenceInferenceLatencyMs(perf.id));
+  }
+}
+
+}  // namespace
+}  // namespace autoce::ce

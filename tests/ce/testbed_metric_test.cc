@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "ce/testbed.h"
+#include "data/generator.h"
+
+namespace autoce::ce {
+namespace {
+
+TEST(QErrorMetricTest, SelectAggregate) {
+  QErrorSummary s;
+  s.mean = 2.0;
+  s.p50 = 1.5;
+  s.p95 = 9.0;
+  s.p99 = 20.0;
+  EXPECT_DOUBLE_EQ(SelectQErrorAggregate(s, QErrorMetric::kMean), 2.0);
+  EXPECT_DOUBLE_EQ(SelectQErrorAggregate(s, QErrorMetric::kP50), 1.5);
+  EXPECT_DOUBLE_EQ(SelectQErrorAggregate(s, QErrorMetric::kP95), 9.0);
+  EXPECT_DOUBLE_EQ(SelectQErrorAggregate(s, QErrorMetric::kP99), 20.0);
+}
+
+TEST(QErrorMetricTest, TestbedHonorsPercentileChoice) {
+  Rng rng(3);
+  data::DatasetGenParams p;
+  p.min_tables = p.max_tables = 1;
+  p.min_rows = p.max_rows = 600;
+  data::Dataset ds = data::GenerateDataset(p, &rng);
+
+  TestbedConfig mean_cfg;
+  mean_cfg.num_train_queries = 40;
+  mean_cfg.num_test_queries = 30;
+  mean_cfg.qerror_metric = QErrorMetric::kMean;
+  TestbedConfig p95_cfg = mean_cfg;
+  p95_cfg.qerror_metric = QErrorMetric::kP95;
+
+  auto mean_result = RunTestbed(ds, mean_cfg);
+  auto p95_result = RunTestbed(ds, p95_cfg);
+  ASSERT_TRUE(mean_result.ok() && p95_result.ok());
+  // Same training (seeds identical); the stored aggregate differs and the
+  // p95 aggregate is >= the p50 and usually > the mean slot of the
+  // mean-config run for at least one model.
+  bool any_larger = false;
+  for (size_t m = 0; m < mean_result->models.size(); ++m) {
+    EXPECT_GE(p95_result->models[m].qerror.mean + 1e-9,
+              p95_result->models[m].qerror.p50);
+    if (p95_result->models[m].qerror.mean >
+        mean_result->models[m].qerror.mean) {
+      any_larger = true;
+    }
+  }
+  EXPECT_TRUE(any_larger);
+}
+
+TEST(QErrorMetricTest, DeterministicLabelsWithEmulatedLatency) {
+  Rng rng(5);
+  data::DatasetGenParams p;
+  p.min_tables = p.max_tables = 2;
+  p.min_rows = p.max_rows = 400;
+  data::Dataset ds = data::GenerateDataset(p, &rng);
+  TestbedConfig cfg;
+  cfg.num_train_queries = 30;
+  cfg.num_test_queries = 20;
+  auto a = RunTestbed(ds, cfg);
+  auto b = RunTestbed(ds, cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t m = 0; m < a->models.size(); ++m) {
+    // Q-errors are seeded-deterministic; emulated latencies are the
+    // reference constants — labels must match bit for bit.
+    EXPECT_DOUBLE_EQ(a->models[m].qerror.mean, b->models[m].qerror.mean);
+    EXPECT_DOUBLE_EQ(a->models[m].latency_mean_ms,
+                     b->models[m].latency_mean_ms);
+  }
+}
+
+}  // namespace
+}  // namespace autoce::ce

@@ -1,0 +1,152 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/generator.h"
+
+namespace autoce::data {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(CsvLoadTest, IntegerColumnsArePreservedOrderwise) {
+  std::string path = TempPath("ints.csv");
+  WriteFile(path, "a,b\n10,5\n20,5\n15,7\n");
+  auto table = LoadCsvTable(path);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->name, "ints");
+  EXPECT_EQ(table->NumColumns(), 2);
+  EXPECT_EQ(table->NumRows(), 3);
+  // Column a: min 10 -> codes 1, 11, 6 (order preserving shift).
+  EXPECT_EQ(table->columns[0].values, (std::vector<int32_t>{1, 11, 6}));
+  EXPECT_EQ(table->columns[0].domain_size, 11);
+  // Column b: min 5 -> codes 1, 1, 3.
+  EXPECT_EQ(table->columns[1].values, (std::vector<int32_t>{1, 1, 3}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoadTest, StringsAreDictionaryEncoded) {
+  std::string path = TempPath("strings.csv");
+  WriteFile(path, "city\nparis\nlondon\nparis\ntokyo\n");
+  auto table = LoadCsvTable(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->columns[0].values, (std::vector<int32_t>{1, 2, 1, 3}));
+  EXPECT_EQ(table->columns[0].domain_size, 3);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoadTest, MixedColumnFallsBackToDictionary) {
+  std::string path = TempPath("mixed.csv");
+  WriteFile(path, "v\n1\nx\n1\n");
+  auto table = LoadCsvTable(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->columns[0].values, (std::vector<int32_t>{1, 2, 1}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoadTest, NoHeaderMode) {
+  std::string path = TempPath("nohdr.csv");
+  WriteFile(path, "1,2\n3,4\n");
+  CsvOptions opts;
+  opts.has_header = false;
+  opts.table_name = "t";
+  auto table = LoadCsvTable(path, opts);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumRows(), 2);
+  EXPECT_EQ(table->columns[0].name, "t_c0");
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoadTest, RejectsRaggedRows) {
+  std::string path = TempPath("ragged.csv");
+  WriteFile(path, "a,b\n1,2\n3\n");
+  auto table = LoadCsvTable(path);
+  EXPECT_FALSE(table.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoadTest, MissingFile) {
+  auto table = LoadCsvTable("/no/such/file.csv");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvLoadTest, EmptyFileRejected) {
+  std::string path = TempPath("empty.csv");
+  WriteFile(path, "a,b\n");
+  auto table = LoadCsvTable(path);
+  EXPECT_FALSE(table.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvRoundTripTest, SaveThenLoad) {
+  Rng rng(1);
+  SingleTableParams p;
+  p.num_columns = 3;
+  p.num_rows = 50;
+  Table t = GenerateSingleTable(p, &rng);
+  std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveCsvTable(t, path).ok());
+  auto loaded = LoadCsvTable(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumRows(), t.NumRows());
+  EXPECT_EQ(loaded->NumColumns(), t.NumColumns());
+  // Coded values are written verbatim; reloading shifts by min, so the
+  // *pairwise order relations* are preserved even if codes differ.
+  for (int c = 0; c < t.NumColumns(); ++c) {
+    const auto& a = t.columns[static_cast<size_t>(c)].values;
+    const auto& b = loaded->columns[static_cast<size_t>(c)].values;
+    for (size_t i = 1; i < a.size(); ++i) {
+      EXPECT_EQ(a[i] < a[0], b[i] < b[0]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetSerdeTest, RoundTripMultiTable) {
+  Rng rng(2);
+  DatasetGenParams p;
+  p.min_tables = p.max_tables = 3;
+  p.min_rows = 100;
+  p.max_rows = 200;
+  Dataset ds = GenerateDataset(p, &rng);
+  std::string path = TempPath("dataset.adat");
+  ASSERT_TRUE(SaveDataset(ds, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), ds.name());
+  EXPECT_EQ(loaded->NumTables(), ds.NumTables());
+  EXPECT_EQ(loaded->foreign_keys().size(), ds.foreign_keys().size());
+  EXPECT_TRUE(loaded->Validate().ok());
+  for (int t = 0; t < ds.NumTables(); ++t) {
+    EXPECT_EQ(loaded->table(t).name, ds.table(t).name);
+    EXPECT_EQ(loaded->table(t).primary_key, ds.table(t).primary_key);
+    ASSERT_EQ(loaded->table(t).NumColumns(), ds.table(t).NumColumns());
+    for (int c = 0; c < ds.table(t).NumColumns(); ++c) {
+      EXPECT_EQ(loaded->table(t).columns[static_cast<size_t>(c)].values,
+                ds.table(t).columns[static_cast<size_t>(c)].values);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetSerdeTest, RejectsGarbage) {
+  std::string path = TempPath("garbage.adat");
+  WriteFile(path, "not a dataset");
+  auto loaded = LoadDataset(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace autoce::data

@@ -1,0 +1,144 @@
+// Numerical validation of the weighted-contrastive-loss gradients
+// (paper Eq. 9, whose derivative is the pair weighting of Eq. 11-12)
+// through the full GIN encoder.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generator.h"
+#include "gnn/metric_learning.h"
+
+namespace autoce::gnn {
+namespace {
+
+struct BatchSetup {
+  std::vector<featgraph::FeatureGraph> graphs;
+  std::vector<std::vector<double>> labels;
+};
+
+BatchSetup MakeSetup(int n) {
+  BatchSetup s;
+  featgraph::FeatureExtractor fx;
+  Rng rng(4);
+  for (int i = 0; i < n; ++i) {
+    data::DatasetGenParams p;
+    p.min_tables = 1;
+    p.max_tables = 3;
+    p.min_rows = 120;
+    p.max_rows = 250;
+    Rng child = rng.Fork(static_cast<uint64_t>(i));
+    s.graphs.push_back(fx.Extract(data::GenerateDataset(p, &child)));
+    std::vector<double> label(7);
+    for (double& v : label) v = child.Uniform(-0.5, 0.5);  // centered-like
+    s.labels.push_back(label);
+  }
+  return s;
+}
+
+/// Recomputes the batch loss (Eq. 9 or Eq. 10) from scratch for the
+/// current encoder parameters — the reference for numerical gradients.
+double BatchLoss(const GinEncoder& enc, const BatchSetup& s, const DmlConfig& cfg) {
+  size_t m = s.graphs.size();
+  std::vector<std::vector<double>> x;
+  for (const auto& g : s.graphs) x.push_back(enc.Embed(g));
+  double loss = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<size_t> pos, neg;
+    for (size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      double sim = PerformanceSimilarity(s.labels[i], s.labels[j]);
+      (sim >= cfg.tau ? pos : neg).push_back(j);
+    }
+    if (cfg.loss == ContrastiveLoss::kBasic) {
+      for (size_t j : pos) loss += nn::EuclideanDistance(x[i], x[j]) / m;
+      for (size_t j : neg) loss -= nn::EuclideanDistance(x[i], x[j]) / m;
+      continue;
+    }
+    if (!pos.empty()) {
+      double z = 0;
+      for (size_t j : pos) {
+        z += std::exp(nn::EuclideanDistance(x[i], x[j]) +
+                      PerformanceSimilarity(s.labels[i], s.labels[j]));
+      }
+      loss += std::log(z) / m;
+    }
+    if (!neg.empty()) {
+      double z = 0;
+      for (size_t j : neg) {
+        z += std::exp(cfg.gamma - nn::EuclideanDistance(x[i], x[j]) -
+                      PerformanceSimilarity(s.labels[i], s.labels[j]));
+      }
+      loss += std::log(z) / m;
+    }
+  }
+  return loss;
+}
+
+class DmlGradientTest : public ::testing::TestWithParam<ContrastiveLoss> {};
+
+TEST_P(DmlGradientTest, MatchesNumericalThroughGin) {
+  BatchSetup setup = MakeSetup(5);
+  featgraph::FeatureExtractor fx;
+  Rng rng(11);
+  GinConfig gin;
+  gin.num_layers = 1;
+  gin.hidden = 6;
+  gin.embedding_dim = 4;
+  GinEncoder enc(fx.vertex_dim(), gin, &rng);
+  // Shift parameters off ReLU kinks (see gin_test.cc).
+  for (nn::Matrix* p : enc.Params()) {
+    for (size_t i = 0; i < p->size(); ++i) {
+      p->data()[i] += rng.Uniform(0.005, 0.02);
+    }
+  }
+
+  DmlConfig cfg;
+  cfg.loss = GetParam();
+  cfg.tau = 0.0;  // centered-like labels split around 0
+  cfg.learning_rate = 0.0;  // we only want the gradients, not a step
+  cfg.clip_norm = 0.0;      // clipping rescales stored grads in place
+  DmlTrainer trainer(&enc, cfg);
+
+  std::vector<const featgraph::FeatureGraph*> batch;
+  std::vector<const std::vector<double>*> labels;
+  for (size_t i = 0; i < setup.graphs.size(); ++i) {
+    batch.push_back(&setup.graphs[i]);
+    labels.push_back(&setup.labels[i]);
+  }
+  double reported = trainer.TrainBatch(batch, labels);
+  EXPECT_NEAR(reported, BatchLoss(enc, setup, cfg), 1e-9)
+      << "loss value mismatch";
+
+  // With learning_rate 0 Adam leaves parameters untouched... it does not
+  // (Adam epsilon math still moves by 0). Verify explicitly:
+  // TrainBatch computed grads before the (zero) step, so numerical
+  // comparison is valid against current parameters.
+  auto params = enc.Params();
+  auto grads = enc.Grads();
+  const double eps = 1e-6;
+  int checked = 0;
+  for (size_t p = 0; p < params.size(); ++p) {
+    size_t stride = std::max<size_t>(1, params[p]->size() / 5);
+    for (size_t i = 0; i < params[p]->size(); i += stride) {
+      double orig = params[p]->data()[i];
+      params[p]->data()[i] = orig + eps;
+      double up = BatchLoss(enc, setup, cfg);
+      params[p]->data()[i] = orig - eps;
+      double down = BatchLoss(enc, setup, cfg);
+      params[p]->data()[i] = orig;
+      double num = (up - down) / (2 * eps);
+      EXPECT_NEAR(grads[p]->data()[i], num, 5e-4)
+          << "param " << p << " idx " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothLosses, DmlGradientTest,
+                         ::testing::Values(ContrastiveLoss::kWeighted,
+                                           ContrastiveLoss::kBasic));
+
+}  // namespace
+}  // namespace autoce::gnn

@@ -1,0 +1,122 @@
+#include "nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace autoce::nn {
+namespace {
+
+TEST(MatrixTest, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -4.0);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MatMul) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, TransposeMatMulMatchesExplicit) {
+  Rng rng(1);
+  Matrix a = Matrix::Xavier(4, 3, &rng);
+  Matrix b = Matrix::Xavier(4, 5, &rng);
+  Matrix lhs = a.TransposeMatMul(b);
+  Matrix rhs = a.Transposed().MatMul(b);
+  ASSERT_TRUE(lhs.SameShape(rhs));
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, MatMulTransposeMatchesExplicit) {
+  Rng rng(2);
+  Matrix a = Matrix::Xavier(4, 3, &rng);
+  Matrix b = Matrix::Xavier(5, 3, &rng);
+  Matrix lhs = a.MatMulTranspose(b);
+  Matrix rhs = a.MatMul(b.Transposed());
+  ASSERT_TRUE(lhs.SameShape(rhs));
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{10, 20}, {30, 40}});
+  a.AddInPlace(b);
+  EXPECT_DOUBLE_EQ(a(1, 1), 44.0);
+  a.SubInPlace(b);
+  EXPECT_DOUBLE_EQ(a(1, 1), 4.0);
+  a.MulInPlace(b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 10.0);
+  a.ScaleInPlace(0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 5.0);
+}
+
+TEST(MatrixTest, AddRowBroadcastAndColSum) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix bias = Matrix::FromRows({{10, 20}});
+  a.AddRowBroadcast(bias);
+  EXPECT_DOUBLE_EQ(a(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 24.0);
+  Matrix s = a.ColSum();
+  EXPECT_EQ(s.rows(), 1u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 24.0);
+  EXPECT_DOUBLE_EQ(s(0, 1), 46.0);
+}
+
+TEST(MatrixTest, RowAccessors) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  auto r = a.Row(1);
+  EXPECT_EQ(r, (std::vector<double>{4, 5, 6}));
+  a.SetRow(0, {7, 8, 9});
+  EXPECT_DOUBLE_EQ(a(0, 2), 9.0);
+}
+
+TEST(MatrixTest, NormAndSum) {
+  Matrix a = Matrix::FromRows({{3, 4}});
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 7.0);
+}
+
+TEST(MatrixTest, XavierWithinLimits) {
+  Rng rng(3);
+  Matrix m = Matrix::Xavier(30, 20, &rng);
+  double limit = std::sqrt(6.0 / 50.0);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::abs(m.data()[i]), limit);
+  }
+}
+
+TEST(VectorMathTest, Distances) {
+  std::vector<double> a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(SquaredL2(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(VectorMathTest, CosineSimilarity) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 1}, {-1, -1}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace autoce::nn

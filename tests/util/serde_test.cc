@@ -1,0 +1,94 @@
+#include "util/serde.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace autoce {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerdeTest, RoundTripScalars) {
+  std::string path = TempPath("scalars.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteU32(0xDEADBEEF);
+    w.WriteU64(1234567890123456789ULL);
+    w.WriteI64(-42);
+    w.WriteDouble(3.14159);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64(), 1234567890123456789ULL);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 3.14159);
+  EXPECT_TRUE(r.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, RoundTripStringsAndVectors) {
+  std::string path = TempPath("strvec.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteString("hello autoce");
+    w.WriteString("");
+    w.WriteDoubles({1.0, -2.5, 1e300});
+    w.WriteDoubles({});
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadString(), "hello autoce");
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_EQ(r.ReadDoubles(), (std::vector<double>{1.0, -2.5, 1e300}));
+  EXPECT_TRUE(r.ReadDoubles().empty());
+  EXPECT_TRUE(r.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, MissingFileReportsNotFound) {
+  BinaryReader r("/nonexistent/path/x.bin");
+  EXPECT_FALSE(r.status().ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ReadU32(), 0u);  // sticky error, safe zero reads
+}
+
+TEST(SerdeTest, TruncatedFileReportsError) {
+  std::string path = TempPath("trunc.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteU32(7);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadU32(), 7u);
+  r.ReadU64();  // past EOF
+  EXPECT_FALSE(r.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, CorruptLengthRejected) {
+  std::string path = TempPath("corrupt.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteU64(UINT64_MAX);  // absurd string length
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  r.ReadString();
+  EXPECT_FALSE(r.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, UnwritablePathFails) {
+  BinaryWriter w("/nonexistent/dir/file.bin");
+  EXPECT_FALSE(w.status().ok());
+  w.WriteU32(1);  // no crash on sticky error
+  EXPECT_FALSE(w.Close().ok());
+}
+
+}  // namespace
+}  // namespace autoce

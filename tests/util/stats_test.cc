@@ -1,0 +1,94 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace autoce {
+namespace {
+
+TEST(StatsTest, MeanBasic) {
+  EXPECT_DOUBLE_EQ(stats::Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(stats::Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stats::Mean({-5}), -5.0);
+}
+
+TEST(StatsTest, StdDevBasic) {
+  EXPECT_DOUBLE_EQ(stats::StdDev({2, 2, 2}), 0.0);
+  EXPECT_NEAR(stats::StdDev({1, 2, 3, 4}), std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(stats::StdDev({7}), 0.0);
+}
+
+TEST(StatsTest, SkewnessSymmetricIsZero) {
+  EXPECT_NEAR(stats::Skewness({1, 2, 3, 4, 5}), 0.0, 1e-12);
+}
+
+TEST(StatsTest, SkewnessRightTailPositive) {
+  std::vector<double> v{1, 1, 1, 1, 10};
+  EXPECT_GT(stats::Skewness(v), 0.5);
+}
+
+TEST(StatsTest, SkewnessConstantIsZero) {
+  EXPECT_DOUBLE_EQ(stats::Skewness({3, 3, 3, 3}), 0.0);
+}
+
+TEST(StatsTest, KurtosisHeavyTails) {
+  // A distribution with an extreme outlier has positive excess kurtosis.
+  std::vector<double> heavy{0, 0, 0, 0, 0, 0, 0, 0, 0, 100};
+  EXPECT_GT(stats::Kurtosis(heavy), 1.0);
+  EXPECT_DOUBLE_EQ(stats::Kurtosis({5, 5, 5, 5}), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{2, 4, 6, 8};
+  EXPECT_NEAR(stats::PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c{8, 6, 4, 2};
+  EXPECT_NEAR(stats::PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSideIsZero) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(stats::PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(StatsTest, PearsonSizeMismatchIsZero) {
+  EXPECT_DOUBLE_EQ(stats::PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, PositionalMatchRatio) {
+  std::vector<int32_t> a{1, 2, 3, 4};
+  std::vector<int32_t> b{1, 2, 9, 4};
+  EXPECT_DOUBLE_EQ(stats::PositionalMatchRatio(a, b), 0.75);
+  EXPECT_DOUBLE_EQ(stats::PositionalMatchRatio(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(stats::PositionalMatchRatio({}, {}), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(stats::Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(stats::Percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(stats::Percentile(v, 50), 25.0);
+  EXPECT_DOUBLE_EQ(stats::Percentile({5}, 99), 5.0);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  std::vector<double> v{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(stats::Percentile(v, 50), 25.0);
+}
+
+TEST(StatsTest, MinMax) {
+  std::vector<double> v{3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(stats::Min(v), -1.0);
+  EXPECT_DOUBLE_EQ(stats::Max(v), 7.0);
+}
+
+TEST(StatsTest, GeometricMean) {
+  EXPECT_NEAR(stats::GeometricMean({1, 100}), 10.0, 1e-9);
+  EXPECT_NEAR(stats::GeometricMean({4, 4, 4}), 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace autoce

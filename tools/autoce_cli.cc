@@ -1,0 +1,282 @@
+// autoce — command-line front end to the AutoCE model advisor.
+//
+//   autoce generate  --out DIR --count N [--min-tables A --max-tables B]
+//                    [--min-rows A --max-rows B] [--seed S]
+//   autoce train     --data DIR --out model.ace [--train-queries N]
+//                    [--test-queries N] [--epochs N]
+//   autoce recommend --model model.ace (--dataset F.adat | --csv F.csv)
+//                    [--weight W]
+//   autoce inspect   --model model.ace
+//
+// `generate` writes synthetic datasets as .adat files; `train` labels
+// them with the CE testbed (training all seven estimators per dataset)
+// and fits + saves the advisor; `recommend` loads the advisor and picks
+// a CE model for a new dataset under accuracy weight W.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <string>
+#include <vector>
+
+#include "advisor/autoce.h"
+#include "advisor/label.h"
+#include "data/csv.h"
+#include "data/generator.h"
+#include "util/timer.h"
+
+namespace autoce {
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return v;
+    }
+    return fallback;
+  }
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    std::string v = Get(name);
+    return v.empty() ? fallback : std::stoll(v);
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    std::string v = Get(name);
+    return v.empty() ? fallback : std::stod(v);
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args out;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      std::string key = a.substr(2);
+      std::string value;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+      out.flags.emplace_back(key, value);
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ListAdatFiles(const std::string& dir) {
+  std::vector<std::string> out;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (dirent* e = readdir(d)) {
+    std::string name = e->d_name;
+    if (name.size() > 5 && name.substr(name.size() - 5) == ".adat") {
+      out.push_back(dir + "/" + name);
+    }
+  }
+  closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int CmdGenerate(const Args& args) {
+  std::string out_dir = args.Get("out");
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "generate: --out DIR is required\n");
+    return 2;
+  }
+  int count = static_cast<int>(args.GetInt("count", 100));
+  data::DatasetGenParams gen;
+  gen.min_tables = static_cast<int>(args.GetInt("min-tables", 1));
+  gen.max_tables = static_cast<int>(args.GetInt("max-tables", 5));
+  gen.min_rows = args.GetInt("min-rows", 600);
+  gen.max_rows = args.GetInt("max-rows", 1500);
+  gen.min_columns = 1;
+  gen.max_columns = 6;
+  gen.min_domain = 20;
+  gen.max_domain = 2000;
+  gen.max_fanout_skew = 2.0;
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+
+  auto corpus = data::GenerateCorpus(gen, count, &rng);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    char path[4096];
+    std::snprintf(path, sizeof(path), "%s/dataset_%04zu.adat",
+                  out_dir.c_str(), i);
+    Status st = data::SaveDataset(corpus[i], path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "generate: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %d datasets to %s\n", count, out_dir.c_str());
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  std::string data_dir = args.Get("data");
+  std::string out_path = args.Get("out");
+  if (data_dir.empty() || out_path.empty()) {
+    std::fprintf(stderr, "train: --data DIR and --out FILE are required\n");
+    return 2;
+  }
+  auto files = ListAdatFiles(data_dir);
+  if (files.size() < 4) {
+    std::fprintf(stderr, "train: need at least 4 .adat datasets in %s\n",
+                 data_dir.c_str());
+    return 1;
+  }
+  std::vector<data::Dataset> datasets;
+  for (const auto& f : files) {
+    auto ds = data::LoadDataset(f);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "train: %s: %s\n", f.c_str(),
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    datasets.push_back(std::move(ds).ValueOrDie());
+  }
+  std::printf("labeling %zu datasets (trains 7 CE models each)...\n",
+              datasets.size());
+  ce::TestbedConfig testbed;
+  testbed.num_train_queries =
+      static_cast<int>(args.GetInt("train-queries", 200));
+  testbed.num_test_queries =
+      static_cast<int>(args.GetInt("test-queries", 80));
+  featgraph::FeatureExtractor extractor;
+  Timer timer;
+  auto corpus = advisor::LabelCorpus(std::move(datasets), testbed, extractor,
+                                     /*verbose=*/true);
+  std::printf("labeled in %.1fs; fitting the advisor...\n",
+              timer.ElapsedSeconds());
+
+  advisor::AutoCeConfig config;
+  config.dml.epochs = static_cast<int>(args.GetInt("epochs", 40));
+  advisor::AutoCe advisor(config);
+  Status st = advisor.Fit(corpus.graphs, corpus.labels);
+  if (!st.ok()) {
+    std::fprintf(stderr, "train: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = advisor.Save(out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "train: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("advisor saved to %s (RCS %zu, drift threshold %.4f)\n",
+              out_path.c_str(), advisor.RcsSize(), advisor.DriftThreshold());
+  return 0;
+}
+
+int CmdRecommend(const Args& args) {
+  std::string model_path = args.Get("model");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "recommend: --model FILE is required\n");
+    return 2;
+  }
+  auto advisor = advisor::AutoCe::Load(model_path);
+  if (!advisor.ok()) {
+    std::fprintf(stderr, "recommend: %s\n",
+                 advisor.status().ToString().c_str());
+    return 1;
+  }
+
+  data::Dataset target;
+  if (!args.Get("dataset").empty()) {
+    auto ds = data::LoadDataset(args.Get("dataset"));
+    if (!ds.ok()) {
+      std::fprintf(stderr, "recommend: %s\n",
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    target = std::move(ds).ValueOrDie();
+  } else if (!args.Get("csv").empty()) {
+    auto table = data::LoadCsvTable(args.Get("csv"));
+    if (!table.ok()) {
+      std::fprintf(stderr, "recommend: %s\n",
+                   table.status().ToString().c_str());
+      return 1;
+    }
+    target.set_name(table->name);
+    target.AddTable(std::move(table).ValueOrDie());
+  } else {
+    std::fprintf(stderr, "recommend: --dataset or --csv is required\n");
+    return 2;
+  }
+
+  double w = args.GetDouble("weight", 0.9);
+  auto graph = advisor->extractor().Extract(target);
+  if (advisor->IsOutOfDistribution(graph)) {
+    std::printf("note: dataset looks out-of-distribution (distance %.4f > "
+                "threshold %.4f); consider online labeling\n",
+                advisor->DistanceToRcs(graph), advisor->DriftThreshold());
+  }
+  auto rec = advisor->Recommend(graph, w);
+  if (!rec.ok()) {
+    std::fprintf(stderr, "recommend: %s\n", rec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("recommended CE model (w_a = %.2f): %s\n", w,
+              ce::ModelName(rec->model));
+  std::printf("score vector:");
+  for (int m = 0; m < ce::kNumModels; ++m) {
+    std::printf(" %s=%.3f", ce::ModelName(static_cast<ce::ModelId>(m)),
+                rec->score_vector[static_cast<size_t>(m)]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdInspect(const Args& args) {
+  std::string model_path = args.Get("model");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "inspect: --model FILE is required\n");
+    return 2;
+  }
+  auto advisor = advisor::AutoCe::Load(model_path);
+  if (!advisor.ok()) {
+    std::fprintf(stderr, "inspect: %s\n",
+                 advisor.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("AutoCE advisor model: %s\n", model_path.c_str());
+  std::printf("  RCS size            : %zu labeled datasets\n",
+              advisor->RcsSize());
+  std::printf("  drift threshold     : %.4f\n", advisor->DriftThreshold());
+  std::printf("  KNN k               : %d\n", advisor->config().knn_k);
+  std::printf("  embedding dimension : %d\n",
+              advisor->config().gin.embedding_dim);
+  std::printf("  supported weights   :");
+  for (double w : advisor->config().training_weights) {
+    std::printf(" %.1f", w);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: autoce <generate|train|recommend|inspect> [flags]\n"
+               "see the header of tools/autoce_cli.cc for details\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  Args args = Parse(argc - 1, argv + 1);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "train") return CmdTrain(args);
+  if (cmd == "recommend") return CmdRecommend(args);
+  if (cmd == "inspect") return CmdInspect(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace autoce
+
+int main(int argc, char** argv) { return autoce::Main(argc, argv); }
