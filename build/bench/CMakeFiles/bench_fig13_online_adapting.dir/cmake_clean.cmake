@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_online_adapting.dir/bench_fig13_online_adapting.cc.o"
+  "CMakeFiles/bench_fig13_online_adapting.dir/bench_fig13_online_adapting.cc.o.d"
+  "bench_fig13_online_adapting"
+  "bench_fig13_online_adapting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_online_adapting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

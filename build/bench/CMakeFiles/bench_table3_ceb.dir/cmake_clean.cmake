@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ceb.dir/bench_table3_ceb.cc.o"
+  "CMakeFiles/bench_table3_ceb.dir/bench_table3_ceb.cc.o.d"
+  "bench_table3_ceb"
+  "bench_table3_ceb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ceb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

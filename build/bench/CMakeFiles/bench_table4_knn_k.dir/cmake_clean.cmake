@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_knn_k.dir/bench_table4_knn_k.cc.o"
+  "CMakeFiles/bench_table4_knn_k.dir/bench_table4_knn_k.cc.o.d"
+  "bench_table4_knn_k"
+  "bench_table4_knn_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_knn_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ce_playground.cpp" "examples/CMakeFiles/ce_playground.dir/ce_playground.cpp.o" "gcc" "examples/CMakeFiles/ce_playground.dir/ce_playground.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/advisor/CMakeFiles/autoce_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ce/CMakeFiles/autoce_ce.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/autoce_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/autoce_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/featgraph/CMakeFiles/autoce_featgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/autoce_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autoce_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autoce_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/autoce_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ce_playground.dir/ce_playground.cpp.o"
+  "CMakeFiles/ce_playground.dir/ce_playground.cpp.o.d"
+  "ce_playground"
+  "ce_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ce_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_injection.dir/optimizer_injection.cpp.o"
+  "CMakeFiles/optimizer_injection.dir/optimizer_injection.cpp.o.d"
+  "optimizer_injection"
+  "optimizer_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

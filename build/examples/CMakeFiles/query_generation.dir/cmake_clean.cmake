@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_generation.dir/query_generation.cpp.o"
+  "CMakeFiles/query_generation.dir/query_generation.cpp.o.d"
+  "query_generation"
+  "query_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoce_advisor.dir/autoce.cc.o"
+  "CMakeFiles/autoce_advisor.dir/autoce.cc.o.d"
+  "CMakeFiles/autoce_advisor.dir/baselines.cc.o"
+  "CMakeFiles/autoce_advisor.dir/baselines.cc.o.d"
+  "CMakeFiles/autoce_advisor.dir/label.cc.o"
+  "CMakeFiles/autoce_advisor.dir/label.cc.o.d"
+  "libautoce_advisor.a"
+  "libautoce_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoce_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ce/bayescard.cc" "src/ce/CMakeFiles/autoce_ce.dir/bayescard.cc.o" "gcc" "src/ce/CMakeFiles/autoce_ce.dir/bayescard.cc.o.d"
+  "/root/repo/src/ce/deepdb.cc" "src/ce/CMakeFiles/autoce_ce.dir/deepdb.cc.o" "gcc" "src/ce/CMakeFiles/autoce_ce.dir/deepdb.cc.o.d"
+  "/root/repo/src/ce/estimator.cc" "src/ce/CMakeFiles/autoce_ce.dir/estimator.cc.o" "gcc" "src/ce/CMakeFiles/autoce_ce.dir/estimator.cc.o.d"
+  "/root/repo/src/ce/extra_estimators.cc" "src/ce/CMakeFiles/autoce_ce.dir/extra_estimators.cc.o" "gcc" "src/ce/CMakeFiles/autoce_ce.dir/extra_estimators.cc.o.d"
+  "/root/repo/src/ce/join_stats.cc" "src/ce/CMakeFiles/autoce_ce.dir/join_stats.cc.o" "gcc" "src/ce/CMakeFiles/autoce_ce.dir/join_stats.cc.o.d"
+  "/root/repo/src/ce/lw_nn.cc" "src/ce/CMakeFiles/autoce_ce.dir/lw_nn.cc.o" "gcc" "src/ce/CMakeFiles/autoce_ce.dir/lw_nn.cc.o.d"
+  "/root/repo/src/ce/lw_xgb.cc" "src/ce/CMakeFiles/autoce_ce.dir/lw_xgb.cc.o" "gcc" "src/ce/CMakeFiles/autoce_ce.dir/lw_xgb.cc.o.d"
+  "/root/repo/src/ce/metrics.cc" "src/ce/CMakeFiles/autoce_ce.dir/metrics.cc.o" "gcc" "src/ce/CMakeFiles/autoce_ce.dir/metrics.cc.o.d"
+  "/root/repo/src/ce/mscn.cc" "src/ce/CMakeFiles/autoce_ce.dir/mscn.cc.o" "gcc" "src/ce/CMakeFiles/autoce_ce.dir/mscn.cc.o.d"
+  "/root/repo/src/ce/neurocard.cc" "src/ce/CMakeFiles/autoce_ce.dir/neurocard.cc.o" "gcc" "src/ce/CMakeFiles/autoce_ce.dir/neurocard.cc.o.d"
+  "/root/repo/src/ce/spn.cc" "src/ce/CMakeFiles/autoce_ce.dir/spn.cc.o" "gcc" "src/ce/CMakeFiles/autoce_ce.dir/spn.cc.o.d"
+  "/root/repo/src/ce/testbed.cc" "src/ce/CMakeFiles/autoce_ce.dir/testbed.cc.o" "gcc" "src/ce/CMakeFiles/autoce_ce.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/autoce_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/autoce_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autoce_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/autoce_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autoce_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

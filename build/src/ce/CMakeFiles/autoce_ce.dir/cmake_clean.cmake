@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoce_ce.dir/bayescard.cc.o"
+  "CMakeFiles/autoce_ce.dir/bayescard.cc.o.d"
+  "CMakeFiles/autoce_ce.dir/deepdb.cc.o"
+  "CMakeFiles/autoce_ce.dir/deepdb.cc.o.d"
+  "CMakeFiles/autoce_ce.dir/estimator.cc.o"
+  "CMakeFiles/autoce_ce.dir/estimator.cc.o.d"
+  "CMakeFiles/autoce_ce.dir/extra_estimators.cc.o"
+  "CMakeFiles/autoce_ce.dir/extra_estimators.cc.o.d"
+  "CMakeFiles/autoce_ce.dir/join_stats.cc.o"
+  "CMakeFiles/autoce_ce.dir/join_stats.cc.o.d"
+  "CMakeFiles/autoce_ce.dir/lw_nn.cc.o"
+  "CMakeFiles/autoce_ce.dir/lw_nn.cc.o.d"
+  "CMakeFiles/autoce_ce.dir/lw_xgb.cc.o"
+  "CMakeFiles/autoce_ce.dir/lw_xgb.cc.o.d"
+  "CMakeFiles/autoce_ce.dir/metrics.cc.o"
+  "CMakeFiles/autoce_ce.dir/metrics.cc.o.d"
+  "CMakeFiles/autoce_ce.dir/mscn.cc.o"
+  "CMakeFiles/autoce_ce.dir/mscn.cc.o.d"
+  "CMakeFiles/autoce_ce.dir/neurocard.cc.o"
+  "CMakeFiles/autoce_ce.dir/neurocard.cc.o.d"
+  "CMakeFiles/autoce_ce.dir/spn.cc.o"
+  "CMakeFiles/autoce_ce.dir/spn.cc.o.d"
+  "CMakeFiles/autoce_ce.dir/testbed.cc.o"
+  "CMakeFiles/autoce_ce.dir/testbed.cc.o.d"
+  "libautoce_ce.a"
+  "libautoce_ce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoce_ce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

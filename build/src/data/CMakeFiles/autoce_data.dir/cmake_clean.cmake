@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoce_data.dir/csv.cc.o"
+  "CMakeFiles/autoce_data.dir/csv.cc.o.d"
+  "CMakeFiles/autoce_data.dir/dataset.cc.o"
+  "CMakeFiles/autoce_data.dir/dataset.cc.o.d"
+  "CMakeFiles/autoce_data.dir/generator.cc.o"
+  "CMakeFiles/autoce_data.dir/generator.cc.o.d"
+  "CMakeFiles/autoce_data.dir/realworld.cc.o"
+  "CMakeFiles/autoce_data.dir/realworld.cc.o.d"
+  "libautoce_data.a"
+  "libautoce_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoce_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautoce_data.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/autoce_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/autoce_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/histogram.cc" "src/engine/CMakeFiles/autoce_engine.dir/histogram.cc.o" "gcc" "src/engine/CMakeFiles/autoce_engine.dir/histogram.cc.o.d"
+  "/root/repo/src/engine/join_sampler.cc" "src/engine/CMakeFiles/autoce_engine.dir/join_sampler.cc.o" "gcc" "src/engine/CMakeFiles/autoce_engine.dir/join_sampler.cc.o.d"
+  "/root/repo/src/engine/optimizer.cc" "src/engine/CMakeFiles/autoce_engine.dir/optimizer.cc.o" "gcc" "src/engine/CMakeFiles/autoce_engine.dir/optimizer.cc.o.d"
+  "/root/repo/src/engine/plan_executor.cc" "src/engine/CMakeFiles/autoce_engine.dir/plan_executor.cc.o" "gcc" "src/engine/CMakeFiles/autoce_engine.dir/plan_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/autoce_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autoce_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

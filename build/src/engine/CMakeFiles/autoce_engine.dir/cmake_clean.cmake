@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoce_engine.dir/executor.cc.o"
+  "CMakeFiles/autoce_engine.dir/executor.cc.o.d"
+  "CMakeFiles/autoce_engine.dir/histogram.cc.o"
+  "CMakeFiles/autoce_engine.dir/histogram.cc.o.d"
+  "CMakeFiles/autoce_engine.dir/join_sampler.cc.o"
+  "CMakeFiles/autoce_engine.dir/join_sampler.cc.o.d"
+  "CMakeFiles/autoce_engine.dir/optimizer.cc.o"
+  "CMakeFiles/autoce_engine.dir/optimizer.cc.o.d"
+  "CMakeFiles/autoce_engine.dir/plan_executor.cc.o"
+  "CMakeFiles/autoce_engine.dir/plan_executor.cc.o.d"
+  "libautoce_engine.a"
+  "libautoce_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoce_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

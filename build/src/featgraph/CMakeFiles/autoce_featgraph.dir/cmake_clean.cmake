@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoce_featgraph.dir/featgraph.cc.o"
+  "CMakeFiles/autoce_featgraph.dir/featgraph.cc.o.d"
+  "libautoce_featgraph.a"
+  "libautoce_featgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoce_featgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

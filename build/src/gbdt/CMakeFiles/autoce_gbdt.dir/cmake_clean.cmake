@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoce_gbdt.dir/gbdt.cc.o"
+  "CMakeFiles/autoce_gbdt.dir/gbdt.cc.o.d"
+  "libautoce_gbdt.a"
+  "libautoce_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoce_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoce_gnn.dir/gin.cc.o"
+  "CMakeFiles/autoce_gnn.dir/gin.cc.o.d"
+  "CMakeFiles/autoce_gnn.dir/metric_learning.cc.o"
+  "CMakeFiles/autoce_gnn.dir/metric_learning.cc.o.d"
+  "libautoce_gnn.a"
+  "libautoce_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoce_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

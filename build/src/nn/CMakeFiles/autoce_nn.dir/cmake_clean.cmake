@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoce_nn.dir/layers.cc.o"
+  "CMakeFiles/autoce_nn.dir/layers.cc.o.d"
+  "CMakeFiles/autoce_nn.dir/loss.cc.o"
+  "CMakeFiles/autoce_nn.dir/loss.cc.o.d"
+  "CMakeFiles/autoce_nn.dir/matrix.cc.o"
+  "CMakeFiles/autoce_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/autoce_nn.dir/optimizer.cc.o"
+  "CMakeFiles/autoce_nn.dir/optimizer.cc.o.d"
+  "libautoce_nn.a"
+  "libautoce_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoce_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoce_query.dir/featurize.cc.o"
+  "CMakeFiles/autoce_query.dir/featurize.cc.o.d"
+  "CMakeFiles/autoce_query.dir/query.cc.o"
+  "CMakeFiles/autoce_query.dir/query.cc.o.d"
+  "libautoce_query.a"
+  "libautoce_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoce_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoce_util.dir/logging.cc.o"
+  "CMakeFiles/autoce_util.dir/logging.cc.o.d"
+  "CMakeFiles/autoce_util.dir/rng.cc.o"
+  "CMakeFiles/autoce_util.dir/rng.cc.o.d"
+  "CMakeFiles/autoce_util.dir/serde.cc.o"
+  "CMakeFiles/autoce_util.dir/serde.cc.o.d"
+  "CMakeFiles/autoce_util.dir/stats.cc.o"
+  "CMakeFiles/autoce_util.dir/stats.cc.o.d"
+  "CMakeFiles/autoce_util.dir/status.cc.o"
+  "CMakeFiles/autoce_util.dir/status.cc.o.d"
+  "libautoce_util.a"
+  "libautoce_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoce_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

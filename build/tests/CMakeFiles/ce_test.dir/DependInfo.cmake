@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ce/components_test.cc" "tests/CMakeFiles/ce_test.dir/ce/components_test.cc.o" "gcc" "tests/CMakeFiles/ce_test.dir/ce/components_test.cc.o.d"
+  "/root/repo/tests/ce/models_test.cc" "tests/CMakeFiles/ce_test.dir/ce/models_test.cc.o" "gcc" "tests/CMakeFiles/ce_test.dir/ce/models_test.cc.o.d"
+  "/root/repo/tests/ce/property_test.cc" "tests/CMakeFiles/ce_test.dir/ce/property_test.cc.o" "gcc" "tests/CMakeFiles/ce_test.dir/ce/property_test.cc.o.d"
+  "/root/repo/tests/ce/testbed_metric_test.cc" "tests/CMakeFiles/ce_test.dir/ce/testbed_metric_test.cc.o" "gcc" "tests/CMakeFiles/ce_test.dir/ce/testbed_metric_test.cc.o.d"
+  "/root/repo/tests/ce/uae_neurocard_test.cc" "tests/CMakeFiles/ce_test.dir/ce/uae_neurocard_test.cc.o" "gcc" "tests/CMakeFiles/ce_test.dir/ce/uae_neurocard_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ce/CMakeFiles/autoce_ce.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/autoce_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/autoce_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autoce_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/autoce_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autoce_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/featgraph/featgraph_test.cc" "tests/CMakeFiles/featgraph_test.dir/featgraph/featgraph_test.cc.o" "gcc" "tests/CMakeFiles/featgraph_test.dir/featgraph/featgraph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/featgraph/CMakeFiles/autoce_featgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autoce_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autoce_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/featgraph_test.dir/featgraph/featgraph_test.cc.o"
+  "CMakeFiles/featgraph_test.dir/featgraph/featgraph_test.cc.o.d"
+  "featgraph_test"
+  "featgraph_test.pdb"
+  "featgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/featgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gnn/dml_gradient_test.cc" "tests/CMakeFiles/gnn_test.dir/gnn/dml_gradient_test.cc.o" "gcc" "tests/CMakeFiles/gnn_test.dir/gnn/dml_gradient_test.cc.o.d"
+  "/root/repo/tests/gnn/gin_test.cc" "tests/CMakeFiles/gnn_test.dir/gnn/gin_test.cc.o" "gcc" "tests/CMakeFiles/gnn_test.dir/gnn/gin_test.cc.o.d"
+  "/root/repo/tests/gnn/metric_learning_test.cc" "tests/CMakeFiles/gnn_test.dir/gnn/metric_learning_test.cc.o" "gcc" "tests/CMakeFiles/gnn_test.dir/gnn/metric_learning_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnn/CMakeFiles/autoce_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autoce_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/featgraph/CMakeFiles/autoce_featgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autoce_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoce_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

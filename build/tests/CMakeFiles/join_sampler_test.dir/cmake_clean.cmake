@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_sampler_test.dir/engine/join_sampler_test.cc.o"
+  "CMakeFiles/join_sampler_test.dir/engine/join_sampler_test.cc.o.d"
+  "join_sampler_test"
+  "join_sampler_test.pdb"
+  "join_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoce.dir/autoce_cli.cc.o"
+  "CMakeFiles/autoce.dir/autoce_cli.cc.o.d"
+  "autoce"
+  "autoce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
