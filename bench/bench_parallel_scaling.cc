@@ -1,0 +1,274 @@
+// Threads-vs-wall-clock scaling harness for the deterministic parallel
+// runtime (ISSUE 1): Stage-1 labeling, one GIN training epoch, and the
+// tiled matrix kernels. Emits BENCH_parallel.json so later PRs have a
+// perf trajectory, and checks that every stage's result digest is
+// bit-identical across thread counts.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "gnn/metric_learning.h"
+#include "util/parallel.h"
+
+namespace autoce::bench {
+namespace {
+
+/// FNV-1a over raw double bits: the cross-thread-count identity check.
+class Digest {
+ public:
+  void Add(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      h_ ^= (bits >> (8 * b)) & 0xFF;
+      h_ *= 0x100000001B3ULL;
+    }
+  }
+  void Add(const nn::Matrix& m) {
+    for (size_t i = 0; i < m.size(); ++i) Add(m.data()[i]);
+  }
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = 0xCBF29CE484222325ULL;
+};
+
+std::string Hex(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+struct StageResult {
+  std::vector<double> seconds;  // one entry per swept thread count
+  uint64_t digest = 0;
+};
+
+const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+
+/// Stage 1: testbed labeling of a small corpus (dataset x model cells).
+StageResult BenchLabeling(const data::DatasetGenParams& gen,
+                          const ce::TestbedConfig& testbed, int num_datasets,
+                          advisor::LabeledCorpus* out_corpus) {
+  StageResult res;
+  bool first = true;
+  for (int threads : kThreadCounts) {
+    util::SetGlobalParallelism(threads);
+    Rng rng(4242);
+    auto datasets = data::GenerateCorpus(gen, num_datasets, &rng);
+    featgraph::FeatureExtractor extractor;
+    Timer timer;
+    auto corpus =
+        advisor::LabelCorpus(std::move(datasets), testbed, extractor);
+    res.seconds.push_back(timer.ElapsedSeconds());
+
+    Digest d;
+    for (const auto& label : corpus.labels) {
+      for (double v : label.accuracy_score) d.Add(v);
+      for (double v : label.efficiency_score) d.Add(v);
+      for (double v : label.qerror_mean) d.Add(v);
+    }
+    for (const auto& g : corpus.graphs) d.Add(g.vertices);
+    if (first) {
+      res.digest = d.value();
+      *out_corpus = std::move(corpus);
+      first = false;
+    } else {
+      AUTOCE_CHECK(d.value() == res.digest);  // bit-for-bit across threads
+    }
+  }
+  return res;
+}
+
+/// Stage 2: one deep-metric-learning epoch over the labeled corpus.
+StageResult BenchGinEpoch(const advisor::LabeledCorpus& corpus) {
+  // Raw concatenated score labels with a high tau (uncentered; see
+  // DmlConfig::tau docs) are fine for a timing harness.
+  std::vector<double> weights = {1.0, 0.7, 0.3};
+  std::vector<std::vector<double>> labels;
+  for (const auto& label : corpus.labels) {
+    labels.push_back(label.ConcatScores(weights));
+  }
+
+  StageResult res;
+  bool first = true;
+  for (int threads : kThreadCounts) {
+    util::SetGlobalParallelism(threads);
+    gnn::GinConfig gin_cfg;
+    gin_cfg.hidden = 32;
+    gin_cfg.embedding_dim = 16;
+    Rng init_rng(99);
+    gnn::GinEncoder encoder(corpus.graphs[0].vertices.cols(), gin_cfg,
+                            &init_rng);
+    gnn::DmlConfig dml_cfg;
+    dml_cfg.epochs = PaperScale() ? 4 : 2;
+    dml_cfg.batch_size = 16;
+    dml_cfg.tau = 0.95;
+    gnn::DmlTrainer trainer(&encoder, dml_cfg);
+    Rng train_rng(7);
+    Timer timer;
+    auto loss = trainer.Train(corpus.graphs, labels, &train_rng);
+    res.seconds.push_back(timer.ElapsedSeconds());
+    AUTOCE_CHECK(loss.ok());
+
+    Digest d;
+    d.Add(*loss);
+    for (nn::Matrix* p : encoder.Params()) d.Add(*p);
+    if (first) {
+      res.digest = d.value();
+      first = false;
+    } else {
+      AUTOCE_CHECK(d.value() == res.digest);
+    }
+  }
+  return res;
+}
+
+/// Reference kernel: the pre-tiling MatMul with the dense-hostile
+/// `aik == 0.0` skip branch, kept here to quantify its removal.
+nn::Matrix NaiveBranchMatMul(const nn::Matrix& a, const nn::Matrix& b) {
+  nn::Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* ar = a.data() + i * a.cols();
+    double* o = out.data() + i * b.cols();
+    for (size_t k = 0; k < a.cols(); ++k) {
+      double aik = ar[k];
+      if (aik == 0.0) continue;
+      const double* br = b.data() + k * b.cols();
+      for (size_t j = 0; j < b.cols(); ++j) o[j] += aik * br[j];
+    }
+  }
+  return out;
+}
+
+struct MatMulResult {
+  size_t m, k, n;
+  double tiled_ms = 0.0;
+  double naive_ms = 0.0;
+  uint64_t digest = 0;
+};
+
+MatMulResult BenchMatMul(size_t m, size_t k, size_t n, int reps) {
+  Rng rng(1234);
+  nn::Matrix a(m, k), b(k, n);
+  // Post-ReLU-like operand: dense with a sprinkling of exact zeros, the
+  // regime where the old skip branch cost a misprediction per step.
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = rng.Bernoulli(0.15) ? 0.0 : rng.Gaussian();
+  }
+  for (size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.Gaussian();
+
+  MatMulResult res{m, k, n};
+  Digest d;
+  {
+    Timer t;
+    for (int r = 0; r < reps; ++r) {
+      nn::Matrix c = a.MatMul(b);
+      if (r == 0) d.Add(c);
+    }
+    res.tiled_ms = t.ElapsedMillis() / reps;
+  }
+  res.digest = d.value();
+  {
+    Timer t;
+    for (int r = 0; r < reps; ++r) {
+      nn::Matrix c = NaiveBranchMatMul(a, b);
+      (void)c;
+    }
+    res.naive_ms = t.ElapsedMillis() / reps;
+  }
+  return res;
+}
+
+std::string JsonArray(const std::vector<double>& v) {
+  std::string out = "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    out += Fmt(v[i], 4);
+    if (i + 1 < v.size()) out += ", ";
+  }
+  return out + "]";
+}
+
+}  // namespace
+}  // namespace autoce::bench
+
+int main() {
+  using namespace autoce;
+  using namespace autoce::bench;
+
+  const int num_datasets = PaperScale() ? 64 : 16;
+  data::DatasetGenParams gen;
+  gen.min_tables = 1;
+  gen.max_tables = 3;
+  gen.min_columns = 2;
+  gen.max_columns = 4;
+  gen.min_rows = PaperScale() ? 2000 : 300;
+  gen.max_rows = PaperScale() ? 6000 : 700;
+  ce::TestbedConfig testbed;
+  testbed.num_train_queries = PaperScale() ? 200 : 60;
+  testbed.num_test_queries = PaperScale() ? 100 : 30;
+  testbed.scale = ce::ModelTrainingScale::Fast();
+
+  std::printf("# parallel scaling harness (hardware threads: %d)\n",
+              util::DefaultParallelism());
+
+  advisor::LabeledCorpus corpus;
+  StageResult labeling =
+      BenchLabeling(gen, testbed, num_datasets, &corpus);
+  StageResult gin = BenchGinEpoch(corpus);
+  std::vector<MatMulResult> mm = {
+      BenchMatMul(128, 128, 128, 200),
+      BenchMatMul(64, 512, 64, 200),
+      BenchMatMul(512, 64, 512, 50),
+  };
+  util::SetGlobalParallelism(util::DefaultParallelism());
+
+  PrintRow({"stage", "t=1", "t=2", "t=4", "t=8", "digest"});
+  auto print_stage = [](const char* name, const StageResult& s) {
+    std::vector<std::string> row = {name};
+    for (double sec : s.seconds) row.push_back(Fmt(sec, 2) + "s");
+    row.push_back(Hex(s.digest));
+    PrintRow(row);
+  };
+  print_stage("labeling", labeling);
+  print_stage("gin_epoch", gin);
+  for (const auto& r : mm) {
+    std::printf("matmul %zux%zux%zu: tiled %.3f ms, naive+branch %.3f ms "
+                "(%.2fx), digest %s\n",
+                r.m, r.k, r.n, r.tiled_ms, r.naive_ms,
+                r.naive_ms / std::max(1e-9, r.tiled_ms),
+                Hex(r.digest).c_str());
+  }
+
+  std::FILE* f = std::fopen("BENCH_parallel.json", "w");
+  AUTOCE_CHECK(f != nullptr);
+  std::fprintf(f, "{\n  \"scale\": \"%s\",\n  \"hardware_threads\": %d,\n",
+               PaperScale() ? "paper" : "small", util::DefaultParallelism());
+  std::fprintf(f, "  \"threads\": [1, 2, 4, 8],\n");
+  std::fprintf(f, "  \"labeling\": {\"datasets\": %d, \"seconds\": %s, "
+               "\"digest\": \"%s\"},\n",
+               num_datasets, JsonArray(labeling.seconds).c_str(),
+               Hex(labeling.digest).c_str());
+  std::fprintf(f, "  \"gin_epoch\": {\"graphs\": %zu, \"seconds\": %s, "
+               "\"digest\": \"%s\"},\n",
+               corpus.size(), JsonArray(gin.seconds).c_str(),
+               Hex(gin.digest).c_str());
+  std::fprintf(f, "  \"matmul\": [\n");
+  for (size_t i = 0; i < mm.size(); ++i) {
+    const auto& r = mm[i];
+    std::fprintf(f,
+                 "    {\"m\": %zu, \"k\": %zu, \"n\": %zu, \"tiled_ms\": %s, "
+                 "\"naive_branch_ms\": %s, \"digest\": \"%s\"}%s\n",
+                 r.m, r.k, r.n, Fmt(r.tiled_ms, 4).c_str(),
+                 Fmt(r.naive_ms, 4).c_str(), Hex(r.digest).c_str(),
+                 i + 1 < mm.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# wrote BENCH_parallel.json; all digests identical across "
+              "thread counts\n");
+  return 0;
+}

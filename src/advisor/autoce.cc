@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/serde.h"
 #include "util/stats.h"
 
@@ -162,9 +163,10 @@ double AutoCe::HoldOutDError(const std::vector<size_t>& val_idx) const {
 }
 
 void AutoCe::RefreshEmbeddings() {
-  embeddings_.clear();
-  embeddings_.reserve(graphs_.size());
-  for (const auto& g : graphs_) embeddings_.push_back(encoder_->Embed(g));
+  // Embedding the RCS is a read-only scan of the encoder; each graph
+  // embeds into its own slot.
+  embeddings_ = util::ParallelMap(
+      0, graphs_.size(), 1, [&](size_t i) { return encoder_->Embed(graphs_[i]); });
 }
 
 void AutoCe::RefreshDriftThreshold() {
@@ -189,11 +191,16 @@ std::vector<double> AutoCe::BuildDmlLabel(const DatasetLabel& label) const {
 
 std::vector<size_t> AutoCe::NearestNeighbors(
     const std::vector<double>& embedding, size_t k, size_t exclude) const {
-  std::vector<std::pair<double, size_t>> dist;
-  dist.reserve(embeddings_.size());
-  for (size_t i = 0; i < embeddings_.size(); ++i) {
-    if (i == exclude) continue;
-    dist.emplace_back(nn::EuclideanDistance(embedding, embeddings_[i]), i);
+  // KNN scan (Eq. 13): distances fill index-addressed slots in parallel;
+  // the (distance, index) pair ordering breaks ties deterministically.
+  // The grain keeps small RCS scans on the sequential path where the
+  // per-task overhead would dominate.
+  std::vector<std::pair<double, size_t>> dist(embeddings_.size());
+  util::ParallelFor(0, embeddings_.size(), 1024, [&](size_t i) {
+    dist[i] = {nn::EuclideanDistance(embedding, embeddings_[i]), i};
+  });
+  if (exclude < dist.size()) {
+    dist.erase(dist.begin() + static_cast<ptrdiff_t>(exclude));
   }
   k = std::min(k, dist.size());
   std::partial_sort(dist.begin(), dist.begin() + static_cast<ptrdiff_t>(k),

@@ -1,9 +1,11 @@
 #include "advisor/label.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace autoce::advisor {
 
@@ -100,20 +102,38 @@ LabeledCorpus LabelCorpus(std::vector<data::Dataset> datasets,
                           bool verbose) {
   LabeledCorpus corpus;
   corpus.datasets = std::move(datasets);
-  corpus.graphs.reserve(corpus.datasets.size());
-  corpus.labels.reserve(corpus.datasets.size());
-  for (size_t i = 0; i < corpus.datasets.size(); ++i) {
+  const size_t n = corpus.datasets.size();
+
+  // Stage-1 labeling is embarrassingly parallel across datasets: every
+  // testbed run derives its seed purely from (corpus seed, dataset
+  // index), so cells compute identical labels at any thread count and
+  // land in index-addressed slots. Within a worker, RunTestbed's own
+  // model-level parallelism degrades to the sequential path (nested
+  // regions run inline), so the decomposition stays deterministic.
+  struct LabeledCell {
+    featgraph::FeatureGraph graph;
+    DatasetLabel label;
+  };
+  std::atomic<size_t> progress{0};
+  auto cells = util::ParallelMap(0, n, 1, [&](size_t i) {
     const data::Dataset& ds = corpus.datasets[i];
     ce::TestbedConfig cfg = testbed;
     cfg.seed = testbed.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1));
     auto result = ce::RunTestbed(ds, cfg);
     AUTOCE_CHECK(result.ok());
-    corpus.graphs.push_back(extractor.Extract(ds));
-    corpus.labels.push_back(MakeLabel(*result));
-    if (verbose && (i + 1) % 25 == 0) {
-      AUTOCE_LOG(Info) << "labeled " << (i + 1) << "/"
-                       << corpus.datasets.size() << " datasets";
+    LabeledCell cell{extractor.Extract(ds), MakeLabel(*result)};
+    size_t done = progress.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (verbose && done % 25 == 0) {
+      AUTOCE_LOG(Info) << "labeled " << done << "/" << n << " datasets";
     }
+    return cell;
+  });
+
+  corpus.graphs.reserve(n);
+  corpus.labels.reserve(n);
+  for (auto& cell : cells) {
+    corpus.graphs.push_back(std::move(cell.graph));
+    corpus.labels.push_back(std::move(cell.label));
   }
   return corpus;
 }

@@ -48,7 +48,7 @@ Status LwNnEstimator::Train(const TrainContext& ctx) {
       nn::Matrix xb(end - start, in_dim);
       nn::Matrix yb(end - start, 1);
       for (size_t i = start; i < end; ++i) {
-        xb.SetRow(i - start, x.Row(order[i]));
+        xb.SetRow(i - start, x.RowSpan(order[i]));
         yb(i - start, 0) = y(order[i], 0);
       }
       mlp_->ZeroGrad();

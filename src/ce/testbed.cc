@@ -1,6 +1,7 @@
 #include "ce/testbed.h"
 
 #include "engine/executor.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -66,14 +67,20 @@ Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
 
   std::vector<ModelId> ids =
       config.models.empty() ? AllModels() : config.models;
-  for (ModelId id : ids) {
+  // Candidate models are independent testbed cells: each gets its own
+  // seed (a pure function of config.seed and the model id) and its own
+  // copy of the shared read-only context, so cells evaluate in parallel
+  // with results landing in id order.
+  out.models = util::ParallelMap(0, ids.size(), 1, [&](size_t cell) {
+    ModelId id = ids[cell];
     ModelPerformance perf;
     perf.id = id;
-    ctx.seed = config.seed ^ (static_cast<uint64_t>(id) * 0x9E3779B9ULL);
+    TrainContext cell_ctx = ctx;
+    cell_ctx.seed = config.seed ^ (static_cast<uint64_t>(id) * 0x9E3779B9ULL);
     auto model = CreateModel(id, config.scale);
 
     Timer train_timer;
-    Status st = model->Train(ctx);
+    Status st = model->Train(cell_ctx);
     perf.train_seconds = train_timer.ElapsedSeconds();
     perf.trained_ok = st.ok();
     if (st.ok()) {
@@ -105,8 +112,8 @@ Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
       perf.qerror.mean = 1e9;
       perf.latency_mean_ms = 1e9;
     }
-    out.models.push_back(perf);
-  }
+    return perf;
+  });
   return out;
 }
 

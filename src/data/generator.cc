@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace autoce::data {
 
@@ -194,15 +195,21 @@ Dataset GenerateDataset(const DatasetGenParams& params, Rng* rng) {
 
 std::vector<Dataset> GenerateCorpus(const DatasetGenParams& params, int count,
                                     Rng* rng) {
-  std::vector<Dataset> out;
-  out.reserve(static_cast<size_t>(count));
+  if (count <= 0) return {};
+  // Fork sequentially (Fork advances the parent stream), then generate
+  // in parallel: dataset i depends only on its own pre-forked child
+  // generator, so the corpus is bit-identical at any thread count — and
+  // to the old sequential loop.
+  std::vector<Rng> children;
+  children.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
+    children.push_back(rng->Fork(static_cast<uint64_t>(i)));
+  }
+  return util::ParallelMap(0, static_cast<size_t>(count), 1, [&](size_t i) {
     DatasetGenParams p = params;
     p.name = params.name + "_" + std::to_string(i);
-    Rng child = rng->Fork(static_cast<uint64_t>(i));
-    out.push_back(GenerateDataset(p, &child));
-  }
-  return out;
+    return GenerateDataset(p, &children[i]);
+  });
 }
 
 }  // namespace autoce::data

@@ -5,6 +5,7 @@
 
 #include "nn/optimizer.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace autoce::gnn {
 
@@ -28,23 +29,26 @@ double DmlTrainer::TrainBatch(
   if (m < 2) return 0.0;
   size_t d = encoder_->embedding_dim();
 
-  // Embeddings with traces (one forward per graph; shared parameters).
+  // Embeddings with traces (one forward per graph; shared parameters
+  // are read-only during the forwards, so graphs embed in parallel into
+  // index-addressed slots).
   std::vector<GinTrace> traces(m);
   std::vector<nn::Matrix> x(m);
-  for (size_t i = 0; i < m; ++i) {
+  util::ParallelFor(0, m, 1, [&](size_t i) {
     x[i] = encoder_->Forward(*batch[i], &traces[i]);
-  }
+  });
 
-  // Pairwise similarities (Eq. 6) and distances (Eq. 8).
+  // Pairwise similarities (Eq. 6) and distances (Eq. 8); row i of both
+  // matrices is owned by task i.
   std::vector<std::vector<double>> sim(m, std::vector<double>(m, 0.0));
   std::vector<std::vector<double>> u(m, std::vector<double>(m, 0.0));
-  for (size_t i = 0; i < m; ++i) {
+  util::ParallelFor(0, m, 1, [&](size_t i) {
     for (size_t j = 0; j < m; ++j) {
       if (i == j) continue;
       sim[i][j] = PerformanceSimilarity(*labels[i], *labels[j]);
-      u[i][j] = nn::EuclideanDistance(x[i].Row(0), x[j].Row(0));
+      u[i][j] = nn::EuclideanDistance(x[i].RowSpan(0), x[j].RowSpan(0));
     }
-  }
+  });
 
   double loss = 0.0;
   // dL/dU for every ordered pair (anchor i, instance j).
@@ -112,9 +116,26 @@ double DmlTrainer::TrainBatch(
     }
   }
 
+  // Per-sample backward passes run in parallel, each accumulating into a
+  // private copy of the gradient buffers (the copied encoder shares no
+  // state with its source); the per-thread buffers are then merged in
+  // fixed sample order, which reproduces the sequential accumulation
+  // order bit-for-bit at any thread count.
+  auto contributions = util::ParallelMap(0, m, 1, [&](size_t i) {
+    GinEncoder local(*encoder_);
+    local.ZeroGrad();
+    local.Backward(*batch[i], traces[i], gx[i]);
+    std::vector<nn::Matrix> grads;
+    for (nn::Matrix* g : local.Grads()) grads.push_back(*g);
+    return grads;
+  });
   encoder_->ZeroGrad();
-  for (size_t i = 0; i < m; ++i) {
-    encoder_->Backward(*batch[i], traces[i], gx[i]);
+  std::vector<nn::Matrix*> grads = encoder_->Grads();
+  for (const auto& contribution : contributions) {
+    AUTOCE_CHECK(contribution.size() == grads.size());
+    for (size_t p = 0; p < grads.size(); ++p) {
+      grads[p]->AddInPlace(contribution[p]);
+    }
   }
   optimizer_->Step();
   return loss;

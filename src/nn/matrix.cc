@@ -1,5 +1,6 @@
 #include "nn/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace autoce::nn {
@@ -28,22 +29,67 @@ std::vector<double> Matrix::Row(size_t r) const {
                                  static_cast<ptrdiff_t>((r + 1) * cols_));
 }
 
-void Matrix::SetRow(size_t r, const std::vector<double>& v) {
+void Matrix::SetRow(size_t r, std::span<const double> v) {
   AUTOCE_CHECK(r < rows_ && v.size() == cols_);
   for (size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
 }
 
+namespace {
+
+// Register-tile shape shared by the three dense kernels. Each output
+// tile is accumulated in a stack array across the *entire* k extent and
+// stored once, so every output element is still the plain ascending-k
+// sum the naive loops computed — tiling changes memory traffic, never
+// floating-point associativity. The dense activations these kernels see
+// (post-ReLU batches, GIN aggregations) made the old `aik == 0.0` skip a
+// mispredicted branch per inner step; it is deliberately gone.
+//
+// Full tiles take a path whose loop bounds are compile-time constants:
+// without that, the variable trip counts keep the accumulators in
+// memory instead of registers and the kernel loses to the naive loop.
+// 4x4 (16 accumulators) measures fastest across both the large shapes
+// in bench_parallel_scaling and the small GIN/MLP shapes that dominate
+// training; larger tiles win a little on big matrices but spill on the
+// baseline-SSE2 register budget and lose on narrow ones.
+constexpr size_t kTileRows = 4;
+constexpr size_t kTileCols = 4;
+
+}  // namespace
+
 Matrix Matrix::MatMul(const Matrix& other) const {
   AUTOCE_CHECK(cols_ == other.rows_);
-  Matrix out(rows_, other.cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a = data_.data() + i * cols_;
-    double* o = out.data() + i * other.cols_;
-    for (size_t k = 0; k < cols_; ++k) {
-      double aik = a[k];
-      if (aik == 0.0) continue;
-      const double* b = other.data() + k * other.cols_;
-      for (size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+  const size_t m = rows_, kk = cols_, n = other.cols_;
+  Matrix out(m, n);
+  const double* a = data_.data();
+  const double* b = other.data();
+  // Loop order: column panel of B (stays L1/L2-resident across row
+  // tiles), then row tile of A, then the full k extent per tile.
+  for (size_t j0 = 0; j0 < n; j0 += kTileCols) {
+    const size_t nr = std::min(kTileCols, n - j0);
+    for (size_t i0 = 0; i0 < m; i0 += kTileRows) {
+      const size_t mr = std::min(kTileRows, m - i0);
+      double acc[kTileRows][kTileCols] = {};
+      if (mr == kTileRows && nr == kTileCols) {
+        for (size_t k = 0; k < kk; ++k) {
+          const double* brow = b + k * n + j0;
+          for (size_t r = 0; r < kTileRows; ++r) {
+            const double ark = a[(i0 + r) * kk + k];
+            for (size_t c = 0; c < kTileCols; ++c) acc[r][c] += ark * brow[c];
+          }
+        }
+      } else {
+        for (size_t k = 0; k < kk; ++k) {
+          const double* brow = b + k * n + j0;
+          for (size_t r = 0; r < mr; ++r) {
+            const double ark = a[(i0 + r) * kk + k];
+            for (size_t c = 0; c < nr; ++c) acc[r][c] += ark * brow[c];
+          }
+        }
+      }
+      for (size_t r = 0; r < mr; ++r) {
+        double* orow = out.data() + (i0 + r) * n + j0;
+        for (size_t c = 0; c < nr; ++c) orow[c] = acc[r][c];
+      }
     }
   }
   return out;
@@ -51,15 +97,40 @@ Matrix Matrix::MatMul(const Matrix& other) const {
 
 Matrix Matrix::TransposeMatMul(const Matrix& other) const {
   AUTOCE_CHECK(rows_ == other.rows_);
-  Matrix out(cols_, other.cols_);
-  for (size_t k = 0; k < rows_; ++k) {
-    const double* a = data_.data() + k * cols_;
-    const double* b = other.data() + k * other.cols_;
-    for (size_t i = 0; i < cols_; ++i) {
-      double aki = a[i];
-      if (aki == 0.0) continue;
-      double* o = out.data() + i * other.cols_;
-      for (size_t j = 0; j < other.cols_; ++j) o[j] += aki * b[j];
+  const size_t kk = rows_, m = cols_, n = other.cols_;
+  Matrix out(m, n);
+  const double* a = data_.data();
+  const double* b = other.data();
+  // C = A^T B as a k-ordered sum of outer products; both operands are
+  // read along contiguous rows at every k step.
+  for (size_t j0 = 0; j0 < n; j0 += kTileCols) {
+    const size_t nr = std::min(kTileCols, n - j0);
+    for (size_t i0 = 0; i0 < m; i0 += kTileRows) {
+      const size_t mr = std::min(kTileRows, m - i0);
+      double acc[kTileRows][kTileCols] = {};
+      if (mr == kTileRows && nr == kTileCols) {
+        for (size_t k = 0; k < kk; ++k) {
+          const double* arow = a + k * m + i0;
+          const double* brow = b + k * n + j0;
+          for (size_t r = 0; r < kTileRows; ++r) {
+            const double aki = arow[r];
+            for (size_t c = 0; c < kTileCols; ++c) acc[r][c] += aki * brow[c];
+          }
+        }
+      } else {
+        for (size_t k = 0; k < kk; ++k) {
+          const double* arow = a + k * m + i0;
+          const double* brow = b + k * n + j0;
+          for (size_t r = 0; r < mr; ++r) {
+            const double aki = arow[r];
+            for (size_t c = 0; c < nr; ++c) acc[r][c] += aki * brow[c];
+          }
+        }
+      }
+      for (size_t r = 0; r < mr; ++r) {
+        double* orow = out.data() + (i0 + r) * n + j0;
+        for (size_t c = 0; c < nr; ++c) orow[c] = acc[r][c];
+      }
     }
   }
   return out;
@@ -67,14 +138,40 @@ Matrix Matrix::TransposeMatMul(const Matrix& other) const {
 
 Matrix Matrix::MatMulTranspose(const Matrix& other) const {
   AUTOCE_CHECK(cols_ == other.cols_);
-  Matrix out(rows_, other.rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a = data_.data() + i * cols_;
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const double* b = other.data() + j * other.cols_;
-      double s = 0.0;
-      for (size_t k = 0; k < cols_; ++k) s += a[k] * b[k];
-      out(i, j) = s;
+  const size_t m = rows_, kk = cols_, n = other.rows_;
+  Matrix out(m, n);
+  const double* a = data_.data();
+  const double* b = other.data();
+  // C = A B^T: a tile of dot products; the k loop streams mr + nr
+  // contiguous rows while mr * nr accumulators sit in registers.
+  for (size_t j0 = 0; j0 < n; j0 += kTileCols) {
+    const size_t nr = std::min(kTileCols, n - j0);
+    for (size_t i0 = 0; i0 < m; i0 += kTileRows) {
+      const size_t mr = std::min(kTileRows, m - i0);
+      double acc[kTileRows][kTileCols] = {};
+      if (mr == kTileRows && nr == kTileCols) {
+        for (size_t k = 0; k < kk; ++k) {
+          for (size_t r = 0; r < kTileRows; ++r) {
+            const double ark = a[(i0 + r) * kk + k];
+            for (size_t c = 0; c < kTileCols; ++c) {
+              acc[r][c] += ark * b[(j0 + c) * kk + k];
+            }
+          }
+        }
+      } else {
+        for (size_t k = 0; k < kk; ++k) {
+          for (size_t r = 0; r < mr; ++r) {
+            const double ark = a[(i0 + r) * kk + k];
+            for (size_t c = 0; c < nr; ++c) {
+              acc[r][c] += ark * b[(j0 + c) * kk + k];
+            }
+          }
+        }
+      }
+      for (size_t r = 0; r < mr; ++r) {
+        double* orow = out.data() + (i0 + r) * n + j0;
+        for (size_t c = 0; c < nr; ++c) orow[c] = acc[r][c];
+      }
     }
   }
   return out;
@@ -145,7 +242,7 @@ double Matrix::Sum() const {
   return s;
 }
 
-double SquaredL2(const std::vector<double>& a, const std::vector<double>& b) {
+double SquaredL2(std::span<const double> a, std::span<const double> b) {
   AUTOCE_CHECK(a.size() == b.size());
   double s = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
@@ -155,13 +252,12 @@ double SquaredL2(const std::vector<double>& a, const std::vector<double>& b) {
   return s;
 }
 
-double EuclideanDistance(const std::vector<double>& a,
-                         const std::vector<double>& b) {
+double EuclideanDistance(std::span<const double> a,
+                         std::span<const double> b) {
   return std::sqrt(SquaredL2(a, b));
 }
 
-double CosineSimilarity(const std::vector<double>& a,
-                        const std::vector<double>& b) {
+double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
   AUTOCE_CHECK(a.size() == b.size());
   double dot = 0.0, na = 0.0, nb = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {

@@ -2,6 +2,7 @@
 #define AUTOCE_NN_MATRIX_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "util/logging.h"
@@ -50,10 +51,24 @@ class Matrix {
   /// Row `r` as a copy.
   std::vector<double> Row(size_t r) const;
 
-  /// Overwrites row `r` with `v` (v.size() must equal cols()).
-  void SetRow(size_t r, const std::vector<double>& v);
+  /// Row `r` as a zero-copy view; the preferred accessor in hot loops.
+  std::span<const double> RowSpan(size_t r) const {
+    AUTOCE_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
 
-  /// this * other  (rows x other.cols).
+  /// Mutable zero-copy view of row `r`.
+  std::span<double> MutableRowSpan(size_t r) {
+    AUTOCE_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Overwrites row `r` with `v` (v.size() must equal cols()).
+  void SetRow(size_t r, std::span<const double> v);
+
+  /// this * other  (rows x other.cols). Cache-tiled dense kernel; the
+  /// per-element accumulation order is the plain ascending-k order, so
+  /// results are bit-identical to the naive triple loop.
   Matrix MatMul(const Matrix& other) const;
 
   /// this^T * other.
@@ -94,16 +109,15 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// Squared L2 distance between two equal-length vectors.
-double SquaredL2(const std::vector<double>& a, const std::vector<double>& b);
+/// Squared L2 distance between two equal-length vectors (vectors and
+/// RowSpan views convert implicitly).
+double SquaredL2(std::span<const double> a, std::span<const double> b);
 
 /// Euclidean distance between two equal-length vectors.
-double EuclideanDistance(const std::vector<double>& a,
-                         const std::vector<double>& b);
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
 
 /// Cosine similarity; 0 when either vector is all-zero.
-double CosineSimilarity(const std::vector<double>& a,
-                        const std::vector<double>& b);
+double CosineSimilarity(std::span<const double> a, std::span<const double> b);
 
 }  // namespace autoce::nn
 

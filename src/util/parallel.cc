@@ -1,0 +1,144 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace autoce::util {
+
+namespace {
+
+/// True while the current thread is inside a parallel region (a worker
+/// task or the caller's own drain loop); nested ParallelFor calls from
+/// such a thread run inline so the decomposition seen by callers never
+/// depends on scheduling, and the pool cannot deadlock on itself.
+thread_local bool t_in_parallel_region = false;
+
+struct RegionGuard {
+  RegionGuard() : prev(t_in_parallel_region) { t_in_parallel_region = true; }
+  ~RegionGuard() { t_in_parallel_region = prev; }
+  bool prev;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  int workers = std::max(0, threads - 1);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int t = 0; t < workers; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    RegionGuard region;
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t n = end - begin;
+  const size_t chunks = (n + grain - 1) / grain;
+  if (workers_.empty() || chunks <= 1 || t_in_parallel_region) {
+    RegionGuard region;
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Shared chunk queue: each claimant grabs the next `grain`-sized chunk.
+  // All state lives on this stack frame; the completion latch guarantees
+  // every enqueued task has returned before ParallelFor does.
+  std::atomic<size_t> next{begin};
+  auto drain = [&fn, &next, end, grain] {
+    for (;;) {
+      size_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) return;
+      size_t hi = std::min(lo + grain, end);
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    }
+  };
+
+  const size_t helpers = std::min(workers_.size(), chunks - 1);
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t active = helpers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t t = 0; t < helpers; ++t) {
+      tasks_.emplace_back([&drain, &done_mu, &done_cv, &active] {
+        drain();
+        std::lock_guard<std::mutex> done_lock(done_mu);
+        if (--active == 0) done_cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+  {
+    RegionGuard region;
+    drain();
+  }
+  std::unique_lock<std::mutex> done_lock(done_mu);
+  done_cv.wait(done_lock, [&active] { return active == 0; });
+}
+
+int DefaultParallelism() {
+  if (const char* env = std::getenv("AUTOCE_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+ThreadPool* GetPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr) {
+    g_pool = std::make_unique<ThreadPool>(DefaultParallelism());
+  }
+  return g_pool.get();
+}
+
+}  // namespace
+
+int GlobalParallelism() { return GetPool()->num_threads(); }
+
+void SetGlobalParallelism(int threads) {
+  auto pool = std::make_unique<ThreadPool>(std::max(1, threads));
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_pool = std::move(pool);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn) {
+  GetPool()->ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace autoce::util

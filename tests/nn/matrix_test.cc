@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 namespace autoce::nn {
 namespace {
@@ -86,7 +87,7 @@ TEST(MatrixTest, RowAccessors) {
   Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
   auto r = a.Row(1);
   EXPECT_EQ(r, (std::vector<double>{4, 5, 6}));
-  a.SetRow(0, {7, 8, 9});
+  a.SetRow(0, std::vector<double>{7, 8, 9});
   EXPECT_DOUBLE_EQ(a(0, 2), 9.0);
 }
 
@@ -112,10 +113,60 @@ TEST(VectorMathTest, Distances) {
 }
 
 TEST(VectorMathTest, CosineSimilarity) {
-  EXPECT_NEAR(CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-12);
-  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
-  EXPECT_NEAR(CosineSimilarity({1, 1}, {-1, -1}), -1.0, 1e-12);
-  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+  std::vector<double> e1{1, 0}, e2{0, 1}, ones{1, 1}, neg{-1, -1}, zero{0, 0};
+  EXPECT_NEAR(CosineSimilarity(e1, e1), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity(e1, e2), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity(ones, neg), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(zero, ones), 0.0);
+}
+
+TEST(MatrixTest, RowSpanViewsRowWithoutCopy) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  std::span<const double> r1 = m.RowSpan(1);
+  ASSERT_EQ(r1.size(), 3u);
+  EXPECT_EQ(r1.data(), m.data() + 3);
+  EXPECT_DOUBLE_EQ(r1[0], 4.0);
+  m.MutableRowSpan(1)[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+  Matrix dst(1, 3);
+  dst.SetRow(0, m.RowSpan(1));
+  EXPECT_DOUBLE_EQ(dst(0, 2), 9.0);
+}
+
+TEST(MatrixTest, TiledMatMulMatchesReferenceOnOddShapes) {
+  // Exercises every remainder path of the 4x8 register tile, including
+  // exact zeros in A (the old kernel special-cased them).
+  Rng rng(11);
+  for (auto [m, k, n] : {std::tuple<size_t, size_t, size_t>{1, 1, 1},
+                         {3, 5, 7},
+                         {4, 8, 8},
+                         {5, 9, 17},
+                         {13, 2, 31}}) {
+    Matrix a(m, k), b(k, n);
+    for (size_t i = 0; i < a.size(); ++i) {
+      a.data()[i] = rng.Bernoulli(0.3) ? 0.0 : rng.Gaussian();
+    }
+    for (size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.Gaussian();
+    Matrix c = a.MatMul(b);
+    ASSERT_EQ(c.rows(), m);
+    ASSERT_EQ(c.cols(), n);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        double ref = 0.0;
+        for (size_t kk = 0; kk < k; ++kk) ref += a(i, kk) * b(kk, j);
+        EXPECT_DOUBLE_EQ(c(i, j), ref) << i << "," << j;
+      }
+    }
+    // The transpose kernels must agree with explicit transposition.
+    Matrix t1 = a.Transposed().TransposeMatMul(b);
+    Matrix t2 = a.MatMulTranspose(b.Transposed());
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(t1(i, j), c(i, j), 1e-12);
+        EXPECT_NEAR(t2(i, j), c(i, j), 1e-12);
+      }
+    }
+  }
 }
 
 }  // namespace
