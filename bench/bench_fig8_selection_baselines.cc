@@ -15,6 +15,8 @@ int Run() {
   std::printf("== Figure 8: AutoCE vs selection baselines ==\n");
   BenchSpec spec = DefaultSpec(808);
   BenchData data = BuildCorpus(spec);
+  std::printf("# degraded labels: %d failed cells (train), %d (test)\n",
+              CountFailedCells(data.train), CountFailedCells(data.test));
 
   std::vector<std::unique_ptr<advisor::ModelSelector>> selectors;
   selectors.push_back(std::make_unique<AutoCeSelector>());

@@ -106,6 +106,14 @@ inline advisor::SamplingSelector::Config BenchSamplingConfig(
   return scfg;
 }
 
+/// Number of failed (sentinel-scored) testbed cells across a corpus —
+/// benches report it so degraded labels are visible in the output.
+inline int CountFailedCells(const advisor::LabeledCorpus& corpus) {
+  int failed = 0;
+  for (const auto& label : corpus.labels) failed += label.NumFailed();
+  return failed;
+}
+
 /// Mean D-error of a fitted selector over a labeled corpus.
 inline double SelectorMeanDError(advisor::ModelSelector* selector,
                                  const advisor::LabeledCorpus& corpus,

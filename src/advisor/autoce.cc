@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <span>
 
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/serde.h"
@@ -16,16 +19,61 @@ AutoCe::AutoCe(AutoCeConfig config)
       extractor_(config_.feature),
       rng_(config_.seed) {}
 
+Status AutoCe::ValidateSample(const featgraph::FeatureGraph& graph,
+                              const DatasetLabel& label,
+                              size_t index) const {
+  AUTOCE_RETURN_NOT_OK(
+      featgraph::ValidateGraph(graph, extractor_.vertex_dim()));
+  if (!nn::IsFinite(std::span<const double>(label.accuracy_score)) ||
+      !nn::IsFinite(std::span<const double>(label.efficiency_score)) ||
+      !nn::IsFinite(std::span<const double>(label.qerror_mean)) ||
+      !nn::IsFinite(std::span<const double>(label.latency_ms))) {
+    return Status::InvalidArgument("label for sample " +
+                                   std::to_string(index) +
+                                   " contains non-finite scores");
+  }
+  if (util::FaultPoint(util::fault_sites::kFitSample, index)) {
+    return Status::Internal("injected sample fault at index " +
+                            std::to_string(index));
+  }
+  return Status::OK();
+}
+
 Status AutoCe::Fit(const std::vector<featgraph::FeatureGraph>& graphs,
                    const std::vector<DatasetLabel>& labels) {
   if (graphs.size() != labels.size()) {
     return Status::InvalidArgument("graphs/labels size mismatch");
   }
-  if (graphs.size() < 4) {
-    return Status::InvalidArgument("need at least 4 labeled datasets");
+  // Skip-and-report: a corrupt sample (bad graph shape, non-finite
+  // features or scores) is dropped from the corpus instead of aborting
+  // the fit; training only fails when too few valid samples remain.
+  fit_report_ = FitReport{};
+  fit_report_.samples_total = graphs.size();
+  graphs_.clear();
+  labels_.clear();
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    Status st = ValidateSample(graphs[i], labels[i], i);
+    if (!st.ok()) {
+      ++fit_report_.samples_skipped;
+      if (fit_report_.skipped_reasons.size() < 5) {
+        fit_report_.skipped_reasons.push_back(st.ToString());
+      }
+      continue;
+    }
+    graphs_.push_back(graphs[i]);
+    labels_.push_back(labels[i]);
   }
-  graphs_ = graphs;
-  labels_ = labels;
+  if (fit_report_.samples_skipped > 0) {
+    AUTOCE_LOG(Warning) << "Fit skipped " << fit_report_.samples_skipped
+                        << "/" << fit_report_.samples_total
+                        << " corrupt samples";
+  }
+  if (graphs_.size() < 4) {
+    return Status::InvalidArgument(
+        "need at least 4 valid labeled datasets (" +
+        std::to_string(graphs_.size()) + " of " +
+        std::to_string(graphs.size()) + " usable)");
+  }
   // DML similarity labels: concatenated score vectors, centered on the
   // corpus mean. Centering matters: the efficiency components share a
   // large dataset-independent structure (the models' inherent latency
@@ -52,6 +100,7 @@ Status AutoCe::Fit(const std::vector<featgraph::FeatureGraph>& graphs,
   Rng train_rng = rng_.Fork(2);
   if (config_.validation_interval <= 0) {
     auto loss = trainer_->Train(graphs_, dml_labels_, &train_rng);
+    fit_report_.dml_batches_skipped += trainer_->last_skipped_batches();
     if (!loss.ok()) return loss.status();
     RefreshEmbeddings();
   } else {
@@ -66,7 +115,9 @@ Status AutoCe::Fit(const std::vector<featgraph::FeatureGraph>& graphs,
     std::iota(order.begin(), order.end(), 0);
     Rng split_rng = rng_.Fork(7);
     split_rng.Shuffle(&order);
-    size_t val_n = std::max<size_t>(4, n / 5);
+    // Clamp so the 80% side keeps >= 2 graphs: tiny corpora (possible
+    // after Fit skipped corrupt samples) must still be trainable.
+    size_t val_n = std::min(std::max<size_t>(4, n / 5), n - 2);
     std::vector<size_t> val_idx(order.begin(),
                                 order.begin() + static_cast<ptrdiff_t>(val_n));
     std::vector<featgraph::FeatureGraph> fit_graphs;
@@ -91,6 +142,7 @@ Status AutoCe::Fit(const std::vector<featgraph::FeatureGraph>& graphs,
     while (trained < config_.dml.epochs) {
       gnn::DmlTrainer chunk_trainer(encoder_.get(), chunk_cfg);
       auto loss = chunk_trainer.Train(fit_graphs, fit_labels, &train_rng);
+      fit_report_.dml_batches_skipped += chunk_trainer.last_skipped_batches();
       if (!loss.ok()) return loss.status();
       trained += chunk_cfg.epochs;
       RefreshEmbeddings();
@@ -132,11 +184,11 @@ double AutoCe::HoldOutDError(const std::vector<size_t>& val_idx) const {
   double total = 0.0;
   int count = 0;
   for (size_t i : val_idx) {
-    if (i >= graphs_.size()) continue;
+    if (i >= graphs_.size() || !embedding_ok_[i]) continue;
     // Nearest non-validation neighbors only.
     std::vector<std::pair<double, size_t>> dist;
     for (size_t j = 0; j < embeddings_.size(); ++j) {
-      if (is_val[j]) continue;
+      if (is_val[j] || !embedding_ok_[j]) continue;
       dist.emplace_back(
           nn::EuclideanDistance(embeddings_[i], embeddings_[j]), j);
     }
@@ -167,12 +219,18 @@ void AutoCe::RefreshEmbeddings() {
   // embeds into its own slot.
   embeddings_ = util::ParallelMap(
       0, graphs_.size(), 1, [&](size_t i) { return encoder_->Embed(graphs_[i]); });
+  embedding_ok_.assign(embeddings_.size(), 1);
+  for (size_t i = 0; i < embeddings_.size(); ++i) {
+    embedding_ok_[i] =
+        nn::IsFinite(std::span<const double>(embeddings_[i])) ? 1 : 0;
+  }
 }
 
 void AutoCe::RefreshDriftThreshold() {
   // 90th percentile of each member's nearest-neighbor distance.
   std::vector<double> nn_dist;
   for (size_t i = 0; i < embeddings_.size(); ++i) {
+    if (!embedding_ok_[i]) continue;
     auto nn = NearestNeighbors(embeddings_[i], 1, /*exclude=*/i);
     if (!nn.empty()) {
       nn_dist.push_back(
@@ -197,7 +255,12 @@ std::vector<size_t> AutoCe::NearestNeighbors(
   // per-task overhead would dominate.
   std::vector<std::pair<double, size_t>> dist(embeddings_.size());
   util::ParallelFor(0, embeddings_.size(), 1024, [&](size_t i) {
-    dist[i] = {nn::EuclideanDistance(embedding, embeddings_[i]), i};
+    // Degraded members (non-finite embeddings) sort last and are
+    // filtered below: they can never be retrieved as neighbors.
+    double d = embedding_ok_[i]
+                   ? nn::EuclideanDistance(embedding, embeddings_[i])
+                   : std::numeric_limits<double>::infinity();
+    dist[i] = {d, i};
   });
   if (exclude < dist.size()) {
     dist.erase(dist.begin() + static_cast<ptrdiff_t>(exclude));
@@ -206,7 +269,10 @@ std::vector<size_t> AutoCe::NearestNeighbors(
   std::partial_sort(dist.begin(), dist.begin() + static_cast<ptrdiff_t>(k),
                     dist.end());
   std::vector<size_t> out;
-  for (size_t i = 0; i < k; ++i) out.push_back(dist[i].second);
+  for (size_t i = 0; i < k; ++i) {
+    if (!std::isfinite(dist[i].first)) break;
+    out.push_back(dist[i].second);
+  }
   return out;
 }
 
@@ -285,6 +351,7 @@ Status AutoCe::RunIncrementalLearning() {
   gnn::DmlTrainer inc_trainer(encoder_.get(), inc_cfg);
   Rng inc_rng = rng_.Fork(5);
   auto loss = inc_trainer.Train(new_graphs, new_dml_labels, &inc_rng);
+  fit_report_.dml_batches_skipped += inc_trainer.last_skipped_batches();
   if (!loss.ok()) return loss.status();
 
   // Synthetic samples also join the RCS (they carry valid labels).
@@ -301,14 +368,53 @@ std::vector<double> AutoCe::Embed(
   return encoder_->Embed(graph);
 }
 
+AutoCe::Recommendation AutoCe::FallbackRecommendation(
+    double w_a, std::string reason) const {
+  // The same default the drift detector hands an out-of-distribution
+  // dataset: ignore the (unusable) embedding geometry and pick the
+  // model that scores best on average over the whole RCS.
+  Recommendation rec;
+  rec.degraded = true;
+  rec.degraded_reason = std::move(reason);
+  rec.score_vector.assign(ce::kNumModels, 0.0);
+  for (const auto& label : labels_) {
+    auto s = label.ScoreVector(w_a);
+    for (size_t m = 0; m < rec.score_vector.size(); ++m) {
+      rec.score_vector[m] += s[m];
+    }
+  }
+  for (double& v : rec.score_vector) {
+    v /= static_cast<double>(std::max<size_t>(1, labels_.size()));
+  }
+  size_t best = 0;
+  for (size_t m = 1; m < rec.score_vector.size(); ++m) {
+    if (rec.score_vector[m] > rec.score_vector[best]) best = m;
+  }
+  rec.model = static_cast<ce::ModelId>(best);
+  return rec;
+}
+
 Result<AutoCe::Recommendation> AutoCe::Recommend(
     const featgraph::FeatureGraph& graph, double w_a) const {
   if (encoder_ == nullptr || embeddings_.empty()) {
     return Status::FailedPrecondition("advisor is not fitted");
   }
+  AUTOCE_RETURN_NOT_OK(
+      featgraph::ValidateGraph(graph, extractor_.vertex_dim()));
   auto embedding = encoder_->Embed(graph);
+  if (util::FaultPoint(
+          util::fault_sites::kRecommendEmbed,
+          util::FaultKeyFromDoubles(embedding.data(), embedding.size()))) {
+    std::fill(embedding.begin(), embedding.end(),
+              std::numeric_limits<double>::quiet_NaN());
+  }
+  if (!nn::IsFinite(std::span<const double>(embedding))) {
+    return FallbackRecommendation(w_a, "non-finite target embedding");
+  }
   auto nn = NearestNeighbors(embedding, static_cast<size_t>(config_.knn_k));
-  if (nn.empty()) return Status::Internal("empty RCS");
+  if (nn.empty()) {
+    return FallbackRecommendation(w_a, "no usable RCS embedding");
+  }
 
   Recommendation rec;
   rec.neighbors = nn;
@@ -332,13 +438,20 @@ Result<AutoCe::Recommendation> AutoCe::Recommend(
 
 Result<AutoCe::Recommendation> AutoCe::RecommendDataset(
     const data::Dataset& dataset, double w_a) const {
+  AUTOCE_RETURN_NOT_OK(dataset.Validate());
   return Recommend(extractor_.Extract(dataset), w_a);
 }
 
 double AutoCe::DistanceToRcs(const featgraph::FeatureGraph& graph) const {
   AUTOCE_CHECK(encoder_ != nullptr && !embeddings_.empty());
   auto embedding = encoder_->Embed(graph);
+  if (!nn::IsFinite(std::span<const double>(embedding))) {
+    // A dataset we cannot even embed is by definition out of
+    // distribution; infinity trips every drift threshold.
+    return std::numeric_limits<double>::infinity();
+  }
   auto nn = NearestNeighbors(embedding, 1);
+  if (nn.empty()) return std::numeric_limits<double>::infinity();
   return nn::EuclideanDistance(embedding, embeddings_[nn[0]]);
 }
 
@@ -352,6 +465,7 @@ Status AutoCe::AddLabeledSample(const featgraph::FeatureGraph& graph,
   if (encoder_ == nullptr) {
     return Status::FailedPrecondition("advisor is not fitted");
   }
+  AUTOCE_RETURN_NOT_OK(ValidateSample(graph, label, graphs_.size()));
   graphs_.push_back(graph);
   labels_.push_back(label);
   dml_labels_.push_back(BuildDmlLabel(label));
@@ -384,7 +498,8 @@ double AutoCe::EvaluateMeanDError(
 namespace {
 
 constexpr uint32_t kMagic = 0x41434531;  // "ACE1"
-constexpr uint32_t kVersion = 1;
+// Version 2 added per-model `failed` flags to each RCS label.
+constexpr uint32_t kVersion = 2;
 
 void WriteMatrix(BinaryWriter* w, const nn::Matrix& m) {
   w->WriteU64(m.rows());
@@ -437,6 +552,7 @@ Status AutoCe::Save(const std::string& path) const {
       w.WriteDouble(label.efficiency_score[static_cast<size_t>(m)]);
       w.WriteDouble(label.qerror_mean[static_cast<size_t>(m)]);
       w.WriteDouble(label.latency_ms[static_cast<size_t>(m)]);
+      w.WriteU32(label.failed[static_cast<size_t>(m)] ? 1 : 0);
     }
   }
 
@@ -483,6 +599,7 @@ Result<AutoCe> AutoCe::Load(const std::string& path) {
       label.efficiency_score[static_cast<size_t>(m)] = r.ReadDouble();
       label.qerror_mean[static_cast<size_t>(m)] = r.ReadDouble();
       label.latency_ms[static_cast<size_t>(m)] = r.ReadDouble();
+      label.failed[static_cast<size_t>(m)] = r.ReadU32() != 0;
     }
     advisor.graphs_.push_back(std::move(g));
     advisor.labels_.push_back(label);

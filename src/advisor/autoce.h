@@ -64,22 +64,50 @@ class AutoCe {
   const AutoCeConfig& config() const { return config_; }
   const featgraph::FeatureExtractor& extractor() const { return extractor_; }
 
+  /// What Fit did with corrupt inputs: how many samples were dropped
+  /// before training (bad graph shape, non-finite label, injected
+  /// fault) and how many DML batches were skipped for non-finite
+  /// losses/gradients. `skipped_reasons` keeps the first few diagnoses.
+  struct FitReport {
+    size_t samples_total = 0;
+    size_t samples_skipped = 0;
+    int dml_batches_skipped = 0;
+    std::vector<std::string> skipped_reasons;
+  };
+
   /// Stage 2 + 3. Graphs/labels are copied into the recommendation
-  /// candidate set (RCS).
+  /// candidate set (RCS). Samples that fail validation (graph shape
+  /// mismatch, non-finite features or label scores) are skipped and
+  /// reported in `fit_report()` instead of aborting; Fit only fails
+  /// when fewer than 4 valid samples remain.
   Status Fit(const std::vector<featgraph::FeatureGraph>& graphs,
              const std::vector<DatasetLabel>& labels);
+
+  /// Degradation report of the most recent Fit() call.
+  const FitReport& fit_report() const { return fit_report_; }
 
   struct Recommendation {
     ce::ModelId model = ce::ModelId::kMscn;
     std::vector<double> score_vector;   // averaged neighbor scores at w_a
     std::vector<size_t> neighbors;      // RCS indices used
+    /// True when KNN retrieval was impossible (non-finite target
+    /// embedding or no usable RCS embedding) and the recommendation
+    /// fell back to the corpus-level default model — the argmax of the
+    /// mean RCS score vector, the same model the drift detector
+    /// defaults to for out-of-distribution datasets.
+    bool degraded = false;
+    std::string degraded_reason;
   };
 
-  /// Stage 4 for a pre-extracted feature graph.
+  /// Stage 4 for a pre-extracted feature graph. Rejects graphs whose
+  /// shape does not match the trained extractor config
+  /// (InvalidArgument); degrades to the corpus default model (see
+  /// Recommendation::degraded) instead of failing when the embedding
+  /// or the RCS is unusable.
   Result<Recommendation> Recommend(const featgraph::FeatureGraph& graph,
                                    double w_a) const;
 
-  /// Stage 4 end-to-end from a dataset.
+  /// Stage 4 end-to-end from a dataset (validated first).
   Result<Recommendation> RecommendDataset(const data::Dataset& dataset,
                                           double w_a) const;
 
@@ -125,6 +153,15 @@ class AutoCe {
   /// Centered DML similarity label for one dataset label.
   std::vector<double> BuildDmlLabel(const DatasetLabel& label) const;
 
+  /// Validates one (graph, label) training sample; `index` keys the
+  /// `advisor.fit.sample` fault site.
+  Status ValidateSample(const featgraph::FeatureGraph& graph,
+                        const DatasetLabel& label, size_t index) const;
+
+  /// The corpus-level fallback: argmax of the mean RCS score vector.
+  Recommendation FallbackRecommendation(double w_a,
+                                        std::string reason) const;
+
   /// Mean D-error of the held-out validation members under KNN over the
   /// non-validation RCS (averaged over the supported weights) — the
   /// checkpointing signal of Fit.
@@ -149,7 +186,11 @@ class AutoCe {
   std::vector<double> label_mean_;               // centering vector
   std::vector<std::vector<double>> dml_labels_;  // centered concat scores
   std::vector<std::vector<double>> embeddings_;
+  /// embedding_ok_[i] is false when embeddings_[i] has non-finite
+  /// entries; such members are skipped by every KNN scan.
+  std::vector<char> embedding_ok_;
   double drift_threshold_ = 0.0;
+  FitReport fit_report_;
 };
 
 }  // namespace autoce::advisor

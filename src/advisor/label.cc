@@ -60,38 +60,73 @@ DatasetLabel DatasetLabel::Mixup(const DatasetLabel& a, const DatasetLabel& b,
         lambda * a.qerror_mean[m] + (1 - lambda) * b.qerror_mean[m];
     out.latency_ms[m] =
         lambda * a.latency_ms[m] + (1 - lambda) * b.latency_ms[m];
+    // A virtual sample interpolated from a failed cell inherits the
+    // failure: its score is part sentinel, not a real measurement.
+    out.failed[m] = a.failed[m] || b.failed[m];
   }
   return out;
+}
+
+int DatasetLabel::NumFailed() const {
+  int n = 0;
+  for (bool f : failed) n += f ? 1 : 0;
+  return n;
 }
 
 DatasetLabel MakeLabel(const ce::TestbedResult& result) {
   DatasetLabel label;
   AUTOCE_CHECK(result.models.size() <= ce::kNumModels);
 
+  // Start from the sentinel: every model is failed with the worst
+  // normalized score and capped raw metrics; measured-ok cells below
+  // overwrite their slots. Models the testbed never ran (subset
+  // configs) therefore stay sentinel-scored too.
+  for (size_t m = 0; m < ce::kNumModels; ++m) {
+    label.failed[m] = true;
+    label.accuracy_score[m] = kScoreFloor;
+    label.efficiency_score[m] = kScoreFloor;
+    label.qerror_mean[m] = kQErrorCap;
+    label.latency_ms[m] = kLatencyCapMs;
+  }
+
+  // Eq. 3-4 normalization over the cells that actually trained; a
+  // failed cell's garbage metrics must not move anyone's min/max.
   std::vector<double> log_qe, log_lat;
   for (const auto& perf : result.models) {
+    if (!perf.trained_ok || !std::isfinite(perf.qerror.mean) ||
+        !std::isfinite(perf.latency_mean_ms)) {
+      continue;
+    }
     log_qe.push_back(
         std::log(std::clamp(perf.qerror.mean, 1.0, kQErrorCap)));
     log_lat.push_back(
         std::log(std::clamp(perf.latency_mean_ms, 1e-6, kLatencyCapMs)));
   }
+  if (log_qe.empty()) return label;  // all cells failed: pure sentinel
   double qe_max = *std::max_element(log_qe.begin(), log_qe.end());
   double qe_min = *std::min_element(log_qe.begin(), log_qe.end());
   double lat_max = *std::max_element(log_lat.begin(), log_lat.end());
   double lat_min = *std::min_element(log_lat.begin(), log_lat.end());
 
-  for (size_t i = 0; i < result.models.size(); ++i) {
-    size_t m = static_cast<size_t>(result.models[i].id);
-    label.qerror_mean[m] = result.models[i].qerror.mean;
-    label.latency_ms[m] = result.models[i].latency_mean_ms;
+  size_t ok_idx = 0;
+  for (const auto& perf : result.models) {
+    size_t m = static_cast<size_t>(perf.id);
+    if (!perf.trained_ok || !std::isfinite(perf.qerror.mean) ||
+        !std::isfinite(perf.latency_mean_ms)) {
+      continue;
+    }
+    label.failed[m] = false;
+    label.qerror_mean[m] = perf.qerror.mean;
+    label.latency_ms[m] = perf.latency_mean_ms;
     double sa = (qe_max - qe_min < 1e-12)
                     ? 1.0
-                    : (qe_max - log_qe[i]) / (qe_max - qe_min);
+                    : (qe_max - log_qe[ok_idx]) / (qe_max - qe_min);
     double se = (lat_max - lat_min < 1e-12)
                     ? 1.0
-                    : (lat_max - log_lat[i]) / (lat_max - lat_min);
+                    : (lat_max - log_lat[ok_idx]) / (lat_max - lat_min);
     label.accuracy_score[m] = kScoreFloor + (1.0 - kScoreFloor) * sa;
     label.efficiency_score[m] = kScoreFloor + (1.0 - kScoreFloor) * se;
+    ++ok_idx;
   }
   return label;
 }
@@ -120,7 +155,15 @@ LabeledCorpus LabelCorpus(std::vector<data::Dataset> datasets,
     ce::TestbedConfig cfg = testbed;
     cfg.seed = testbed.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1));
     auto result = ce::RunTestbed(ds, cfg);
-    AUTOCE_CHECK(result.ok());
+    if (!result.ok()) {
+      // A testbed that cannot even generate its workload yields a pure
+      // sentinel label (every cell failed) instead of aborting the
+      // whole corpus; the sentinel is constant, so determinism holds.
+      AUTOCE_LOG(Warning) << "testbed failed for dataset " << ds.name()
+                          << ": " << result.status().ToString();
+      return LabeledCell{extractor.Extract(ds),
+                         MakeLabel(ce::TestbedResult{})};
+    }
     LabeledCell cell{extractor.Extract(ds), MakeLabel(*result)};
     size_t done = progress.fetch_add(1, std::memory_order_relaxed) + 1;
     if (verbose && done % 25 == 0) {

@@ -30,6 +30,16 @@ struct DatasetLabel {
   std::array<double, ce::kNumModels> efficiency_score{};  // S_e per model
   std::array<double, ce::kNumModels> qerror_mean{};
   std::array<double, ce::kNumModels> latency_ms{};
+  /// Per-model failure flags: true for a testbed cell that did not
+  /// train (or was not measured). Failed cells carry the sentinel
+  /// worst-normalized score (`kScoreFloor`) so they never win a
+  /// recommendation, and they are excluded from the Eq. 3-4
+  /// normalization so they cannot flatten the scores of models that
+  /// did train. Default (all false) keeps hand-built labels valid.
+  std::array<bool, ce::kNumModels> failed{};
+
+  /// Number of failed (sentinel-scored) cells in this label.
+  int NumFailed() const;
 
   /// Score vector S = w_a * S_a + (1 - w_a) * S_e (Eq. 2).
   std::vector<double> ScoreVector(double w_a) const;
@@ -55,6 +65,12 @@ struct DatasetLabel {
 /// log mean Q-errors per Eq. 3 (log-space keeps one diverging model from
 /// flattening the rest); efficiency scores normalize log latencies per
 /// Eq. 4.
+///
+/// Cells with `trained_ok == false` (and models absent from the result)
+/// do not enter the normalization; they receive the sentinel floor
+/// score and capped raw metrics, and are flagged in `failed`. Because
+/// the sentinel is a constant, a failed cell leaves the surviving
+/// models' scores — and hence the label — fully deterministic.
 DatasetLabel MakeLabel(const ce::TestbedResult& result);
 
 /// A labeled corpus: datasets (kept for online-learning baselines),

@@ -1,6 +1,8 @@
 #include "ce/lw_nn.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -55,6 +57,13 @@ Status LwNnEstimator::Train(const TrainContext& ctx) {
       nn::MlpTrace trace;
       nn::Matrix pred = mlp_->Forward(xb, &trace);
       auto loss = nn::MseLoss(pred, yb);
+      // A non-finite loss means the network diverged (or a fault was
+      // injected); surface it before the optimizer touches the weights
+      // so the testbed can retry with a fresh seed.
+      if (!std::isfinite(loss.loss)) {
+        return Status::Internal("LW-NN: non-finite training loss at epoch " +
+                                std::to_string(epoch));
+      }
       mlp_->Backward(trace, loss.grad);
       opt.Step();
     }

@@ -1,6 +1,8 @@
 #include "ce/mscn.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -89,6 +91,12 @@ Status MscnEstimator::Train(const TrainContext& ctx) {
         std::vector<nn::MlpTrace> tt, jt, pt;
         nn::MlpTrace ot;
         double pred = Forward(enc, &tt, &jt, &pt, &ot);
+        // A non-finite prediction means the network diverged; surface
+        // it before the optimizer step so the testbed can retry.
+        if (!std::isfinite(pred)) {
+          return Status::Internal("MSCN: non-finite prediction at epoch " +
+                                  std::to_string(epoch));
+        }
         // d/dpred of (pred - y)^2 / batch.
         double g = 2.0 * (pred - targets[order[i]]) /
                    static_cast<double>(end - start);

@@ -1,6 +1,11 @@
 #include "ce/testbed.h"
 
+#include <cmath>
+#include <limits>
+#include <string>
+
 #include "engine/executor.h"
+#include "util/fault.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -67,50 +72,104 @@ Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
 
   std::vector<ModelId> ids =
       config.models.empty() ? AllModels() : config.models;
+
+  // Trains and measures one candidate on one attempt. Any failure —
+  // a Train() error, an injected fault, or a non-finite estimate or
+  // aggregate from a diverged model — comes back as a Status with the
+  // failing site recorded in perf->failure.
+  auto evaluate_cell = [&](ModelId id, const TrainContext& cell_ctx,
+                           int attempt, ModelPerformance* perf) -> Status {
+    auto model = CreateModel(id, config.scale);
+    Timer train_timer;
+    Status st = model->Train(cell_ctx);
+    perf->train_seconds += train_timer.ElapsedSeconds();
+    if (st.ok() &&
+        util::FaultPoint(util::fault_sites::kTestbedTrain,
+                         util::FaultKeyMix(cell_ctx.seed,
+                                           static_cast<uint64_t>(attempt)))) {
+      st = Status::Internal("injected training fault");
+    }
+    if (!st.ok()) {
+      perf->failure.site = util::fault_sites::kTestbedTrain;
+      return st;
+    }
+
+    std::vector<double> qerrors;
+    qerrors.reserve(out.test_queries.size());
+    Timer infer_timer;
+    for (size_t i = 0; i < out.test_queries.size(); ++i) {
+      double est = model->EstimateCardinality(out.test_queries[i]);
+      if (util::FaultPoint(util::fault_sites::kTestbedEstimate,
+                           util::FaultKeyMix(cell_ctx.seed, i))) {
+        est = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (!std::isfinite(est)) {
+        perf->failure.site = util::fault_sites::kTestbedEstimate;
+        return Status::Internal("non-finite estimate for test query " +
+                                std::to_string(i));
+      }
+      qerrors.push_back(QError(est, out.test_cards[i]));
+    }
+    perf->latency_mean_ms =
+        infer_timer.ElapsedMillis() /
+        static_cast<double>(std::max<size_t>(1, out.test_queries.size()));
+    if (config.emulate_reference_latency) {
+      // Use the reference cost alone: labels become fully
+      // deterministic (measured wall-clock varies run to run and the
+      // advisor experiments are sensitive to label perturbations).
+      perf->latency_mean_ms = ReferenceInferenceLatencyMs(id);
+    }
+    perf->qerror = SummarizeQErrors(qerrors);
+    // The advisor's accuracy score reads qerror.mean; fold the chosen
+    // aggregate into that slot so the rest of the pipeline is
+    // metric-agnostic.
+    perf->qerror.mean =
+        SelectQErrorAggregate(perf->qerror, config.qerror_metric);
+    if (!std::isfinite(perf->qerror.mean) ||
+        !std::isfinite(perf->latency_mean_ms)) {
+      perf->failure.site = util::fault_sites::kTestbedEstimate;
+      return Status::Internal("non-finite Q-error/latency aggregate");
+    }
+    return Status::OK();
+  };
+
   // Candidate models are independent testbed cells: each gets its own
   // seed (a pure function of config.seed and the model id) and its own
   // copy of the shared read-only context, so cells evaluate in parallel
-  // with results landing in id order.
+  // with results landing in id order. A failing cell gets one retry
+  // with a derived seed (so an unlucky initialization does not repeat
+  // verbatim); a cell that still fails is recorded trained_ok = false
+  // with its FailureInfo and sentinel metrics.
   out.models = util::ParallelMap(0, ids.size(), 1, [&](size_t cell) {
     ModelId id = ids[cell];
     ModelPerformance perf;
     perf.id = id;
     TrainContext cell_ctx = ctx;
-    cell_ctx.seed = config.seed ^ (static_cast<uint64_t>(id) * 0x9E3779B9ULL);
-    auto model = CreateModel(id, config.scale);
+    const uint64_t base_seed =
+        config.seed ^ (static_cast<uint64_t>(id) * 0x9E3779B9ULL);
 
-    Timer train_timer;
-    Status st = model->Train(cell_ctx);
-    perf.train_seconds = train_timer.ElapsedSeconds();
-    perf.trained_ok = st.ok();
-    if (st.ok()) {
-      std::vector<double> qerrors;
-      qerrors.reserve(out.test_queries.size());
-      Timer infer_timer;
-      for (size_t i = 0; i < out.test_queries.size(); ++i) {
-        double est = model->EstimateCardinality(out.test_queries[i]);
-        qerrors.push_back(QError(est, out.test_cards[i]));
-      }
-      perf.latency_mean_ms =
-          infer_timer.ElapsedMillis() /
-          static_cast<double>(std::max<size_t>(1, out.test_queries.size()));
-      if (config.emulate_reference_latency) {
-        // Use the reference cost alone: labels become fully
-        // deterministic (measured wall-clock varies run to run and the
-        // advisor experiments are sensitive to label perturbations).
-        perf.latency_mean_ms = ReferenceInferenceLatencyMs(id);
-      }
-      perf.qerror = SummarizeQErrors(qerrors);
-      // The advisor's accuracy score reads qerror.mean; fold the chosen
-      // aggregate into that slot so the rest of the pipeline is
-      // metric-agnostic.
-      perf.qerror.mean =
-          SelectQErrorAggregate(perf.qerror, config.qerror_metric);
-    } else {
-      // A model that fails to train is maximally penalized so the advisor
-      // never recommends it for this dataset.
+    Status last;
+    for (int attempt = 0; attempt < kTestbedMaxAttempts; ++attempt) {
+      cell_ctx.seed = attempt == 0
+                          ? base_seed
+                          : util::FaultKeyMix(base_seed, 0x52455452ULL);
+      perf.failure = FailureInfo{};
+      last = evaluate_cell(id, cell_ctx, attempt, &perf);
+      perf.failure.attempts = attempt + 1;
+      if (last.ok()) break;
+    }
+    perf.trained_ok = last.ok();
+    if (!last.ok()) {
+      perf.failure.cause = last.ToString();
+      // A model that fails to train is maximally penalized so the
+      // advisor never recommends it for this dataset; MakeLabel maps
+      // these sentinels to the worst-normalized score without letting
+      // them contaminate the other models' normalization.
+      perf.qerror = QErrorSummary{};
       perf.qerror.mean = 1e9;
       perf.latency_mean_ms = 1e9;
+    } else {
+      perf.failure = FailureInfo{};
     }
     return perf;
   });

@@ -45,6 +45,19 @@ double SelectQErrorAggregate(const QErrorSummary& summary,
 /// 100 queries, single-table group).
 double ReferenceInferenceLatencyMs(ModelId id);
 
+/// Structured description of why a testbed cell failed: which fault
+/// site (or component) failed, the underlying cause, and how many
+/// training attempts were consumed before giving up.
+struct FailureInfo {
+  std::string site;
+  std::string cause;
+  int attempts = 0;
+};
+
+/// Number of training attempts per testbed cell: the initial attempt
+/// plus one bounded deterministic retry with a derived seed.
+inline constexpr int kTestbedMaxAttempts = 2;
+
 /// Measured performance of one model on one dataset.
 struct ModelPerformance {
   ModelId id = ModelId::kMscn;
@@ -52,6 +65,10 @@ struct ModelPerformance {
   double latency_mean_ms = 0.0;  ///< mean per-query inference latency
   double train_seconds = 0.0;
   bool trained_ok = false;
+  /// Populated when !trained_ok; downstream consumers
+  /// (`advisor::MakeLabel`) substitute the sentinel worst-normalized
+  /// score for such cells instead of using the garbage metrics.
+  FailureInfo failure;
 };
 
 /// Everything the labeling pipeline needs downstream.

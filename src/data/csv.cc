@@ -7,6 +7,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "util/fault.h"
 #include "util/serde.h"
 
 namespace autoce::data {
@@ -44,20 +45,59 @@ std::string FileStem(const std::string& path) {
   return dot == std::string::npos ? name : name.substr(0, dot);
 }
 
+/// Returns the column index of the first field containing a control
+/// character (tab excluded), or -1 when the row is clean.
+int FindControlCharacter(const std::vector<std::string>& fields) {
+  for (size_t c = 0; c < fields.size(); ++c) {
+    for (char ch : fields[c]) {
+      unsigned char u = static_cast<unsigned char>(ch);
+      if (u < 0x20 && ch != '\t') return static_cast<int>(c);
+    }
+  }
+  return -1;
+}
+
+std::string FormatCsvErrors(const CsvReport& report) {
+  std::string msg = std::to_string(report.errors_total) +
+                    " malformed CSV row(s); first " +
+                    std::to_string(report.errors.size()) + ":";
+  for (const auto& e : report.errors) {
+    msg += " [line " + std::to_string(e.row);
+    if (e.column >= 0) msg += ", column " + std::to_string(e.column);
+    msg += ": " + e.message + "]";
+  }
+  return msg;
+}
+
 }  // namespace
 
 Result<Table> LoadCsvTable(const std::string& path,
-                           const CsvOptions& options) {
+                           const CsvOptions& options, CsvReport* report) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::NotFound("cannot open CSV file: " + path);
   }
+  const size_t max_errors =
+      static_cast<size_t>(std::max(options.max_errors, 1));
+
+  CsvReport local_report;
+  CsvReport& rep = report != nullptr ? *report : local_report;
+  rep = CsvReport{};
+  auto record_error = [&](int64_t line_no, int column, std::string message) {
+    ++rep.errors_total;
+    if (rep.errors.size() < max_errors) {
+      rep.errors.push_back(CsvError{line_no, column, std::move(message)});
+    }
+  };
 
   std::vector<std::vector<std::string>> raw;
   std::vector<std::string> header;
   std::string line;
   size_t num_columns = 0;
+  int64_t line_no = 0;     // 1-based physical line in the file
+  uint64_t data_row = 0;   // ordinal of the data row (fault-site key)
   while (std::getline(in, line)) {
+    ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     auto fields = SplitLine(line, options.delimiter);
@@ -67,15 +107,32 @@ Result<Table> LoadCsvTable(const std::string& path,
       continue;
     }
     if (num_columns == 0) num_columns = fields.size();
+    bool bad = false;
     if (fields.size() != num_columns) {
-      return Status::InvalidArgument(
-          "ragged CSV row (expected " + std::to_string(num_columns) +
-          " fields, got " + std::to_string(fields.size()) + ")");
+      record_error(line_no, -1,
+                   "expected " + std::to_string(num_columns) +
+                       " fields, got " + std::to_string(fields.size()));
+      bad = true;
+    } else if (int col = FindControlCharacter(fields); col >= 0) {
+      record_error(line_no, col, "field contains control characters");
+      bad = true;
+    } else if (util::FaultPoint(util::fault_sites::kCsvRow, data_row)) {
+      record_error(line_no, -1, "injected row fault");
+      bad = true;
+    }
+    ++data_row;
+    if (bad) {
+      ++rep.rows_skipped;
+      continue;
     }
     raw.push_back(std::move(fields));
   }
+  rep.rows_loaded = static_cast<int64_t>(raw.size());
+  if (rep.errors_total > 0 && !options.skip_malformed_rows) {
+    return Status::InvalidArgument(FormatCsvErrors(rep) + " in " + path);
+  }
   if (raw.empty()) {
-    return Status::InvalidArgument("CSV file has no data rows: " + path);
+    return Status::InvalidArgument("CSV file has no valid data rows: " + path);
   }
 
   Table table;

@@ -20,6 +20,31 @@ struct CsvOptions {
   /// shifting into [1, domain]. Columns with more distinct values than
   /// this are quantile-bucketed instead.
   int32_t max_domain = 100000;
+  /// When true, malformed rows (wrong field count, control characters,
+  /// injected faults) are dropped and reported through `CsvReport`
+  /// instead of failing the whole load. Default is strict: any
+  /// malformed row fails the load with bounded diagnostics.
+  bool skip_malformed_rows = false;
+  /// Upper bound on per-row diagnostics kept in errors/messages; later
+  /// malformed rows are only counted. Must be >= 1.
+  int max_errors = 5;
+};
+
+/// One malformed-row diagnostic.
+struct CsvError {
+  int64_t row = 0;    ///< 1-based physical line number in the file
+  int column = -1;    ///< 0-based column index; -1 for row-level errors
+  std::string message;
+};
+
+/// Ingestion report: what was loaded, what was dropped, and why. The
+/// `errors` list is bounded by `CsvOptions::max_errors`;
+/// `errors_total` counts every malformed row seen.
+struct CsvReport {
+  int64_t rows_loaded = 0;
+  int64_t rows_skipped = 0;
+  int64_t errors_total = 0;
+  std::vector<CsvError> errors;
 };
 
 /// \brief Loads one CSV file as a `Table`.
@@ -29,8 +54,15 @@ struct CsvOptions {
 /// are shifted to [1, max-min+1] (preserving order, so range predicates
 /// remain meaningful), everything else is dictionary-encoded by first
 /// appearance. Missing values become code 1.
+///
+/// Malformed rows never abort the process: in strict mode (default) the
+/// load fails with a Status carrying the first `max_errors` row/column
+/// diagnostics; with `skip_malformed_rows` the bad rows are dropped and
+/// reported via `report` (optional), and the load succeeds as long as
+/// at least one valid data row remains.
 Result<Table> LoadCsvTable(const std::string& path,
-                           const CsvOptions& options = {});
+                           const CsvOptions& options = {},
+                           CsvReport* report = nullptr);
 
 /// Writes a table back out as CSV (coded values; header = column names).
 Status SaveCsvTable(const Table& table, const std::string& path,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/logging.h"
 #include "util/stats.h"
@@ -121,6 +122,36 @@ std::vector<double> FeatureExtractor::Flatten(const FeatureGraph& graph,
     }
   }
   return out;
+}
+
+Status ValidateGraph(const FeatureGraph& graph, size_t expected_vertex_dim) {
+  const std::string tag =
+      graph.dataset_name.empty() ? "<unnamed>" : graph.dataset_name;
+  if (graph.vertices.rows() == 0) {
+    return Status::InvalidArgument("feature graph " + tag +
+                                   " has no vertices");
+  }
+  if (graph.vertices.cols() != expected_vertex_dim) {
+    return Status::InvalidArgument(
+        "feature graph " + tag + " vertex dim " +
+        std::to_string(graph.vertices.cols()) +
+        " does not match extractor config dim " +
+        std::to_string(expected_vertex_dim));
+  }
+  if (graph.edges.rows() != graph.vertices.rows() ||
+      graph.edges.cols() != graph.vertices.rows()) {
+    return Status::InvalidArgument(
+        "feature graph " + tag + " edge matrix is " +
+        std::to_string(graph.edges.rows()) + "x" +
+        std::to_string(graph.edges.cols()) + ", expected " +
+        std::to_string(graph.vertices.rows()) + "x" +
+        std::to_string(graph.vertices.rows()));
+  }
+  if (!nn::IsFinite(graph.vertices) || !nn::IsFinite(graph.edges)) {
+    return Status::InvalidArgument("feature graph " + tag +
+                                   " contains non-finite entries");
+  }
+  return Status::OK();
 }
 
 FeatureGraph MixupGraphs(const FeatureGraph& a, const FeatureGraph& b,

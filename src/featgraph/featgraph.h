@@ -65,6 +65,14 @@ class FeatureExtractor {
   FeatureGraphConfig config_;
 };
 
+/// Validates a feature graph against the extractor layout it must have
+/// been produced with: non-empty vertex set, vertex width equal to
+/// `expected_vertex_dim`, a square n x n edge matrix, and all-finite
+/// entries. Returns InvalidArgument with a specific diagnosis — the
+/// shared gate `AutoCe::Fit` and `Recommend` apply before touching
+/// encoder weights.
+Status ValidateGraph(const FeatureGraph& graph, size_t expected_vertex_dim);
+
 /// Linear interpolation of two feature graphs (Mixup, paper Eq. 14):
 /// graphs are zero-padded to a common vertex count, then
 /// G' = lambda * G_a + (1 - lambda) * G_b.

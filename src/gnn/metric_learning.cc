@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "nn/optimizer.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -21,9 +23,10 @@ DmlTrainer::DmlTrainer(GinEncoder* encoder, DmlConfig config)
       0.999, 1e-8, config_.clip_norm);
 }
 
-double DmlTrainer::TrainBatch(
+Result<double> DmlTrainer::TrainBatch(
     const std::vector<const featgraph::FeatureGraph*>& batch,
-    const std::vector<const std::vector<double>*>& labels) {
+    const std::vector<const std::vector<double>*>& labels,
+    uint64_t fault_key) {
   size_t m = batch.size();
   AUTOCE_CHECK(m == labels.size());
   if (m < 2) return 0.0;
@@ -102,6 +105,14 @@ double DmlTrainer::TrainBatch(
     }
   }
 
+  if (util::FaultPoint(util::fault_sites::kDmlLoss,
+                       util::FaultKeyMix(fault_key, m))) {
+    loss = std::numeric_limits<double>::quiet_NaN();
+  }
+  if (!std::isfinite(loss)) {
+    return Status::Internal("DML: non-finite contrastive loss");
+  }
+
   // Embedding gradients: dU_ij/dX_i = (X_i - X_j) / U_ij.
   std::vector<nn::Matrix> gx(m, nn::Matrix(1, d, 0.0));
   for (size_t i = 0; i < m; ++i) {
@@ -113,6 +124,16 @@ double DmlTrainer::TrainBatch(
         gx[i](0, c) += du[i][j] * diff;
         gx[j](0, c) -= du[i][j] * diff;
       }
+    }
+  }
+
+  if (util::FaultPoint(util::fault_sites::kDmlGrad,
+                       util::FaultKeyMix(fault_key, 0x47524144ULL))) {
+    gx[0](0, 0) = std::numeric_limits<double>::quiet_NaN();
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (!nn::IsFinite(gx[i])) {
+      return Status::Internal("DML: non-finite embedding gradient");
     }
   }
 
@@ -137,6 +158,13 @@ double DmlTrainer::TrainBatch(
       grads[p]->AddInPlace(contribution[p]);
     }
   }
+  for (const nn::Matrix* g : grads) {
+    if (!nn::IsFinite(*g)) {
+      // Weights are still untouched; the stale gradient buffers are
+      // overwritten by the next batch's ZeroGrad.
+      return Status::Internal("DML: non-finite parameter gradient");
+    }
+  }
   optimizer_->Step();
   return loss;
 }
@@ -153,6 +181,9 @@ Result<double> DmlTrainer::Train(
   std::vector<size_t> order(graphs.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  last_skipped_batches_ = 0;
+  int applied_total = 0;
+  Status last_error = Status::OK();
   double last_epoch_loss = 0.0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     rng->Shuffle(&order);
@@ -167,11 +198,23 @@ Result<double> DmlTrainer::Train(
         batch.push_back(&graphs[order[i]]);
         batch_labels.push_back(&labels[order[i]]);
       }
-      epoch_loss += TrainBatch(batch, batch_labels);
+      auto batch_loss = TrainBatch(
+          batch, batch_labels,
+          util::FaultKeyMix(static_cast<uint64_t>(epoch), start));
+      if (!batch_loss.ok()) {
+        // Skip-and-report: the poisoned batch never reached the
+        // weights, so continuing with the remaining batches is sound.
+        ++last_skipped_batches_;
+        last_error = batch_loss.status();
+        continue;
+      }
+      epoch_loss += *batch_loss;
       ++batches;
     }
+    applied_total += batches;
     last_epoch_loss = batches > 0 ? epoch_loss / batches : 0.0;
   }
+  if (applied_total == 0 && !last_error.ok()) return last_error;
   return last_epoch_loss;
 }
 

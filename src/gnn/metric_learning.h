@@ -51,19 +51,34 @@ class DmlTrainer {
   /// Trains the encoder on labeled feature graphs; `labels[i]` is the
   /// score vector used for similarity (one weight combination, or
   /// caller-chosen mixture). Returns the final-epoch mean batch loss.
+  ///
+  /// A batch whose loss or gradients come out non-finite is skipped
+  /// before it can touch the encoder weights (counted in
+  /// `last_skipped_batches()`); training only fails outright when no
+  /// batch at all could be applied.
   Result<double> Train(const std::vector<featgraph::FeatureGraph>& graphs,
                        const std::vector<std::vector<double>>& labels,
                        Rng* rng);
 
   /// One gradient pass over a single batch; exposed for tests and the
-  /// incremental-learning phase. Returns the batch loss.
-  double TrainBatch(const std::vector<const featgraph::FeatureGraph*>& batch,
-                    const std::vector<const std::vector<double>*>& labels);
+  /// incremental-learning phase. Returns the batch loss. Non-finite
+  /// losses or gradients surface as `Status::Internal` *before* the
+  /// optimizer step, so a poisoned batch never corrupts the encoder.
+  /// `fault_key` keys the deterministic `gnn.dml.*` fault sites.
+  Result<double> TrainBatch(
+      const std::vector<const featgraph::FeatureGraph*>& batch,
+      const std::vector<const std::vector<double>*>& labels,
+      uint64_t fault_key = 0);
+
+  /// Number of batches the most recent Train() call skipped because of
+  /// non-finite losses or gradients.
+  int last_skipped_batches() const { return last_skipped_batches_; }
 
  private:
   GinEncoder* encoder_;
   DmlConfig config_;
   std::unique_ptr<nn::Adam> optimizer_;
+  int last_skipped_batches_ = 0;
 };
 
 }  // namespace autoce::gnn

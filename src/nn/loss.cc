@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace autoce::nn {
@@ -18,6 +20,13 @@ LossResult MseLoss(const Matrix& pred, const Matrix& target) {
     out.grad.data()[i] = 2.0 * d / n;
   }
   out.loss /= n;
+  // Fault site: simulates the numeric blow-up of a diverging model. The
+  // key is content-derived (pure function of the prediction), so the
+  // same batch poisons identically at any thread count.
+  if (util::FaultPoint(util::fault_sites::kNnLoss,
+                       util::FaultKeyFromDoubles(pred.data(), pred.size()))) {
+    out.loss = std::numeric_limits<double>::quiet_NaN();
+  }
   return out;
 }
 

@@ -269,4 +269,15 @@ double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
   return dot / std::sqrt(na * nb);
 }
 
+bool IsFinite(const Matrix& m) {
+  return IsFinite(std::span<const double>(m.data(), m.size()));
+}
+
+bool IsFinite(std::span<const double> v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
 }  // namespace autoce::nn

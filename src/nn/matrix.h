@@ -119,6 +119,12 @@ double EuclideanDistance(std::span<const double> a, std::span<const double> b);
 /// Cosine similarity; 0 when either vector is all-zero.
 double CosineSimilarity(std::span<const double> a, std::span<const double> b);
 
+/// True iff every element is finite (no NaN/Inf).
+bool IsFinite(const Matrix& m);
+
+/// True iff every element of the vector is finite.
+bool IsFinite(std::span<const double> v);
+
 }  // namespace autoce::nn
 
 #endif  // AUTOCE_NN_MATRIX_H_

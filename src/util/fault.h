@@ -1,0 +1,127 @@
+#ifndef AUTOCE_UTIL_FAULT_H_
+#define AUTOCE_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/status.h"
+
+namespace autoce::util {
+
+/// \brief Deterministic fault-injection registry.
+///
+/// Every engineered failure path in the pipeline (see DESIGN.md §5.6)
+/// is guarded by a *named site*. A site fires when injection is enabled
+/// for it and the decision function says so; the decision is a pure
+/// function of (configured seed, site name, caller-supplied key), so
+/// the same configuration injects the same faults at any
+/// `AUTOCE_THREADS` — injected runs are as reproducible as clean ones.
+///
+/// Keys must themselves be thread-count independent: call sites derive
+/// them from stable quantities (testbed cell seed, row index, sample
+/// index, epoch/batch ordinal, or the content of a tensor), never from
+/// wall-clock or shared mutable counters.
+///
+/// When injection is disabled (the default), a fault point costs one
+/// relaxed atomic load.
+namespace fault_sites {
+/// CSV ingestion treats the keyed data row as malformed
+/// (`data::LoadCsvTable`); contract: bounded row/column diagnostics in
+/// strict mode, skip-and-report in `skip_malformed_rows` mode.
+inline constexpr const char* kCsvRow = "data.csv.row";
+/// A testbed training cell fails (`ce::RunTestbed`); contract: one
+/// deterministic retry with a derived seed, then `trained_ok = false`
+/// with a structured `FailureInfo` and the sentinel label score.
+inline constexpr const char* kTestbedTrain = "ce.testbed.train";
+/// A candidate model's estimate turns non-finite during testbed
+/// measurement; contract: same retry-then-sentinel path as training.
+inline constexpr const char* kTestbedEstimate = "ce.testbed.estimate";
+/// `nn::MseLoss` returns a non-finite loss; contract: the training loop
+/// that consumed it surfaces `Status` before stepping the optimizer
+/// (LW-NN), or the non-finite estimate backstop in the testbed catches
+/// the poisoned weights.
+inline constexpr const char* kNnLoss = "nn.loss";
+/// A DML batch loss turns non-finite (`gnn::DmlTrainer::TrainBatch`);
+/// contract: `Status` before the optimizer step, batch skipped and
+/// counted by `Train`.
+inline constexpr const char* kDmlLoss = "gnn.dml.loss";
+/// A DML embedding gradient turns non-finite; contract: same as
+/// `kDmlLoss` — encoder weights are never touched by the batch.
+inline constexpr const char* kDmlGrad = "gnn.dml.grad";
+/// A corpus sample handed to `advisor::AutoCe::Fit` is corrupt;
+/// contract: sample skipped and reported in `FitReport`, training
+/// proceeds on the valid remainder (error only below the minimum
+/// corpus size).
+inline constexpr const char* kFitSample = "advisor.fit.sample";
+/// The target embedding in `advisor::AutoCe::Recommend` turns
+/// non-finite; contract: degraded recommendation falling back to the
+/// corpus-level default model (the drift-detection default).
+inline constexpr const char* kRecommendEmbed = "advisor.recommend.embed";
+}  // namespace fault_sites
+
+/// Every registered site, in a fixed order. Tests iterate this list to
+/// assert each site's documented contract.
+std::span<const char* const> AllFaultSites();
+
+/// Deterministic 64-bit key mixer (splitmix64 finalizer over a ^ rot b).
+uint64_t FaultKeyMix(uint64_t a, uint64_t b);
+
+/// Content-derived key: hashes the byte patterns of a double buffer.
+/// Pure function of the data, hence thread-count independent.
+uint64_t FaultKeyFromDoubles(const double* data, std::size_t n);
+
+/// \brief Process-wide injection configuration (thread-safe).
+class FaultInjection {
+ public:
+  /// The singleton. On first construction the registry reads
+  /// `AUTOCE_FAULTS` / `AUTOCE_FAULT_SEED` from the environment, so
+  /// injection can be driven without code changes.
+  static FaultInjection& Instance();
+
+  /// Enables injection per `spec`: comma-separated
+  /// `site[:probability]` entries (probability defaults to 1.0);
+  /// `*[:p]` selects every registered site. An empty spec disables
+  /// injection. Unknown site names are rejected.
+  Status Configure(const std::string& spec, uint64_t seed = 42);
+
+  /// Disables every site and clears fire counts.
+  void Disable();
+
+  /// Whether the keyed fault at `site` fires under the current
+  /// configuration. Deterministic in (seed, site, key); counts fires.
+  bool ShouldFail(const char* site, uint64_t key);
+
+  /// Number of times `site` fired since the last Configure/Reset.
+  int64_t FireCount(const std::string& site) const;
+
+  /// Zeroes fire counts without changing the configuration.
+  void ResetCounts();
+
+  FaultInjection(const FaultInjection&) = delete;
+  FaultInjection& operator=(const FaultInjection&) = delete;
+
+ private:
+  FaultInjection();
+  struct State;
+  State* state_;  // intentionally leaked; see fault.cc
+};
+
+namespace internal {
+/// Fast-path flag: true iff at least one site is configured.
+extern std::atomic<bool> g_fault_enabled;
+}  // namespace internal
+
+/// The hot-path check used by instrumented code. Zero-cost (one relaxed
+/// atomic load) while injection is disabled.
+inline bool FaultPoint(const char* site, uint64_t key) {
+  if (!internal::g_fault_enabled.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  return FaultInjection::Instance().ShouldFail(site, key);
+}
+
+}  // namespace autoce::util
+
+#endif  // AUTOCE_UTIL_FAULT_H_

@@ -20,6 +20,7 @@ BinaryWriter::~BinaryWriter() {
 
 void BinaryWriter::WriteRaw(const void* data, size_t bytes) {
   if (!status_.ok() || file_ == nullptr) return;
+  if (bytes == 0) return;  // empty vectors may carry data == nullptr
   if (std::fwrite(data, 1, bytes, file_) != bytes) {
     status_ = Status::Internal("short write");
   }
@@ -63,6 +64,7 @@ BinaryReader::~BinaryReader() {
 
 void BinaryReader::ReadRaw(void* data, size_t bytes) {
   if (!status_.ok() || file_ == nullptr) return;
+  if (bytes == 0) return;  // empty vectors may carry data == nullptr
   if (std::fread(data, 1, bytes, file_) != bytes) {
     status_ = Status::Internal("short read (truncated or corrupt file)");
   }

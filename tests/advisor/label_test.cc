@@ -108,5 +108,61 @@ TEST(LabelTest, FailedModelGetsWorstScores) {
   EXPECT_NE(label.BestModel(0.0), static_cast<ce::ModelId>(6));
 }
 
+TEST(LabelTest, FailedCellGetsSentinelAndIsExcludedFromNormalization) {
+  auto r = FakeResult({1.5, 10, 100, 2, 3, 4, 5}, {1, 2, 4, 8, 3, 5, 6});
+  // Cell 2 dies with garbage metrics; the sentinel must replace them
+  // and its garbage must not move the other models' normalization.
+  r.models[2].trained_ok = false;
+  r.models[2].qerror.mean = 1e9;
+  r.models[2].latency_mean_ms = 1e9;
+  r.models[2].failure.site = "ce.testbed.train";
+  r.models[2].failure.cause = "injected";
+  DatasetLabel label = MakeLabel(r);
+
+  EXPECT_TRUE(label.failed[2]);
+  EXPECT_EQ(label.NumFailed(), 1);
+  EXPECT_DOUBLE_EQ(label.accuracy_score[2], kScoreFloor);
+  EXPECT_DOUBLE_EQ(label.efficiency_score[2], kScoreFloor);
+  EXPECT_DOUBLE_EQ(label.qerror_mean[2], kQErrorCap);
+  EXPECT_DOUBLE_EQ(label.latency_ms[2], kLatencyCapMs);
+  EXPECT_NE(label.BestModel(1.0), static_cast<ce::ModelId>(2));
+  EXPECT_NE(label.BestModel(0.0), static_cast<ce::ModelId>(2));
+
+  // Surviving models score exactly as if the failed cell had never been
+  // measured at all.
+  auto without = FakeResult({1.5, 10, 100, 2, 3, 4, 5}, {1, 2, 4, 8, 3, 5, 6});
+  without.models.erase(without.models.begin() + 2);
+  DatasetLabel ref = MakeLabel(without);
+  for (size_t m = 0; m < ce::kNumModels; ++m) {
+    if (m == 2) continue;
+    EXPECT_DOUBLE_EQ(label.accuracy_score[m], ref.accuracy_score[m]);
+    EXPECT_DOUBLE_EQ(label.efficiency_score[m], ref.efficiency_score[m]);
+    EXPECT_FALSE(label.failed[m]);
+  }
+}
+
+TEST(LabelTest, AllCellsFailedYieldsPureSentinel) {
+  ce::TestbedResult r;  // no measurements at all
+  DatasetLabel label = MakeLabel(r);
+  EXPECT_EQ(label.NumFailed(), ce::kNumModels);
+  for (size_t m = 0; m < ce::kNumModels; ++m) {
+    EXPECT_DOUBLE_EQ(label.accuracy_score[m], kScoreFloor);
+    EXPECT_DOUBLE_EQ(label.efficiency_score[m], kScoreFloor);
+    EXPECT_TRUE(std::isfinite(label.qerror_mean[m]));
+  }
+}
+
+TEST(LabelTest, MixupPropagatesFailureFlags) {
+  auto ra = FakeResult({1, 2, 3, 4, 5, 6, 7}, {1, 1, 1, 1, 1, 1, 1});
+  auto rb = FakeResult({7, 6, 5, 4, 3, 2, 1}, {2, 2, 2, 2, 2, 2, 2});
+  ra.models[1].trained_ok = false;
+  DatasetLabel a = MakeLabel(ra);
+  DatasetLabel b = MakeLabel(rb);
+  DatasetLabel m = DatasetLabel::Mixup(a, b, 0.5);
+  EXPECT_TRUE(m.failed[1]);
+  EXPECT_FALSE(m.failed[0]);
+  EXPECT_EQ(m.NumFailed(), 1);
+}
+
 }  // namespace
 }  // namespace autoce::advisor

@@ -89,6 +89,86 @@ TEST(CsvLoadTest, EmptyFileRejected) {
   std::remove(path.c_str());
 }
 
+struct MalformedCase {
+  const char* name;
+  const char* content;
+  int64_t good_rows;     // rows that survive in skip mode
+  int64_t bad_rows;      // malformed rows detected
+  bool column_reported;  // at least one error pinpoints a column
+};
+
+class CsvMalformedTest : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(CsvMalformedTest, StrictModeReportsRowAndColumn) {
+  const auto& p = GetParam();
+  std::string path = TempPath((std::string("strict_") + p.name + ".csv").c_str());
+  WriteFile(path, p.content);
+  CsvReport report;
+  auto table = LoadCsvTable(path, {}, &report);
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(report.errors_total, p.bad_rows);
+  ASSERT_FALSE(report.errors.empty());
+  // Diagnostics carry the 1-based physical line of the offending row.
+  for (const auto& e : report.errors) EXPECT_GE(e.row, 2);
+  if (p.column_reported) {
+    bool any_column = false;
+    for (const auto& e : report.errors) any_column |= e.column >= 0;
+    EXPECT_TRUE(any_column);
+  }
+  // The formatted status message embeds the diagnostics.
+  EXPECT_NE(table.status().ToString().find("malformed"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_P(CsvMalformedTest, SkipModeLoadsTheValidRemainder) {
+  const auto& p = GetParam();
+  std::string path = TempPath((std::string("skip_") + p.name + ".csv").c_str());
+  WriteFile(path, p.content);
+  CsvOptions opts;
+  opts.skip_malformed_rows = true;
+  CsvReport report;
+  auto table = LoadCsvTable(path, opts, &report);
+  EXPECT_EQ(report.rows_skipped, p.bad_rows);
+  EXPECT_EQ(report.errors_total, p.bad_rows);
+  if (p.good_rows == 0) {
+    EXPECT_FALSE(table.ok());  // nothing valid left
+  } else {
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    EXPECT_EQ(table->NumRows(), p.good_rows);
+    EXPECT_EQ(report.rows_loaded, p.good_rows);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvMalformedBoundsTest, DiagnosticsAreBoundedByMaxErrors) {
+  std::string path = TempPath("many_errors.csv");
+  std::string content = "a,b\n";
+  for (int i = 0; i < 20; ++i) content += "lonely\n";  // every row ragged
+  WriteFile(path, content);
+  CsvOptions opts;
+  opts.max_errors = 3;
+  CsvReport report;
+  auto table = LoadCsvTable(path, opts, &report);
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(report.errors_total, 20);
+  EXPECT_EQ(report.errors.size(), 3u);  // bounded diagnostics
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MalformedInputs, CsvMalformedTest,
+    ::testing::Values(
+        MalformedCase{"ragged_short", "a,b\n1,2\n3\n4,5\n", 2, 1, false},
+        MalformedCase{"ragged_long", "a,b\n1,2\n3,4,5\n6,7\n", 2, 1, false},
+        MalformedCase{"control_char", "a,b\n1,2\n3,\x01" "bad\n5,6\n", 2, 1,
+                      true},
+        MalformedCase{"all_bad", "a,b\nonly\nme\n", 0, 2, false},
+        MalformedCase{"mixed", "a,b\n1,2\nx\n3,\x02\ny\n4,5\n", 2, 3, true}),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      return info.param.name;
+    });
+
 TEST(CsvRoundTripTest, SaveThenLoad) {
   Rng rng(1);
   SingleTableParams p;

@@ -1,0 +1,395 @@
+// Contract tests for every registered fault site (DESIGN.md §5.6): with
+// the site injected, the pipeline must produce its documented structured
+// error or degraded-but-finite result — never a crash, hang, or NaN
+// label — and injected runs must stay bit-identical across thread
+// counts, exactly like clean ones.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "advisor/autoce.h"
+#include "advisor/label.h"
+#include "data/csv.h"
+#include "data/generator.h"
+#include "util/fault.h"
+#include "util/parallel.h"
+
+namespace autoce {
+namespace {
+
+namespace sites = util::fault_sites;
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+std::vector<data::Dataset> TinyCorpus(int n, uint64_t seed = 4242) {
+  Rng rng(seed);
+  data::DatasetGenParams gen;
+  gen.min_tables = 1;
+  gen.max_tables = 2;
+  gen.min_rows = 120;
+  gen.max_rows = 250;
+  gen.min_columns = 2;
+  gen.max_columns = 3;
+  return data::GenerateCorpus(gen, n, &rng);
+}
+
+ce::TestbedConfig TinyTestbed() {
+  ce::TestbedConfig cfg;
+  cfg.num_train_queries = 16;
+  cfg.num_test_queries = 8;
+  cfg.scale = ce::ModelTrainingScale::Fast();
+  cfg.models = {ce::ModelId::kMscn, ce::ModelId::kLwNn, ce::ModelId::kLwXgb};
+  return cfg;
+}
+
+/// Every score a degraded label may carry must stay inside the
+/// normalized range; NaNs must never leak into a label.
+void ExpectFiniteLabel(const advisor::DatasetLabel& label) {
+  for (size_t m = 0; m < ce::kNumModels; ++m) {
+    EXPECT_TRUE(std::isfinite(label.accuracy_score[m]));
+    EXPECT_TRUE(std::isfinite(label.efficiency_score[m]));
+    EXPECT_TRUE(std::isfinite(label.qerror_mean[m]));
+    EXPECT_TRUE(std::isfinite(label.latency_ms[m]));
+    EXPECT_GE(label.accuracy_score[m], advisor::kScoreFloor);
+    EXPECT_LE(label.accuracy_score[m], 1.0);
+    EXPECT_GE(label.efficiency_score[m], advisor::kScoreFloor);
+    EXPECT_LE(label.efficiency_score[m], 1.0);
+  }
+}
+
+/// Hand-built valid labels for advisor-level tests (cheap: no testbed).
+std::vector<advisor::DatasetLabel> SyntheticLabels(size_t n) {
+  std::vector<advisor::DatasetLabel> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t m = 0; m < ce::kNumModels; ++m) {
+      labels[i].accuracy_score[m] =
+          0.1 + 0.9 * static_cast<double>((i + m) % 7) / 6.0;
+      labels[i].efficiency_score[m] =
+          0.1 + 0.9 * static_cast<double>((3 * i + 2 * m) % 7) / 6.0;
+      labels[i].qerror_mean[m] = 1.0 + static_cast<double>(m);
+      labels[i].latency_ms[m] = 1.0 + static_cast<double>(i % 5);
+    }
+  }
+  return labels;
+}
+
+advisor::AutoCeConfig TinyAdvisorConfig() {
+  advisor::AutoCeConfig cfg;
+  cfg.dml.epochs = 4;
+  cfg.validation_interval = 2;
+  cfg.incremental_epochs = 2;
+  cfg.gin.hidden = 8;
+  cfg.gin.embedding_dim = 4;
+  cfg.knn_k = 2;
+  return cfg;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjection::Instance().Disable(); }
+  void TearDown() override { util::FaultInjection::Instance().Disable(); }
+
+  static util::FaultInjection& Reg() {
+    return util::FaultInjection::Instance();
+  }
+};
+
+// --- per-site contract handlers -------------------------------------
+
+void ExerciseCsvRow() {
+  auto& reg = util::FaultInjection::Instance();
+  std::string path = std::string(::testing::TempDir()) + "/fault_rows.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n";
+    for (int i = 0; i < 10; ++i) out << i << "," << i * 2 << "\n";
+  }
+
+  // Every row malformed: strict and skip modes both fail structurally.
+  ASSERT_TRUE(reg.Configure(std::string(sites::kCsvRow) + ":1.0").ok());
+  data::CsvReport report;
+  auto strict = data::LoadCsvTable(path, {}, &report);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(report.errors_total, 10);
+  EXPECT_GT(reg.FireCount(sites::kCsvRow), 0);
+
+  data::CsvOptions skip;
+  skip.skip_malformed_rows = true;
+  auto skipped = data::LoadCsvTable(path, skip, &report);
+  EXPECT_FALSE(skipped.ok());  // nothing valid left
+  EXPECT_EQ(report.rows_skipped, 10);
+
+  // Partial injection: skip mode loads the untouched remainder, and the
+  // report is internally consistent and reproducible.
+  ASSERT_TRUE(reg.Configure(std::string(sites::kCsvRow) + ":0.5", 11).ok());
+  auto partial = data::LoadCsvTable(path, skip, &report);
+  EXPECT_EQ(report.rows_loaded + report.rows_skipped, 10);
+  EXPECT_EQ(report.errors_total, report.rows_skipped);
+  if (partial.ok()) EXPECT_EQ(partial->NumRows(), report.rows_loaded);
+  int64_t first_loaded = report.rows_loaded;
+  ASSERT_TRUE(reg.Configure(std::string(sites::kCsvRow) + ":0.5", 11).ok());
+  auto again = data::LoadCsvTable(path, skip, &report);
+  EXPECT_EQ(report.rows_loaded, first_loaded);
+  std::remove(path.c_str());
+}
+
+/// Shared testbed path for the three sites that fail a candidate cell.
+void ExerciseTestbedSite(const char* site, double probability) {
+  auto& reg = util::FaultInjection::Instance();
+  char spec[96];
+  std::snprintf(spec, sizeof(spec), "%s:%.2f", site, probability);
+  ASSERT_TRUE(reg.Configure(spec, /*seed=*/5).ok());
+
+  auto datasets = TinyCorpus(1);
+  auto result = ce::RunTestbed(datasets[0], TinyTestbed());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  int failed = 0;
+  for (const auto& perf : result->models) {
+    if (perf.trained_ok) continue;
+    ++failed;
+    // Structured FailureInfo: site, cause, bounded attempts.
+    EXPECT_FALSE(perf.failure.site.empty());
+    EXPECT_FALSE(perf.failure.cause.empty());
+    EXPECT_EQ(perf.failure.attempts, ce::kTestbedMaxAttempts);
+  }
+  if (probability >= 1.0 &&
+      std::string(site) != std::string(sites::kNnLoss)) {
+    // p = 1 sites fail every cell through both attempts.
+    EXPECT_EQ(failed, static_cast<int>(result->models.size()));
+  }
+  EXPECT_GT(failed, 0);
+  EXPECT_GT(reg.FireCount(site), 0);
+
+  // Degraded cells still produce a finite sentinel-scored label.
+  ExpectFiniteLabel(advisor::MakeLabel(*result));
+}
+
+/// Shared DML trainer path for the loss/grad sites.
+void ExerciseDmlSite(const char* site) {
+  auto& reg = util::FaultInjection::Instance();
+  auto datasets = TinyCorpus(6, 77);
+  featgraph::FeatureExtractor extractor;
+  std::vector<featgraph::FeatureGraph> graphs;
+  for (const auto& ds : datasets) graphs.push_back(extractor.Extract(ds));
+  std::vector<std::vector<double>> dml_labels;
+  for (const auto& label : SyntheticLabels(graphs.size())) {
+    dml_labels.push_back(label.ConcatScores({1.0, 0.5}));
+  }
+
+  gnn::GinConfig gin;
+  gin.hidden = 8;
+  gin.embedding_dim = 4;
+  Rng init(3);
+  gnn::GinEncoder encoder(extractor.vertex_dim(), gin, &init);
+  gnn::DmlConfig dml;
+  dml.epochs = 4;
+  dml.batch_size = 3;
+  gnn::DmlTrainer trainer(&encoder, dml);
+
+  // All batches poisoned: Train fails structurally, weights untouched
+  // by any poisoned step and still finite.
+  ASSERT_TRUE(reg.Configure(std::string(site) + ":1.0").ok());
+  Rng rng1(9);
+  auto all_poisoned = trainer.Train(graphs, dml_labels, &rng1);
+  EXPECT_FALSE(all_poisoned.ok());
+  EXPECT_EQ(all_poisoned.status().code(), StatusCode::kInternal);
+  EXPECT_GT(trainer.last_skipped_batches(), 0);
+  EXPECT_GT(reg.FireCount(site), 0);
+  for (const nn::Matrix* p : encoder.Params()) EXPECT_TRUE(nn::IsFinite(*p));
+
+  // Partial poisoning: skipped batches equal fired decisions, training
+  // either completes on the remainder or fails structurally.
+  ASSERT_TRUE(reg.Configure(std::string(site) + ":0.5", 21).ok());
+  Rng rng2(9);
+  auto partial = trainer.Train(graphs, dml_labels, &rng2);
+  EXPECT_EQ(trainer.last_skipped_batches(), reg.FireCount(site));
+  if (partial.ok()) EXPECT_TRUE(std::isfinite(*partial));
+  for (const nn::Matrix* p : encoder.Params()) EXPECT_TRUE(nn::IsFinite(*p));
+}
+
+void ExerciseFitSample() {
+  auto& reg = util::FaultInjection::Instance();
+  auto datasets = TinyCorpus(12, 88);
+  featgraph::FeatureExtractor extractor;
+  std::vector<featgraph::FeatureGraph> graphs;
+  for (const auto& ds : datasets) graphs.push_back(extractor.Extract(ds));
+  auto labels = SyntheticLabels(graphs.size());
+
+  ASSERT_TRUE(
+      reg.Configure(std::string(sites::kFitSample) + ":0.3", 13).ok());
+  advisor::AutoCe adv(TinyAdvisorConfig());
+  Status st = adv.Fit(graphs, labels);
+  EXPECT_GT(reg.FireCount(sites::kFitSample), 0);
+  if (st.ok()) {
+    // Skip-and-report: corrupt samples dropped, the rest trained.
+    EXPECT_EQ(adv.fit_report().samples_total, graphs.size());
+    EXPECT_GT(adv.fit_report().samples_skipped, 0u);
+    EXPECT_FALSE(adv.fit_report().skipped_reasons.empty());
+    EXPECT_GE(adv.RcsSize(), 4u);
+    util::FaultInjection::Instance().Disable();
+    auto rec = adv.Recommend(graphs[0], 0.9);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    for (double s : rec->score_vector) EXPECT_TRUE(std::isfinite(s));
+  } else {
+    // Too few valid samples left: the error is structured, not a crash.
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+void ExerciseRecommendEmbed() {
+  auto& reg = util::FaultInjection::Instance();
+  auto datasets = TinyCorpus(8, 99);
+  featgraph::FeatureExtractor extractor;
+  std::vector<featgraph::FeatureGraph> graphs;
+  for (const auto& ds : datasets) graphs.push_back(extractor.Extract(ds));
+  auto labels = SyntheticLabels(graphs.size());
+
+  advisor::AutoCe adv(TinyAdvisorConfig());
+  ASSERT_TRUE(adv.Fit(graphs, labels).ok());
+
+  ASSERT_TRUE(reg.Configure(std::string(sites::kRecommendEmbed)).ok());
+  auto rec = adv.Recommend(graphs[0], 0.9);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(rec->degraded);
+  EXPECT_FALSE(rec->degraded_reason.empty());
+  EXPECT_GT(reg.FireCount(sites::kRecommendEmbed), 0);
+  for (double s : rec->score_vector) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, advisor::kScoreFloor - 1e-12);
+    EXPECT_LE(s, 1.0 + 1e-12);
+  }
+  // The degraded fallback is deterministic.
+  auto rec2 = adv.Recommend(graphs[0], 0.9);
+  ASSERT_TRUE(rec2.ok());
+  EXPECT_EQ(rec->model, rec2->model);
+
+  // With injection off again, the same advisor serves normally.
+  util::FaultInjection::Instance().Disable();
+  auto clean = adv.Recommend(graphs[0], 0.9);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->degraded);
+}
+
+/// Dispatches a site name to its contract handler; fails for any
+/// registered site without one, so new sites cannot ship untested.
+void ExerciseSite(const std::string& site) {
+  if (site == sites::kCsvRow) {
+    ExerciseCsvRow();
+  } else if (site == sites::kTestbedTrain) {
+    ExerciseTestbedSite(sites::kTestbedTrain, 1.0);
+  } else if (site == sites::kTestbedEstimate) {
+    ExerciseTestbedSite(sites::kTestbedEstimate, 1.0);
+  } else if (site == sites::kNnLoss) {
+    // Poisoned MseLoss surfaces via LW-NN's divergence guard, which
+    // fails the testbed cell.
+    ExerciseTestbedSite(sites::kNnLoss, 1.0);
+  } else if (site == sites::kDmlLoss) {
+    ExerciseDmlSite(sites::kDmlLoss);
+  } else if (site == sites::kDmlGrad) {
+    ExerciseDmlSite(sites::kDmlGrad);
+  } else if (site == sites::kFitSample) {
+    ExerciseFitSample();
+  } else if (site == sites::kRecommendEmbed) {
+    ExerciseRecommendEmbed();
+  } else {
+    FAIL() << "registered fault site has no contract test: " << site;
+  }
+}
+
+TEST_F(FaultInjectionTest, EveryRegisteredSiteHonorsItsContract) {
+  for (const char* site : util::AllFaultSites()) {
+    SCOPED_TRACE(site);
+    util::FaultInjection::Instance().Disable();
+    ExerciseSite(site);
+  }
+}
+
+// --- cross-thread determinism with injection enabled ----------------
+
+struct InjectedPipelineResult {
+  advisor::LabeledCorpus corpus;
+  std::vector<std::vector<double>> embeddings;
+  std::vector<ce::ModelId> recommendations;
+  std::vector<char> degraded;
+};
+
+InjectedPipelineResult RunInjectedPipeline(int threads) {
+  util::SetGlobalParallelism(threads);
+  // Same spec + seed every run: the fault decisions are pure functions
+  // of (seed, site, key), so the *injected* pipeline must be as
+  // reproducible as the clean one.
+  auto& reg = util::FaultInjection::Instance();
+  EXPECT_TRUE(reg.Configure("*:0.3", /*seed=*/31).ok());
+
+  InjectedPipelineResult out;
+  ce::TestbedConfig testbed = TinyTestbed();
+  featgraph::FeatureExtractor extractor;
+  out.corpus = advisor::LabelCorpus(TinyCorpus(6), testbed, extractor);
+
+  advisor::AutoCe adv(TinyAdvisorConfig());
+  Status st = adv.Fit(out.corpus.graphs, out.corpus.labels);
+  if (st.ok()) {
+    for (const auto& g : out.corpus.graphs) {
+      out.embeddings.push_back(adv.Embed(g));
+      auto rec = adv.Recommend(g, 0.9);
+      EXPECT_TRUE(rec.ok()) << rec.status().ToString();
+      out.recommendations.push_back(rec.ok() ? rec->model
+                                             : ce::ModelId::kMscn);
+      out.degraded.push_back(rec.ok() && rec->degraded ? 1 : 0);
+    }
+  }
+  util::FaultInjection::Instance().Disable();
+  return out;
+}
+
+class InjectedDeterminismTest : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override {
+    util::FaultInjection::Instance().Disable();
+    util::SetGlobalParallelism(util::DefaultParallelism());
+  }
+};
+
+TEST_P(InjectedDeterminismTest, InjectedRunMatchesSingleThreadBitForBit) {
+  InjectedPipelineResult base = RunInjectedPipeline(1);
+  InjectedPipelineResult got = RunInjectedPipeline(GetParam());
+
+  ASSERT_EQ(base.corpus.size(), got.corpus.size());
+  for (size_t i = 0; i < base.corpus.size(); ++i) {
+    ExpectFiniteLabel(base.corpus.labels[i]);
+    EXPECT_EQ(base.corpus.labels[i].failed, got.corpus.labels[i].failed);
+    for (size_t m = 0; m < ce::kNumModels; ++m) {
+      EXPECT_TRUE(SameBits(base.corpus.labels[i].accuracy_score[m],
+                           got.corpus.labels[i].accuracy_score[m]))
+          << "accuracy " << i << "/" << m;
+      EXPECT_TRUE(SameBits(base.corpus.labels[i].efficiency_score[m],
+                           got.corpus.labels[i].efficiency_score[m]))
+          << "efficiency " << i << "/" << m;
+    }
+  }
+  ASSERT_EQ(base.embeddings.size(), got.embeddings.size());
+  for (size_t i = 0; i < base.embeddings.size(); ++i) {
+    ASSERT_EQ(base.embeddings[i].size(), got.embeddings[i].size());
+    for (size_t c = 0; c < base.embeddings[i].size(); ++c) {
+      EXPECT_TRUE(SameBits(base.embeddings[i][c], got.embeddings[i][c]))
+          << "embedding " << i << "[" << c << "]";
+    }
+  }
+  EXPECT_EQ(base.recommendations, got.recommendations);
+  EXPECT_EQ(base.degraded, got.degraded);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, InjectedDeterminismTest,
+                         ::testing::Values(2, 8));
+
+}  // namespace
+}  // namespace autoce

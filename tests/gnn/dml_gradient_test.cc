@@ -106,8 +106,9 @@ TEST_P(DmlGradientTest, MatchesNumericalThroughGin) {
     batch.push_back(&setup.graphs[i]);
     labels.push_back(&setup.labels[i]);
   }
-  double reported = trainer.TrainBatch(batch, labels);
-  EXPECT_NEAR(reported, BatchLoss(enc, setup, cfg), 1e-9)
+  auto reported = trainer.TrainBatch(batch, labels);
+  ASSERT_TRUE(reported.ok()) << reported.status().ToString();
+  EXPECT_NEAR(*reported, BatchLoss(enc, setup, cfg), 1e-9)
       << "loss value mismatch";
 
   // With learning_rate 0 Adam leaves parameters untouched... it does not
