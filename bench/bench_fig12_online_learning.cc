@@ -7,6 +7,7 @@
 // model, (c) mean D-error.
 
 #include "bench/common.h"
+#include "util/snapshot.h"
 
 namespace autoce::bench {
 namespace {
@@ -22,6 +23,42 @@ int Run() {
   Timer fit_timer;
   AUTOCE_CHECK(autoce.Fit(data.train).ok());
   double offline_fit_seconds = fit_timer.ElapsedSeconds();
+
+  // Crash-safe checkpointing overhead: the same fit with a snapshot
+  // committed at every training checkpoint must stay within a few
+  // percent of the plain fit and produce the exact same model. The fit
+  // is deterministic, so each variant runs twice and keeps the faster
+  // run — min-of-N isolates the code's cost from scheduler noise.
+  const char* snap_dir = "bench_fig12_snapshots";
+  {
+    AutoCeSelector plain_again;
+    Timer t;
+    AUTOCE_CHECK(plain_again.Fit(data.train).ok());
+    offline_fit_seconds = std::min(offline_fit_seconds, t.ElapsedSeconds());
+  }
+  double checkpointed_fit_seconds = 0;
+  bool digest_match = true;
+  for (int rep = 0; rep < 2; ++rep) {
+    AutoCeSelector checkpointed;
+    AUTOCE_CHECK(checkpointed.advisor()->EnableSnapshots(snap_dir).ok());
+    Timer ckpt_timer;
+    AUTOCE_CHECK(checkpointed.Fit(data.train).ok());
+    double s = ckpt_timer.ElapsedSeconds();
+    checkpointed_fit_seconds =
+        rep == 0 ? s : std::min(checkpointed_fit_seconds, s);
+    digest_match = digest_match && checkpointed.advisor()->ModelDigest() ==
+                                       autoce.advisor()->ModelDigest();
+  }
+  AUTOCE_CHECK(digest_match);
+  size_t generations = 0;
+  {
+    auto store = util::SnapshotStore::Open(snap_dir);
+    AUTOCE_CHECK(store.ok());
+    generations = store->ListGenerations().size();
+  }
+  double overhead_pct =
+      100.0 * (checkpointed_fit_seconds - offline_fit_seconds) /
+      std::max(offline_fit_seconds, 1e-9);
 
   struct Track {
     std::string name;
@@ -81,6 +118,25 @@ int Run() {
       "on 200\ndatasets); Q-error of AutoCE should be close to LA while "
       "sampling\nfluctuates.\n",
       t_la.seconds / std::max(t_autoce.seconds, 1e-9));
+
+  std::printf("\ncheckpointed fit: %.2fs vs plain %.2fs (%.1f%% overhead, "
+              "%zu generations,\nmodel bit-identical)\n",
+              checkpointed_fit_seconds, offline_fit_seconds, overhead_pct,
+              generations);
+  std::FILE* f = std::fopen("BENCH_checkpoint.json", "w");
+  AUTOCE_CHECK(f != nullptr);
+  std::fprintf(f,
+               "{\n  \"scale\": \"%s\",\n"
+               "  \"plain_fit_seconds\": %.4f,\n"
+               "  \"checkpointed_fit_seconds\": %.4f,\n"
+               "  \"overhead_pct\": %.2f,\n"
+               "  \"generations_committed\": %zu,\n"
+               "  \"digest_match\": %s\n}\n",
+               PaperScale() ? "paper" : "small", offline_fit_seconds,
+               checkpointed_fit_seconds, overhead_pct, generations,
+               digest_match ? "true" : "false");
+  std::fclose(f);
+  std::printf("# wrote BENCH_checkpoint.json\n");
   return 0;
 }
 

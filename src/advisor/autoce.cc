@@ -1,6 +1,7 @@
 #include "advisor/autoce.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -63,6 +64,7 @@ Status AutoCe::Fit(const std::vector<featgraph::FeatureGraph>& graphs,
     graphs_.push_back(graphs[i]);
     labels_.push_back(labels[i]);
   }
+  rcs_section_cache_.clear();
   if (fit_report_.samples_skipped > 0) {
     AUTOCE_LOG(Warning) << "Fit skipped " << fit_report_.samples_skipped
                         << "/" << fit_report_.samples_total
@@ -97,12 +99,12 @@ Status AutoCe::Fit(const std::vector<featgraph::FeatureGraph>& graphs,
                                                config_.gin, &init_rng);
   trainer_ = std::make_unique<gnn::DmlTrainer>(encoder_.get(), config_.dml);
 
-  Rng train_rng = rng_.Fork(2);
+  train_rng_ = rng_.Fork(2);
+  best_params_.clear();
+  opt_state_ = nn::Adam::State{};
+  cursor_ = TrainCursor{};
   if (config_.validation_interval <= 0) {
-    auto loss = trainer_->Train(graphs_, dml_labels_, &train_rng);
-    fit_report_.dml_batches_skipped += trainer_->last_skipped_batches();
-    if (!loss.ok()) return loss.status();
-    RefreshEmbeddings();
+    cursor_.phase = FitPhase::kPlain;
   } else {
     // Train in chunks on an 80% split, checkpointing the encoder on the
     // D-error of a held-out 20% validation split. Validating on held-out
@@ -118,13 +120,53 @@ Status AutoCe::Fit(const std::vector<featgraph::FeatureGraph>& graphs,
     // Clamp so the 80% side keeps >= 2 graphs: tiny corpora (possible
     // after Fit skipped corrupt samples) must still be trainable.
     size_t val_n = std::min(std::max<size_t>(4, n / 5), n - 2);
-    std::vector<size_t> val_idx(order.begin(),
-                                order.begin() + static_cast<ptrdiff_t>(val_n));
+    cursor_.val_idx.assign(order.begin(),
+                           order.begin() + static_cast<ptrdiff_t>(val_n));
+    RefreshEmbeddings();
+    cursor_.best_err = HoldOutDError(cursor_.val_idx);
+    best_params_ = encoder_->SnapshotParams();
+    cursor_.phase = FitPhase::kChunk;
+  }
+  // Initial checkpoint (no-op without a store): a kill at any later
+  // point resumes from here with every RNG stream already forked, so
+  // the resumed run replays the same draws.
+  AUTOCE_RETURN_NOT_OK(CommitCheckpoint());
+  return RunCheckpointedFit();
+}
+
+Status AutoCe::RunCheckpointedFit() {
+  if (cursor_.phase == FitPhase::kPlain) {
+    // Plain Algorithm 1: one single-shot training pass with no
+    // intermediate checkpoints. A resume restarts it from the initial
+    // snapshot; the restored RNG streams make the restart bit-identical.
+    if (trainer_ == nullptr) {
+      trainer_ =
+          std::make_unique<gnn::DmlTrainer>(encoder_.get(), config_.dml);
+    }
+    auto loss = trainer_->Train(graphs_, dml_labels_, &train_rng_);
+    fit_report_.dml_batches_skipped += trainer_->last_skipped_batches();
+    if (!loss.ok()) return loss.status();
+    opt_state_ = trainer_->ExportOptimizerState();
+    RefreshEmbeddings();
+    if (config_.enable_incremental) {
+      AUTOCE_RETURN_NOT_OK(RunIncrementalLearning());
+    }
+    RefreshDriftThreshold();
+    cursor_.phase = FitPhase::kDone;
+    return CommitCheckpoint();
+  }
+
+  if (cursor_.phase == FitPhase::kChunk) {
+    // Rebuild the 80% training split from the persisted validation
+    // indices (the RCS order is stable across save/resume).
+    size_t n = graphs_.size();
     std::vector<featgraph::FeatureGraph> fit_graphs;
     std::vector<std::vector<double>> fit_labels;
     {
       std::vector<char> is_val(n, 0);
-      for (size_t i : val_idx) is_val[i] = 1;
+      for (size_t i : cursor_.val_idx) {
+        if (i < n) is_val[i] = 1;
+      }
       for (size_t i = 0; i < n; ++i) {
         if (!is_val[i]) {
           fit_graphs.push_back(graphs_[i]);
@@ -132,33 +174,34 @@ Status AutoCe::Fit(const std::vector<featgraph::FeatureGraph>& graphs,
         }
       }
     }
-
-    RefreshEmbeddings();
-    double best_err = HoldOutDError(val_idx);
-    std::vector<nn::Matrix> best = encoder_->SnapshotParams();
     gnn::DmlConfig chunk_cfg = config_.dml;
     chunk_cfg.epochs = config_.validation_interval;
-    int trained = 0;
-    while (trained < config_.dml.epochs) {
+    while (cursor_.trained_epochs < config_.dml.epochs) {
       gnn::DmlTrainer chunk_trainer(encoder_.get(), chunk_cfg);
-      auto loss = chunk_trainer.Train(fit_graphs, fit_labels, &train_rng);
+      auto loss = chunk_trainer.Train(fit_graphs, fit_labels, &train_rng_);
       fit_report_.dml_batches_skipped += chunk_trainer.last_skipped_batches();
       if (!loss.ok()) return loss.status();
-      trained += chunk_cfg.epochs;
+      opt_state_ = chunk_trainer.ExportOptimizerState();
+      cursor_.trained_epochs += chunk_cfg.epochs;
       RefreshEmbeddings();
-      double err = HoldOutDError(val_idx);
-      if (err < best_err) {
-        best_err = err;
-        best = encoder_->SnapshotParams();
+      double err = HoldOutDError(cursor_.val_idx);
+      if (err < cursor_.best_err) {
+        cursor_.best_err = err;
+        best_params_ = encoder_->SnapshotParams();
       }
+      AUTOCE_RETURN_NOT_OK(CommitCheckpoint());
     }
-    encoder_->RestoreParams(best);
+    encoder_->RestoreParams(best_params_);
     RefreshEmbeddings();
+    cursor_.phase = FitPhase::kIncremental;
+    AUTOCE_RETURN_NOT_OK(CommitCheckpoint());
+  }
 
+  if (cursor_.phase == FitPhase::kIncremental) {
     if (config_.enable_incremental) {
       std::vector<nn::Matrix> pre_il = encoder_->SnapshotParams();
       AUTOCE_RETURN_NOT_OK(RunIncrementalLearning());
-      if (HoldOutDError(val_idx) > best_err) {
+      if (HoldOutDError(cursor_.val_idx) > cursor_.best_err) {
         // Incremental training hurt the held-out error; keep the
         // augmented RCS but restore the better encoder.
         encoder_->RestoreParams(pre_il);
@@ -166,13 +209,9 @@ Status AutoCe::Fit(const std::vector<featgraph::FeatureGraph>& graphs,
       }
     }
     RefreshDriftThreshold();
-    return Status::OK();
+    cursor_.phase = FitPhase::kDone;
+    AUTOCE_RETURN_NOT_OK(CommitCheckpoint());
   }
-
-  if (config_.enable_incremental) {
-    AUTOCE_RETURN_NOT_OK(RunIncrementalLearning());
-  }
-  RefreshDriftThreshold();
   return Status::OK();
 }
 
@@ -358,6 +397,7 @@ Status AutoCe::RunIncrementalLearning() {
   graphs_ = std::move(new_graphs);
   labels_ = std::move(new_labels);
   dml_labels_ = std::move(new_dml_labels);
+  rcs_section_cache_.clear();
   RefreshEmbeddings();
   return Status::OK();
 }
@@ -469,6 +509,7 @@ Status AutoCe::AddLabeledSample(const featgraph::FeatureGraph& graph,
   graphs_.push_back(graph);
   labels_.push_back(label);
   dml_labels_.push_back(BuildDmlLabel(label));
+  rcs_section_cache_.clear();
 
   // Fine-tune with a few DML epochs over the updated corpus.
   gnn::DmlConfig cfg = config_.dml;
@@ -477,9 +518,12 @@ Status AutoCe::AddLabeledSample(const featgraph::FeatureGraph& graph,
   Rng tune_rng = rng_.Fork(graphs_.size());
   auto loss = tuner.Train(graphs_, dml_labels_, &tune_rng);
   if (!loss.ok()) return loss.status();
+  opt_state_ = tuner.ExportOptimizerState();
   RefreshEmbeddings();
   RefreshDriftThreshold();
-  return Status::OK();
+  // Online updates are durable too: each accepted sample commits a new
+  // snapshot generation (no-op without a store).
+  return CommitCheckpoint();
 }
 
 double AutoCe::EvaluateMeanDError(
@@ -498,14 +542,24 @@ double AutoCe::EvaluateMeanDError(
 namespace {
 
 constexpr uint32_t kMagic = 0x41434531;  // "ACE1"
-// Version 2 added per-model `failed` flags to each RCS label.
-constexpr uint32_t kVersion = 2;
+// Version 2 added per-model `failed` flags to each RCS label. Version 3
+// pinned the encoding to little-endian with fixed widths (byte-swapped
+// on big-endian hosts); the layout is unchanged, so v2 files written on
+// little-endian machines — all of them in practice — still load.
+constexpr uint32_t kVersion = 3;
 
 void WriteMatrix(BinaryWriter* w, const nn::Matrix& m) {
   w->WriteU64(m.rows());
   w->WriteU64(m.cols());
-  std::vector<double> data(m.data(), m.data() + m.size());
-  w->WriteDoubles(data);
+  // Mirrors WriteDoubles' framing (u64 count + little-endian payload)
+  // without materializing a temporary vector — checkpoints serialize
+  // every encoder/optimizer matrix, so the copy is worth avoiding.
+  w->WriteU64(m.size());
+  if constexpr (std::endian::native == std::endian::little) {
+    w->WriteBytes(m.data(), m.size() * sizeof(double));
+  } else {
+    for (size_t i = 0; i < m.size(); ++i) w->WriteDouble(m.data()[i]);
+  }
 }
 
 Result<nn::Matrix> ReadMatrix(BinaryReader* r) {
@@ -519,6 +573,19 @@ Result<nn::Matrix> ReadMatrix(BinaryReader* r) {
   nn::Matrix m(rows, cols);
   for (size_t i = 0; i < data.size(); ++i) m.data()[i] = data[i];
   return m;
+}
+
+/// Deserialized configs must be validated BEFORE constructing an AutoCe:
+/// the constructor (and the feature extractor inside it) enforces these
+/// invariants with AUTOCE_CHECK, which would turn a corrupt file into a
+/// process abort instead of a clean Status.
+Status ValidateLoadedConfig(const AutoCeConfig& config) {
+  if (config.feature.max_columns < 1 || config.gin.num_layers < 1 ||
+      config.gin.hidden < 1 || config.gin.embedding_dim < 1 ||
+      config.knn_k < 1 || config.training_weights.empty()) {
+    return Status::DataLoss("model config is corrupt");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -571,8 +638,10 @@ Result<AutoCe> AutoCe::Load(const std::string& path) {
   if (r.ReadU32() != kMagic) {
     return Status::InvalidArgument("not an AutoCE model file: " + path);
   }
-  if (r.ReadU32() != kVersion) {
-    return Status::InvalidArgument("unsupported model file version");
+  uint32_t version = r.ReadU32();
+  if (version != 2 && version != kVersion) {
+    return Status::InvalidArgument("unsupported model file version " +
+                                   std::to_string(version));
   }
 
   AutoCeConfig config;
@@ -583,6 +652,8 @@ Result<AutoCe> AutoCe::Load(const std::string& path) {
   config.knn_k = static_cast<int>(r.ReadU32());
   config.drift_percentile = r.ReadDouble();
   config.training_weights = r.ReadDoubles();
+  if (!r.status().ok()) return r.status();
+  AUTOCE_RETURN_NOT_OK(ValidateLoadedConfig(config));
 
   AutoCe advisor(config);
 
@@ -605,6 +676,11 @@ Result<AutoCe> AutoCe::Load(const std::string& path) {
     advisor.labels_.push_back(label);
   }
   advisor.label_mean_ = r.ReadDoubles();
+  if (!r.status().ok()) return r.status();
+  if (advisor.label_mean_.size() !=
+      config.training_weights.size() * static_cast<size_t>(ce::kNumModels)) {
+    return Status::DataLoss("model centering vector size mismatch");
+  }
   for (const auto& label : advisor.labels_) {
     advisor.dml_labels_.push_back(advisor.BuildDmlLabel(label));
   }
@@ -629,6 +705,409 @@ Result<AutoCe> AutoCe::Load(const std::string& path) {
   advisor.RefreshEmbeddings();
   advisor.RefreshDriftThreshold();
   return advisor;
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe snapshots and resumable training (DESIGN.md Sec. 5.7).
+
+namespace {
+
+constexpr uint32_t kSnapshotFormatVersion = 1;
+constexpr char kSecConfig[] = "config";
+constexpr char kSecRcs[] = "rcs";
+constexpr char kSecEncoder[] = "encoder";
+constexpr char kSecBest[] = "best";
+constexpr char kSecOptimizer[] = "optimizer";
+constexpr char kSecRng[] = "rng";
+constexpr char kSecCursor[] = "cursor";
+
+void WriteRngState(BinaryWriter* w, const Rng::State& s) {
+  for (uint64_t v : s.s) w->WriteU64(v);
+  w->WriteU32(s.has_cached_gaussian ? 1 : 0);
+  w->WriteDouble(s.cached_gaussian);
+}
+
+Rng::State ReadRngState(BinaryReader* r) {
+  Rng::State s;
+  for (auto& v : s.s) v = r->ReadU64();
+  s.has_cached_gaussian = r->ReadU32() != 0;
+  s.cached_gaussian = r->ReadDouble();
+  return s;
+}
+
+uint64_t Fnv1a(const void* data, size_t n, uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t DigestMatrix(const nn::Matrix& m, uint64_t h) {
+  uint64_t dims[2] = {static_cast<uint64_t>(m.rows()),
+                      static_cast<uint64_t>(m.cols())};
+  h = Fnv1a(dims, sizeof(dims), h);
+  return Fnv1a(m.data(), m.size() * sizeof(double), h);
+}
+
+const util::SnapshotSection* FindSection(
+    const std::vector<util::SnapshotSection>& sections, const char* name) {
+  for (const auto& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Status AutoCe::EnableSnapshots(const std::string& dir,
+                               util::SnapshotStoreOptions options) {
+  AUTOCE_ASSIGN_OR_RETURN(util::SnapshotStore store,
+                          util::SnapshotStore::Open(dir, options));
+  store_ = std::make_unique<util::SnapshotStore>(std::move(store));
+  return Status::OK();
+}
+
+Status AutoCe::SaveSnapshot() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no snapshot store attached (call EnableSnapshots first)");
+  }
+  return CommitCheckpoint();
+}
+
+Status AutoCe::CommitCheckpoint() {
+  if (store_ == nullptr) return Status::OK();
+  if (encoder_ == nullptr) {
+    return Status::FailedPrecondition("cannot snapshot an unfitted advisor");
+  }
+  // Mid-training checkpoints are recomputable (resuming from an older
+  // generation replays to the same bits), so they skip the fsyncs and
+  // keep checkpoint overhead off the training loop. Once the model is
+  // done its loss WOULD lose information — the final commit (and every
+  // online update, which runs with phase == kDone) is fully durable.
+  util::CommitDurability durability = cursor_.phase == FitPhase::kDone
+                                          ? util::CommitDurability::kSync
+                                          : util::CommitDurability::kLazy;
+  AUTOCE_ASSIGN_OR_RETURN(uint64_t generation,
+                          store_->Commit(BuildSnapshotSections(), durability));
+  util::KillPoint(util::kill_sites::kAdvisorCheckpoint, generation);
+  return Status::OK();
+}
+
+std::vector<util::SnapshotSection> AutoCe::BuildSnapshotSections() const {
+  std::vector<util::SnapshotSection> sections;
+  {
+    BinaryWriter w;
+    w.WriteU32(kSnapshotFormatVersion);
+    w.WriteI64(config_.feature.max_columns);
+    w.WriteI64(config_.gin.num_layers);
+    w.WriteI64(config_.gin.hidden);
+    w.WriteI64(config_.gin.embedding_dim);
+    w.WriteI64(config_.dml.epochs);
+    w.WriteI64(config_.dml.batch_size);
+    w.WriteDouble(config_.dml.tau);
+    w.WriteDouble(config_.dml.gamma);
+    w.WriteDouble(config_.dml.learning_rate);
+    w.WriteDouble(config_.dml.clip_norm);
+    w.WriteU32(static_cast<uint32_t>(config_.dml.loss));
+    w.WriteI64(config_.knn_k);
+    w.WriteDoubles(config_.training_weights);
+    w.WriteU32(config_.enable_incremental ? 1 : 0);
+    w.WriteU32(config_.enable_augmentation ? 1 : 0);
+    w.WriteDouble(config_.d_error_threshold);
+    w.WriteI64(config_.incremental_folds);
+    w.WriteDouble(config_.mixup_alpha);
+    w.WriteDouble(config_.mixup_beta);
+    w.WriteI64(config_.incremental_epochs);
+    w.WriteI64(config_.validation_interval);
+    w.WriteDouble(config_.drift_percentile);
+    w.WriteI64(config_.online_update_epochs);
+    w.WriteU64(config_.seed);
+    sections.push_back({kSecConfig, w.buffer()});
+  }
+  if (rcs_section_cache_.empty()) {
+    BinaryWriter w;
+    w.WriteU64(graphs_.size());
+    for (size_t i = 0; i < graphs_.size(); ++i) {
+      w.WriteString(graphs_[i].dataset_name);
+      WriteMatrix(&w, graphs_[i].vertices);
+      WriteMatrix(&w, graphs_[i].edges);
+      const DatasetLabel& label = labels_[i];
+      for (int m = 0; m < ce::kNumModels; ++m) {
+        w.WriteDouble(label.accuracy_score[static_cast<size_t>(m)]);
+        w.WriteDouble(label.efficiency_score[static_cast<size_t>(m)]);
+        w.WriteDouble(label.qerror_mean[static_cast<size_t>(m)]);
+        w.WriteDouble(label.latency_ms[static_cast<size_t>(m)]);
+        w.WriteU32(label.failed[static_cast<size_t>(m)] ? 1 : 0);
+      }
+    }
+    w.WriteDoubles(label_mean_);
+    rcs_section_cache_ = w.buffer();
+  }
+  sections.push_back({kSecRcs, rcs_section_cache_});
+  {
+    BinaryWriter w;
+    auto params = const_cast<gnn::GinEncoder*>(encoder_.get())->Params();
+    w.WriteU64(params.size());
+    for (const nn::Matrix* p : params) WriteMatrix(&w, *p);
+    sections.push_back({kSecEncoder, w.buffer()});
+  }
+  {
+    BinaryWriter w;
+    w.WriteU64(best_params_.size());
+    for (const nn::Matrix& m : best_params_) WriteMatrix(&w, m);
+    sections.push_back({kSecBest, w.buffer()});
+  }
+  {
+    BinaryWriter w;
+    w.WriteU64(opt_state_.m.size());
+    for (const nn::Matrix& m : opt_state_.m) WriteMatrix(&w, m);
+    for (const nn::Matrix& m : opt_state_.v) WriteMatrix(&w, m);
+    w.WriteI64(opt_state_.t);
+    sections.push_back({kSecOptimizer, w.buffer()});
+  }
+  {
+    BinaryWriter w;
+    WriteRngState(&w, rng_.SaveState());
+    WriteRngState(&w, train_rng_.SaveState());
+    sections.push_back({kSecRng, w.buffer()});
+  }
+  {
+    BinaryWriter w;
+    w.WriteU32(static_cast<uint32_t>(cursor_.phase));
+    w.WriteI64(cursor_.trained_epochs);
+    w.WriteDouble(cursor_.best_err);
+    w.WriteU64(cursor_.val_idx.size());
+    for (size_t i : cursor_.val_idx) w.WriteU64(i);
+    sections.push_back({kSecCursor, w.buffer()});
+  }
+  return sections;
+}
+
+Result<AutoCe> AutoCe::FromSnapshotSections(
+    const std::vector<util::SnapshotSection>& sections) {
+  const char* required[] = {kSecConfig, kSecRcs,       kSecEncoder, kSecBest,
+                            kSecOptimizer, kSecRng,    kSecCursor};
+  for (const char* name : required) {
+    if (FindSection(sections, name) == nullptr) {
+      return Status::DataLoss(std::string("snapshot is missing section '") +
+                              name + "'");
+    }
+  }
+
+  AutoCeConfig config;
+  {
+    const auto* sec = FindSection(sections, kSecConfig);
+    BinaryReader r(sec->payload.data(), sec->payload.size());
+    uint32_t fmt = r.ReadU32();
+    if (r.status().ok() && fmt != kSnapshotFormatVersion) {
+      return Status::InvalidArgument("unsupported snapshot format version " +
+                                     std::to_string(fmt));
+    }
+    config.feature.max_columns = static_cast<int>(r.ReadI64());
+    config.gin.num_layers = static_cast<int>(r.ReadI64());
+    config.gin.hidden = static_cast<int>(r.ReadI64());
+    config.gin.embedding_dim = static_cast<int>(r.ReadI64());
+    config.dml.epochs = static_cast<int>(r.ReadI64());
+    config.dml.batch_size = static_cast<int>(r.ReadI64());
+    config.dml.tau = r.ReadDouble();
+    config.dml.gamma = r.ReadDouble();
+    config.dml.learning_rate = r.ReadDouble();
+    config.dml.clip_norm = r.ReadDouble();
+    config.dml.loss = static_cast<gnn::ContrastiveLoss>(r.ReadU32());
+    config.knn_k = static_cast<int>(r.ReadI64());
+    config.training_weights = r.ReadDoubles();
+    config.enable_incremental = r.ReadU32() != 0;
+    config.enable_augmentation = r.ReadU32() != 0;
+    config.d_error_threshold = r.ReadDouble();
+    config.incremental_folds = static_cast<int>(r.ReadI64());
+    config.mixup_alpha = r.ReadDouble();
+    config.mixup_beta = r.ReadDouble();
+    config.incremental_epochs = static_cast<int>(r.ReadI64());
+    config.validation_interval = static_cast<int>(r.ReadI64());
+    config.drift_percentile = r.ReadDouble();
+    config.online_update_epochs = static_cast<int>(r.ReadI64());
+    config.seed = r.ReadU64();
+    AUTOCE_RETURN_NOT_OK(r.status());
+    AUTOCE_RETURN_NOT_OK(ValidateLoadedConfig(config));
+  }
+
+  AutoCe advisor(config);
+  {
+    const auto* sec = FindSection(sections, kSecRcs);
+    BinaryReader r(sec->payload.data(), sec->payload.size());
+    uint64_t n = r.ReadU64();
+    AUTOCE_RETURN_NOT_OK(r.status());
+    for (uint64_t i = 0; i < n; ++i) {
+      featgraph::FeatureGraph g;
+      g.dataset_name = r.ReadString();
+      AUTOCE_ASSIGN_OR_RETURN(g.vertices, ReadMatrix(&r));
+      AUTOCE_ASSIGN_OR_RETURN(g.edges, ReadMatrix(&r));
+      DatasetLabel label;
+      for (int m = 0; m < ce::kNumModels; ++m) {
+        label.accuracy_score[static_cast<size_t>(m)] = r.ReadDouble();
+        label.efficiency_score[static_cast<size_t>(m)] = r.ReadDouble();
+        label.qerror_mean[static_cast<size_t>(m)] = r.ReadDouble();
+        label.latency_ms[static_cast<size_t>(m)] = r.ReadDouble();
+        label.failed[static_cast<size_t>(m)] = r.ReadU32() != 0;
+      }
+      advisor.graphs_.push_back(std::move(g));
+      advisor.labels_.push_back(label);
+    }
+    advisor.label_mean_ = r.ReadDoubles();
+    AUTOCE_RETURN_NOT_OK(r.status());
+    if (advisor.label_mean_.size() !=
+        config.training_weights.size() * static_cast<size_t>(ce::kNumModels)) {
+      return Status::DataLoss("snapshot centering vector size mismatch");
+    }
+    for (const auto& label : advisor.labels_) {
+      advisor.dml_labels_.push_back(advisor.BuildDmlLabel(label));
+    }
+  }
+
+  {
+    const auto* sec = FindSection(sections, kSecEncoder);
+    BinaryReader r(sec->payload.data(), sec->payload.size());
+    Rng init_rng(1);
+    advisor.encoder_ = std::make_unique<gnn::GinEncoder>(
+        advisor.extractor_.vertex_dim(), config.gin, &init_rng);
+    auto params = advisor.encoder_->Params();
+    uint64_t num_params = r.ReadU64();
+    if (r.status().ok() && num_params != params.size()) {
+      return Status::DataLoss("snapshot encoder parameter count mismatch");
+    }
+    for (nn::Matrix* p : params) {
+      AUTOCE_ASSIGN_OR_RETURN(nn::Matrix m, ReadMatrix(&r));
+      if (!m.SameShape(*p)) {
+        return Status::DataLoss("snapshot encoder parameter shape mismatch");
+      }
+      *p = std::move(m);
+    }
+    AUTOCE_RETURN_NOT_OK(r.status());
+    advisor.trainer_ =
+        std::make_unique<gnn::DmlTrainer>(advisor.encoder_.get(), config.dml);
+  }
+
+  {
+    const auto* sec = FindSection(sections, kSecBest);
+    BinaryReader r(sec->payload.data(), sec->payload.size());
+    uint64_t count = r.ReadU64();
+    AUTOCE_RETURN_NOT_OK(r.status());
+    for (uint64_t i = 0; i < count; ++i) {
+      AUTOCE_ASSIGN_OR_RETURN(nn::Matrix m, ReadMatrix(&r));
+      advisor.best_params_.push_back(std::move(m));
+    }
+  }
+
+  {
+    const auto* sec = FindSection(sections, kSecOptimizer);
+    BinaryReader r(sec->payload.data(), sec->payload.size());
+    uint64_t count = r.ReadU64();
+    AUTOCE_RETURN_NOT_OK(r.status());
+    nn::Adam::State state;
+    for (uint64_t i = 0; i < count; ++i) {
+      AUTOCE_ASSIGN_OR_RETURN(nn::Matrix m, ReadMatrix(&r));
+      state.m.push_back(std::move(m));
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      AUTOCE_ASSIGN_OR_RETURN(nn::Matrix m, ReadMatrix(&r));
+      state.v.push_back(std::move(m));
+    }
+    state.t = r.ReadI64();
+    AUTOCE_RETURN_NOT_OK(r.status());
+    advisor.opt_state_ = std::move(state);
+    if (count > 0) {
+      // Restores the trainer's Adam moments for state-inspection parity.
+      // Resumed numerics never depend on this: the chunked schedule
+      // constructs a fresh optimizer per chunk.
+      (void)advisor.trainer_->ImportOptimizerState(advisor.opt_state_);
+    }
+  }
+
+  {
+    const auto* sec = FindSection(sections, kSecRng);
+    BinaryReader r(sec->payload.data(), sec->payload.size());
+    advisor.rng_.RestoreState(ReadRngState(&r));
+    advisor.train_rng_.RestoreState(ReadRngState(&r));
+    AUTOCE_RETURN_NOT_OK(r.status());
+  }
+
+  {
+    const auto* sec = FindSection(sections, kSecCursor);
+    BinaryReader r(sec->payload.data(), sec->payload.size());
+    uint32_t phase = r.ReadU32();
+    if (r.status().ok() && phase > static_cast<uint32_t>(FitPhase::kPlain)) {
+      return Status::DataLoss("snapshot cursor has invalid phase " +
+                              std::to_string(phase));
+    }
+    advisor.cursor_.phase = static_cast<FitPhase>(phase);
+    advisor.cursor_.trained_epochs = static_cast<int>(r.ReadI64());
+    advisor.cursor_.best_err = r.ReadDouble();
+    uint64_t vn = r.ReadU64();
+    AUTOCE_RETURN_NOT_OK(r.status());
+    if (vn > r.remaining() / sizeof(uint64_t)) {
+      return Status::DataLoss("snapshot cursor val_idx exceeds payload");
+    }
+    advisor.cursor_.val_idx.reserve(vn);
+    for (uint64_t i = 0; i < vn; ++i) {
+      advisor.cursor_.val_idx.push_back(static_cast<size_t>(r.ReadU64()));
+    }
+    AUTOCE_RETURN_NOT_OK(r.status());
+  }
+
+  advisor.fit_report_ = FitReport{};
+  advisor.fit_report_.samples_total = advisor.graphs_.size();
+  advisor.RefreshEmbeddings();
+  advisor.RefreshDriftThreshold();
+  return advisor;
+}
+
+Result<AutoCe> AutoCe::ResumeFit(const std::string& dir,
+                                 util::SnapshotStoreOptions options) {
+  AUTOCE_ASSIGN_OR_RETURN(util::SnapshotStore store,
+                          util::SnapshotStore::Open(dir, options));
+  uint64_t generation = 0;
+  AUTOCE_ASSIGN_OR_RETURN(std::vector<util::SnapshotSection> sections,
+                          store.LoadLatest(&generation));
+  AUTOCE_ASSIGN_OR_RETURN(AutoCe advisor, FromSnapshotSections(sections));
+  advisor.store_ = std::make_unique<util::SnapshotStore>(std::move(store));
+  if (advisor.cursor_.phase != FitPhase::kDone) {
+    AUTOCE_LOG(Info) << "resuming interrupted fit from snapshot generation "
+                     << generation;
+    AUTOCE_RETURN_NOT_OK(advisor.RunCheckpointedFit());
+  }
+  return advisor;
+}
+
+uint64_t AutoCe::ModelDigest() const {
+  uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  uint64_t n = graphs_.size();
+  h = Fnv1a(&n, sizeof(n), h);
+  for (size_t i = 0; i < graphs_.size(); ++i) {
+    const featgraph::FeatureGraph& g = graphs_[i];
+    h = Fnv1a(g.dataset_name.data(), g.dataset_name.size(), h);
+    h = DigestMatrix(g.vertices, h);
+    h = DigestMatrix(g.edges, h);
+    const DatasetLabel& label = labels_[i];
+    h = Fnv1a(label.accuracy_score.data(),
+              label.accuracy_score.size() * sizeof(double), h);
+    h = Fnv1a(label.efficiency_score.data(),
+              label.efficiency_score.size() * sizeof(double), h);
+    h = Fnv1a(label.qerror_mean.data(),
+              label.qerror_mean.size() * sizeof(double), h);
+    h = Fnv1a(label.latency_ms.data(),
+              label.latency_ms.size() * sizeof(double), h);
+    h = Fnv1a(label.failed.data(), label.failed.size(), h);
+  }
+  h = Fnv1a(label_mean_.data(), label_mean_.size() * sizeof(double), h);
+  if (encoder_ != nullptr) {
+    auto params = const_cast<gnn::GinEncoder*>(encoder_.get())->Params();
+    for (const nn::Matrix* p : params) h = DigestMatrix(*p, h);
+  }
+  h = Fnv1a(&drift_threshold_, sizeof(drift_threshold_), h);
+  return h;
 }
 
 }  // namespace autoce::advisor

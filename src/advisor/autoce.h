@@ -8,6 +8,7 @@
 #include "advisor/label.h"
 #include "gnn/metric_learning.h"
 #include "util/result.h"
+#include "util/snapshot.h"
 
 namespace autoce::advisor {
 
@@ -144,6 +145,53 @@ class AutoCe {
   /// Restores an advisor saved with Save().
   static Result<AutoCe> Load(const std::string& path);
 
+  /// --- Crash-safe snapshots and resumable training ---
+
+  /// Where a (possibly interrupted) Fit stands. Persisted in every
+  /// snapshot so ResumeFit knows which phase to re-enter.
+  enum class FitPhase : uint32_t {
+    kChunk = 0,        ///< chunked DML training in progress
+    kIncremental = 1,  ///< chunks done; incremental learning pending
+    kDone = 2,         ///< training complete
+    kPlain = 3,        ///< single-shot fit (validation_interval <= 0) pending
+  };
+
+  /// The training cursor: phase, epochs completed, and the held-out
+  /// validation split plus its best error so far.
+  struct TrainCursor {
+    FitPhase phase = FitPhase::kDone;
+    int trained_epochs = 0;
+    double best_err = 0.0;
+    std::vector<size_t> val_idx;
+  };
+
+  /// Attaches a crash-safe snapshot store at `dir` (created if needed).
+  /// Once attached, Fit commits a snapshot generation at every
+  /// validation checkpoint and AddLabeledSample after every online
+  /// update; SaveSnapshot commits on demand.
+  Status EnableSnapshots(const std::string& dir,
+                         util::SnapshotStoreOptions options = {});
+
+  /// Commits the advisor's complete state (config, RCS, encoder,
+  /// optimizer, RNG cursors, training cursor) as a new generation.
+  Status SaveSnapshot();
+
+  /// Resumes an interrupted Fit: loads the newest good snapshot under
+  /// `dir` and continues training from its cursor, committing further
+  /// checkpoints into the same store. The resumed run reaches a final
+  /// model bit-identical to the uninterrupted one (every RNG stream is
+  /// restored from the snapshot). A kDone snapshot restores the
+  /// finished advisor as-is.
+  static Result<AutoCe> ResumeFit(const std::string& dir,
+                                  util::SnapshotStoreOptions options = {});
+
+  const TrainCursor& train_cursor() const { return cursor_; }
+
+  /// FNV-1a digest over all model state (RCS graphs and labels,
+  /// centering vector, encoder parameters, drift threshold) — the
+  /// bit-identity witness used by the kill-point recovery harness.
+  uint64_t ModelDigest() const;
+
   /// Mean D-error of the advisor over labeled evaluation data.
   double EvaluateMeanDError(
       const std::vector<featgraph::FeatureGraph>& graphs,
@@ -170,6 +218,20 @@ class AutoCe {
   void RefreshEmbeddings();
   void RefreshDriftThreshold();
   Status RunIncrementalLearning();
+
+  /// Executes the remaining Fit phases from `cursor_`, committing a
+  /// snapshot at every checkpoint (no-op commits without a store).
+  /// Shared by Fit (cursor freshly initialized) and ResumeFit (cursor
+  /// restored from the last good snapshot).
+  Status RunCheckpointedFit();
+
+  /// Commits the current state into the attached store and passes the
+  /// `advisor.checkpoint` kill point; OK when no store is attached.
+  Status CommitCheckpoint();
+
+  std::vector<util::SnapshotSection> BuildSnapshotSections() const;
+  static Result<AutoCe> FromSnapshotSections(
+      const std::vector<util::SnapshotSection>& sections);
   std::vector<size_t> NearestNeighbors(const std::vector<double>& embedding,
                                        size_t k,
                                        size_t exclude = SIZE_MAX) const;
@@ -191,6 +253,17 @@ class AutoCe {
   std::vector<char> embedding_ok_;
   double drift_threshold_ = 0.0;
   FitReport fit_report_;
+
+  // Resumable-training state (persisted by snapshots).
+  TrainCursor cursor_;
+  Rng train_rng_{0};                     // DML training stream
+  std::vector<nn::Matrix> best_params_;  // best checkpointed encoder
+  nn::Adam::State opt_state_;            // last completed chunk's Adam state
+  std::unique_ptr<util::SnapshotStore> store_;
+  /// Serialized RCS section, reused across checkpoints (the corpus only
+  /// changes between fits / online updates, not between training chunks,
+  /// and it is the largest section by far). Empty = rebuild.
+  mutable std::string rcs_section_cache_;
 };
 
 }  // namespace autoce::advisor

@@ -40,13 +40,6 @@ uint64_t HashSiteName(std::string_view site) {
   return h;
 }
 
-bool IsRegisteredSite(std::string_view site) {
-  for (const char* s : kAllSites) {
-    if (site == s) return true;
-  }
-  return false;
-}
-
 }  // namespace
 
 std::span<const char* const> AllFaultSites() {
@@ -70,36 +63,28 @@ uint64_t FaultKeyFromDoubles(const double* data, std::size_t n) {
   return h;
 }
 
-struct FaultInjection::State {
+struct FaultRegistry::State {
   mutable std::mutex mu;
+  std::span<const char* const> sites;
   std::unordered_map<std::string, double> probability;  // site -> p
   std::unordered_map<std::string, int64_t> fires;
   uint64_t seed = 42;
 };
 
-FaultInjection& FaultInjection::Instance() {
-  // Leaked singleton: fault points may run during static destruction of
-  // other objects, so the registry must never be torn down.
-  static FaultInjection* instance = new FaultInjection();
-  return *instance;
+FaultRegistry::FaultRegistry(std::span<const char* const> sites)
+    : state_(new State()) {
+  state_->sites = sites;
 }
 
-FaultInjection::FaultInjection() : state_(new State()) {
-  const char* spec = std::getenv("AUTOCE_FAULTS");
-  if (spec != nullptr && spec[0] != '\0') {
-    uint64_t seed = 42;
-    if (const char* s = std::getenv("AUTOCE_FAULT_SEED")) {
-      char* end = nullptr;
-      unsigned long long v = std::strtoull(s, &end, 10);
-      if (end != s && *end == '\0') seed = v;
+FaultRegistry::~FaultRegistry() { delete state_; }
+
+Status FaultRegistry::Configure(const std::string& spec, uint64_t seed) {
+  auto is_registered = [this](std::string_view site) {
+    for (const char* s : state_->sites) {
+      if (site == s) return true;
     }
-    // Invalid env specs are ignored rather than fatal: injection is a
-    // testing facility and must never take down a production process.
-    (void)Configure(spec, seed);
-  }
-}
-
-Status FaultInjection::Configure(const std::string& spec, uint64_t seed) {
+    return false;
+  };
   std::unordered_map<std::string, double> parsed;
   std::size_t pos = 0;
   while (pos < spec.size()) {
@@ -122,8 +107,8 @@ Status FaultInjection::Configure(const std::string& spec, uint64_t seed) {
       }
     }
     if (site == "*") {
-      for (const char* s : kAllSites) parsed[s] = p;
-    } else if (IsRegisteredSite(site)) {
+      for (const char* s : state_->sites) parsed[s] = p;
+    } else if (is_registered(site)) {
       parsed[site] = p;
     } else {
       return Status::InvalidArgument("unknown fault site: " + site);
@@ -134,19 +119,21 @@ Status FaultInjection::Configure(const std::string& spec, uint64_t seed) {
   state_->probability = std::move(parsed);
   state_->fires.clear();
   state_->seed = seed;
-  internal::g_fault_enabled.store(!state_->probability.empty(),
-                                  std::memory_order_relaxed);
   return Status::OK();
 }
 
-void FaultInjection::Disable() {
+void FaultRegistry::Disable() {
   std::lock_guard<std::mutex> lock(state_->mu);
   state_->probability.clear();
   state_->fires.clear();
-  internal::g_fault_enabled.store(false, std::memory_order_relaxed);
 }
 
-bool FaultInjection::ShouldFail(const char* site, uint64_t key) {
+bool FaultRegistry::AnyConfigured() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return !state_->probability.empty();
+}
+
+bool FaultRegistry::Decide(const char* site, uint64_t key) {
   double p;
   uint64_t seed;
   {
@@ -167,16 +154,61 @@ bool FaultInjection::ShouldFail(const char* site, uint64_t key) {
   return fire;
 }
 
-int64_t FaultInjection::FireCount(const std::string& site) const {
+int64_t FaultRegistry::FireCount(const std::string& site) const {
   std::lock_guard<std::mutex> lock(state_->mu);
   auto it = state_->fires.find(site);
   return it == state_->fires.end() ? 0 : it->second;
 }
 
-void FaultInjection::ResetCounts() {
+void FaultRegistry::ResetCounts() {
   std::lock_guard<std::mutex> lock(state_->mu);
   state_->fires.clear();
 }
+
+FaultInjection& FaultInjection::Instance() {
+  // Leaked singleton: fault points may run during static destruction of
+  // other objects, so the registry must never be torn down.
+  static FaultInjection* instance = new FaultInjection();
+  return *instance;
+}
+
+FaultInjection::FaultInjection()
+    : registry_(new FaultRegistry(AllFaultSites())) {
+  const char* spec = std::getenv("AUTOCE_FAULTS");
+  if (spec != nullptr && spec[0] != '\0') {
+    uint64_t seed = 42;
+    if (const char* s = std::getenv("AUTOCE_FAULT_SEED")) {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(s, &end, 10);
+      if (end != s && *end == '\0') seed = v;
+    }
+    // Invalid env specs are ignored rather than fatal: injection is a
+    // testing facility and must never take down a production process.
+    (void)Configure(spec, seed);
+  }
+}
+
+Status FaultInjection::Configure(const std::string& spec, uint64_t seed) {
+  Status st = registry_->Configure(spec, seed);
+  internal::g_fault_enabled.store(st.ok() && registry_->AnyConfigured(),
+                                  std::memory_order_relaxed);
+  return st;
+}
+
+void FaultInjection::Disable() {
+  registry_->Disable();
+  internal::g_fault_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjection::ShouldFail(const char* site, uint64_t key) {
+  return registry_->Decide(site, key);
+}
+
+int64_t FaultInjection::FireCount(const std::string& site) const {
+  return registry_->FireCount(site);
+}
+
+void FaultInjection::ResetCounts() { registry_->ResetCounts(); }
 
 namespace {
 // Constructs the registry before main() so the env spec is picked up:

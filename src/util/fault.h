@@ -72,6 +72,48 @@ uint64_t FaultKeyMix(uint64_t a, uint64_t b);
 /// Pure function of the data, hence thread-count independent.
 uint64_t FaultKeyFromDoubles(const double* data, std::size_t n);
 
+/// \brief Reusable deterministic decision machinery (thread-safe).
+///
+/// A site table (`site -> probability`) plus the pure decision function
+/// of (seed, site-name hash, caller key). `FaultInjection` wraps one
+/// instance over the fault sites; the kill-point registry in
+/// `util/snapshot.h` wraps another over the persistence sites, so both
+/// share identical spec syntax and determinism guarantees.
+class FaultRegistry {
+ public:
+  /// `sites` is the set of legal site names; Configure rejects others.
+  explicit FaultRegistry(std::span<const char* const> sites);
+  ~FaultRegistry();
+
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  /// Enables decisions per `spec`: comma-separated `site[:probability]`
+  /// entries (probability defaults to 1.0); `*[:p]` selects every
+  /// registered site. An empty spec disables. Unknown sites rejected.
+  Status Configure(const std::string& spec, uint64_t seed = 42);
+
+  /// Disables every site and clears fire counts.
+  void Disable();
+
+  /// True iff at least one site is configured.
+  bool AnyConfigured() const;
+
+  /// Whether the keyed site fires under the current configuration.
+  /// Deterministic in (seed, site, key); counts fires.
+  bool Decide(const char* site, uint64_t key);
+
+  /// Number of times `site` fired since the last Configure/ResetCounts.
+  int64_t FireCount(const std::string& site) const;
+
+  /// Zeroes fire counts without changing the configuration.
+  void ResetCounts();
+
+ private:
+  struct State;
+  State* state_;  // leaked when the owner is (see fault.cc)
+};
+
 /// \brief Process-wide injection configuration (thread-safe).
 class FaultInjection {
  public:
@@ -104,8 +146,7 @@ class FaultInjection {
 
  private:
   FaultInjection();
-  struct State;
-  State* state_;  // intentionally leaked; see fault.cc
+  FaultRegistry* registry_;  // intentionally leaked; see fault.cc
 };
 
 namespace internal {

@@ -165,4 +165,18 @@ Rng Rng::Fork(uint64_t label) {
   return Rng(seed);
 }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[static_cast<size_t>(i)] = s_[i];
+  state.has_cached_gaussian = has_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[static_cast<size_t>(i)];
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 }  // namespace autoce

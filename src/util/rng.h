@@ -1,6 +1,7 @@
 #ifndef AUTOCE_UTIL_RNG_H_
 #define AUTOCE_UTIL_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -67,6 +68,18 @@ class Rng {
   /// Forks a child generator with an independent stream; deterministic in
   /// (parent state, label).
   Rng Fork(uint64_t label);
+
+  /// \brief The complete generator state — the "RNG cursor" persisted by
+  /// crash-safe snapshots. Restoring it resumes the stream exactly
+  /// where SaveState left it (including the cached Box-Muller value).
+  struct State {
+    std::array<uint64_t, 4> s{};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+
+  State SaveState() const;
+  void RestoreState(const State& state);
 
  private:
   /// Gamma(shape, 1) sampler (Marsaglia-Tsang); helper for Beta.

@@ -1,5 +1,10 @@
 #include "util/serde.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
 namespace autoce {
 
 namespace {
@@ -7,7 +12,7 @@ constexpr size_t kMaxStringBytes = 1 << 20;   // 1 MiB names are plenty
 constexpr size_t kMaxVectorElems = 1 << 28;
 }  // namespace
 
-BinaryWriter::BinaryWriter(const std::string& path) {
+BinaryWriter::BinaryWriter(const std::string& path) : file_mode_(true) {
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
     status_ = Status::Internal("cannot open for writing: " + path);
@@ -19,17 +24,38 @@ BinaryWriter::~BinaryWriter() {
 }
 
 void BinaryWriter::WriteRaw(const void* data, size_t bytes) {
-  if (!status_.ok() || file_ == nullptr) return;
+  if (!status_.ok()) return;
   if (bytes == 0) return;  // empty vectors may carry data == nullptr
+  if (!file_mode_) {
+    buffer_.append(static_cast<const char*>(data), bytes);
+    return;
+  }
+  if (file_ == nullptr) return;
   if (std::fwrite(data, 1, bytes, file_) != bytes) {
     status_ = Status::Internal("short write");
   }
 }
 
-void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
-void BinaryWriter::WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
-void BinaryWriter::WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
-void BinaryWriter::WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteU32(uint32_t v) {
+  uint32_t le = ToLittleEndian(v);
+  WriteRaw(&le, sizeof(le));
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  uint64_t le = ToLittleEndian(v);
+  WriteRaw(&le, sizeof(le));
+}
+
+void BinaryWriter::WriteI64(int64_t v) {
+  WriteU64(static_cast<uint64_t>(v));
+}
+
+void BinaryWriter::WriteDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(double));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
 
 void BinaryWriter::WriteString(const std::string& s) {
   WriteU64(s.size());
@@ -38,11 +64,28 @@ void BinaryWriter::WriteString(const std::string& s) {
 
 void BinaryWriter::WriteDoubles(const std::vector<double>& v) {
   WriteU64(v.size());
-  WriteRaw(v.data(), v.size() * sizeof(double));
+  if constexpr (std::endian::native == std::endian::little) {
+    WriteRaw(v.data(), v.size() * sizeof(double));
+  } else {
+    for (double d : v) WriteDouble(d);
+  }
+}
+
+void BinaryWriter::WriteBytes(const void* data, size_t bytes) {
+  WriteRaw(data, bytes);
 }
 
 Status BinaryWriter::Close() {
   if (file_ != nullptr) {
+    // Flush stdio buffers and fsync before closing: an OK Close is the
+    // durability point callers (the snapshot store in particular) rely
+    // on — a crash after it must not lose the file's contents.
+    if (status_.ok() && std::fflush(file_) != 0) {
+      status_ = Status::Internal("flush failed");
+    }
+    if (status_.ok() && ::fsync(::fileno(file_)) != 0) {
+      status_ = Status::Internal("fsync failed");
+    }
     if (std::fclose(file_) != 0 && status_.ok()) {
       status_ = Status::Internal("close failed");
     }
@@ -55,50 +98,79 @@ BinaryReader::BinaryReader(const std::string& path) {
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) {
     status_ = Status::NotFound("cannot open for reading: " + path);
+    return;
   }
+  // The file size bounds every length-prefixed allocation below.
+  struct stat st;
+  if (::fstat(::fileno(file_), &st) != 0 || st.st_size < 0) {
+    status_ = Status::Internal("cannot stat: " + path);
+    return;
+  }
+  remaining_ = static_cast<uint64_t>(st.st_size);
 }
+
+BinaryReader::BinaryReader(const void* data, size_t size)
+    : mem_(static_cast<const unsigned char*>(data)), remaining_(size) {}
 
 BinaryReader::~BinaryReader() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
 void BinaryReader::ReadRaw(void* data, size_t bytes) {
-  if (!status_.ok() || file_ == nullptr) return;
+  if (!status_.ok()) return;
   if (bytes == 0) return;  // empty vectors may carry data == nullptr
-  if (std::fread(data, 1, bytes, file_) != bytes) {
-    status_ = Status::Internal("short read (truncated or corrupt file)");
+  if (bytes > remaining_) {
+    status_ = Status::DataLoss("short read (truncated or corrupt input)");
+    remaining_ = 0;
+    return;
   }
+  if (mem_ != nullptr) {
+    std::memcpy(data, mem_, bytes);
+    mem_ += bytes;
+  } else if (file_ == nullptr ||
+             std::fread(data, 1, bytes, file_) != bytes) {
+    status_ = Status::DataLoss("short read (truncated or corrupt file)");
+    remaining_ = 0;
+    return;
+  }
+  remaining_ -= bytes;
+}
+
+void BinaryReader::ReadBytes(void* data, size_t bytes) {
+  ReadRaw(data, bytes);
 }
 
 uint32_t BinaryReader::ReadU32() {
   uint32_t v = 0;
   ReadRaw(&v, sizeof(v));
-  return v;
+  return FromLittleEndian32(v);
 }
 
 uint64_t BinaryReader::ReadU64() {
   uint64_t v = 0;
   ReadRaw(&v, sizeof(v));
-  return v;
+  return FromLittleEndian64(v);
 }
 
 int64_t BinaryReader::ReadI64() {
-  int64_t v = 0;
-  ReadRaw(&v, sizeof(v));
-  return v;
+  return static_cast<int64_t>(ReadU64());
 }
 
 double BinaryReader::ReadDouble() {
-  double v = 0;
-  ReadRaw(&v, sizeof(v));
+  uint64_t bits = ReadU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
   return v;
 }
 
 std::string BinaryReader::ReadString() {
   uint64_t n = ReadU64();
   if (!status_.ok()) return {};
-  if (n > kMaxStringBytes) {
-    status_ = Status::Internal("string too large (corrupt file)");
+  // Bounded by both the sanity cap and the bytes actually left in the
+  // input: a corrupt length prefix must never drive the allocation.
+  if (n > kMaxStringBytes || n > remaining_) {
+    status_ = Status::DataLoss("string length exceeds input (corrupt data)");
+    remaining_ = 0;
     return {};
   }
   std::string s(n, '\0');
@@ -109,12 +181,17 @@ std::string BinaryReader::ReadString() {
 std::vector<double> BinaryReader::ReadDoubles() {
   uint64_t n = ReadU64();
   if (!status_.ok()) return {};
-  if (n > kMaxVectorElems) {
-    status_ = Status::Internal("vector too large (corrupt file)");
+  if (n > kMaxVectorElems || n > remaining_ / sizeof(double)) {
+    status_ = Status::DataLoss("vector length exceeds input (corrupt data)");
+    remaining_ = 0;
     return {};
   }
   std::vector<double> v(n);
-  ReadRaw(v.data(), n * sizeof(double));
+  if constexpr (std::endian::native == std::endian::little) {
+    ReadRaw(v.data(), n * sizeof(double));
+  } else {
+    for (auto& d : v) d = ReadDouble();
+  }
   return v;
 }
 

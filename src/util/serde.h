@@ -1,6 +1,7 @@
 #ifndef AUTOCE_UTIL_SERDE_H_
 #define AUTOCE_UTIL_SERDE_H_
 
+#include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -11,16 +12,43 @@
 
 namespace autoce {
 
+/// Byte-swaps a 64/32-bit value when the host is big-endian, so that the
+/// on-disk representation is always little-endian. No-ops (and compiles
+/// away) on little-endian hosts.
+inline uint32_t ToLittleEndian(uint32_t v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    return __builtin_bswap32(v);
+  }
+  return v;
+}
+inline uint64_t ToLittleEndian(uint64_t v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    return __builtin_bswap64(v);
+  }
+  return v;
+}
+inline uint32_t FromLittleEndian32(uint32_t v) { return ToLittleEndian(v); }
+inline uint64_t FromLittleEndian64(uint64_t v) { return ToLittleEndian(v); }
+
 /// \brief Little binary writer for model persistence.
 ///
-/// All multi-byte values are written in the host byte order with fixed
-/// widths; files carry a magic + version header written by the caller.
-/// Errors are sticky: after the first failure every subsequent write is
-/// a no-op and `status()` reports the original error.
+/// All multi-byte values are written little-endian with fixed widths
+/// (byte-swapped on big-endian hosts), so files are portable across
+/// architectures; files carry a magic + version header written by the
+/// caller. Errors are sticky: after the first failure every subsequent
+/// write is a no-op and `status()` reports the original error.
+///
+/// Two sinks: `BinaryWriter(path)` writes a file (Close() flushes and
+/// fsyncs before reporting OK, so an OK Close means the bytes are
+/// durable, not merely buffered); `BinaryWriter()` appends to an
+/// in-memory buffer (`buffer()`), used to frame snapshot sections
+/// before they are committed atomically.
 class BinaryWriter {
  public:
   /// Opens `path` for writing (truncates).
   explicit BinaryWriter(const std::string& path);
+  /// In-memory mode: bytes accumulate in `buffer()`.
+  BinaryWriter() = default;
   ~BinaryWriter();
 
   BinaryWriter(const BinaryWriter&) = delete;
@@ -32,23 +60,40 @@ class BinaryWriter {
   void WriteDouble(double v);
   void WriteString(const std::string& s);
   void WriteDoubles(const std::vector<double>& v);
+  /// Raw bytes, no length prefix (callers frame them).
+  void WriteBytes(const void* data, size_t bytes);
 
-  /// Flushes and closes; returns the sticky status.
+  /// Flushes, fsyncs, and closes (file mode); returns the sticky status.
+  /// An OK return guarantees the data reached the storage device.
   Status Close();
   const Status& status() const { return status_; }
+
+  /// The accumulated bytes (in-memory mode only).
+  const std::string& buffer() const { return buffer_; }
 
  private:
   void WriteRaw(const void* data, size_t bytes);
 
   FILE* file_ = nullptr;
+  bool file_mode_ = false;
+  std::string buffer_;
   Status status_;
 };
 
 /// \brief Matching reader; errors are sticky and reads after a failure
 /// return zero values.
+///
+/// Every length-prefixed read (`ReadString`, `ReadDoubles`) is bounded
+/// by the number of bytes actually remaining in the input, so a corrupt
+/// length prefix yields `Status::DataLoss` instead of a multi-gigabyte
+/// allocation attempt. `BinaryReader(data, size)` reads from a memory
+/// buffer with the same bounds.
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
+  /// In-memory mode over `[data, data + size)`; the buffer must outlive
+  /// the reader.
+  BinaryReader(const void* data, size_t size);
   ~BinaryReader();
 
   BinaryReader(const BinaryReader&) = delete;
@@ -60,6 +105,12 @@ class BinaryReader {
   double ReadDouble();
   std::string ReadString();
   std::vector<double> ReadDoubles();
+  /// Raw bytes, no length prefix (callers frame them); fails with
+  /// `DataLoss` when fewer than `bytes` remain.
+  void ReadBytes(void* data, size_t bytes);
+
+  /// Bytes left before end-of-input (0 after a sticky error).
+  uint64_t remaining() const { return remaining_; }
 
   const Status& status() const { return status_; }
 
@@ -67,6 +118,8 @@ class BinaryReader {
   void ReadRaw(void* data, size_t bytes);
 
   FILE* file_ = nullptr;
+  const unsigned char* mem_ = nullptr;
+  uint64_t remaining_ = 0;
   Status status_;
 };
 

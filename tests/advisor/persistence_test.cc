@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "advisor/autoce.h"
 #include "data/generator.h"
@@ -98,6 +100,39 @@ TEST(PersistenceTest, LoadedAdvisorSupportsOnlineUpdates) {
   std::remove(path.c_str());
 }
 
+TEST(PersistenceTest, RoundTripPreservesDegradedLabelsAndFailedFlags) {
+  // Labels carrying failed testbed cells (sentinel-floor scores, capped
+  // raw metrics) must survive Save/Load bit for bit: the failed[] flags
+  // drive the Eq. 3-4 renormalization on any later online update, so a
+  // lossy round trip would silently change future label math.
+  TinyCorpus corpus = MakeTinyCorpus(14);
+  Rng rng(41);
+  for (auto& label : corpus.labels) {
+    for (size_t m = 0; m < ce::kNumModels; ++m) {
+      if (rng.Uniform(0.0, 1.0) < 0.3) {
+        label.failed[m] = true;
+        label.accuracy_score[m] = kScoreFloor;
+        label.efficiency_score[m] = kScoreFloor;
+        label.qerror_mean[m] = kQErrorCap;
+        label.latency_ms[m] = kLatencyCapMs;
+      }
+    }
+  }
+  AutoCeConfig cfg;
+  cfg.dml.epochs = 6;
+  cfg.gin.hidden = 10;
+  cfg.gin.embedding_dim = 6;
+  AutoCe advisor(cfg);
+  ASSERT_TRUE(advisor.Fit(corpus.graphs, corpus.labels).ok());
+
+  std::string path = std::string(::testing::TempDir()) + "/degraded.ace";
+  ASSERT_TRUE(advisor.Save(path).ok());
+  auto loaded = AutoCe::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->ModelDigest(), advisor.ModelDigest());
+  std::remove(path.c_str());
+}
+
 TEST(PersistenceTest, UnfittedAdvisorRefusesToSave) {
   AutoCe advisor;
   EXPECT_FALSE(advisor.Save("/tmp/never.ace").ok());
@@ -110,6 +145,78 @@ TEST(PersistenceTest, LoadRejectsGarbageFile) {
   std::fclose(f);
   auto loaded = AutoCe::Load(path);
   EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, LoadOfTruncatedFileFailsCleanly) {
+  // A crash mid-Save leaves a prefix of the file. Every header byte and
+  // a deterministic sample of longer prefixes must yield a clean Status
+  // error — never a crash or an OOM-sized allocation.
+  TinyCorpus corpus = MakeTinyCorpus(10);
+  AutoCeConfig cfg;
+  cfg.dml.epochs = 4;
+  cfg.gin.hidden = 10;
+  cfg.gin.embedding_dim = 6;
+  AutoCe advisor(cfg);
+  ASSERT_TRUE(advisor.Fit(corpus.graphs, corpus.labels).ok());
+  std::string path = std::string(::testing::TempDir()) + "/trunc.ace";
+  ASSERT_TRUE(advisor.Save(path).ok());
+
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> bytes(static_cast<size_t>(size));
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  ASSERT_GT(size, 256);
+
+  std::vector<long> cuts;
+  for (long i = 0; i < 64; ++i) cuts.push_back(i);
+  Rng rng(2025);
+  for (int i = 0; i < 96; ++i) {
+    cuts.push_back(static_cast<long>(
+        rng.UniformInt(64, static_cast<int>(size) - 1)));
+  }
+  std::string cut_path = std::string(::testing::TempDir()) + "/cut.ace";
+  for (long cut : cuts) {
+    FILE* out = std::fopen(cut_path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, static_cast<size_t>(cut), out),
+              static_cast<size_t>(cut));
+    ASSERT_EQ(std::fclose(out), 0);
+    auto loaded = AutoCe::Load(cut_path);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes parsed";
+  }
+  std::remove(cut_path.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, LoadAcceptsVersion2Files) {
+  // The v2 -> v3 bump only pinned the on-disk byte order (identical on
+  // little-endian hosts), so a v2 file must still load. Synthesize one
+  // by patching the version word of a fresh save.
+  TinyCorpus corpus = MakeTinyCorpus(10);
+  AutoCeConfig cfg;
+  cfg.dml.epochs = 4;
+  cfg.gin.hidden = 10;
+  cfg.gin.embedding_dim = 6;
+  AutoCe advisor(cfg);
+  ASSERT_TRUE(advisor.Fit(corpus.graphs, corpus.labels).ok());
+  std::string path = std::string(::testing::TempDir()) + "/v2.ace";
+  ASSERT_TRUE(advisor.Save(path).ok());
+
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 4, SEEK_SET);  // magic "ACE1", then the u32 version
+  uint32_t v2 = 2;
+  ASSERT_EQ(std::fwrite(&v2, sizeof(v2), 1, f), 1u);
+  ASSERT_EQ(std::fclose(f), 0);
+
+  auto loaded = AutoCe::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->ModelDigest(), advisor.ModelDigest());
   std::remove(path.c_str());
 }
 

@@ -4,14 +4,21 @@
 //                    [--min-rows A --max-rows B] [--seed S]
 //   autoce train     --data DIR --out model.ace [--train-queries N]
 //                    [--test-queries N] [--epochs N]
+//                    [--snapshot-dir DIR [--resume]]
 //   autoce recommend --model model.ace (--dataset F.adat | --csv F.csv)
 //                    [--weight W]
-//   autoce inspect   --model model.ace
+//   autoce inspect   (--model model.ace | --snapshot-dir DIR)
 //
 // `generate` writes synthetic datasets as .adat files; `train` labels
 // them with the CE testbed (training all seven estimators per dataset)
 // and fits + saves the advisor; `recommend` loads the advisor and picks
 // a CE model for a new dataset under accuracy weight W.
+//
+// With --snapshot-dir, `train` commits a crash-safe snapshot at every
+// training checkpoint; after a crash (or kill -9), rerunning with
+// --resume continues from the last durable generation and produces the
+// same bits as an uninterrupted run. `inspect --snapshot-dir` prints
+// the store's generations and the sections of the newest good snapshot.
 
 #include <algorithm>
 #include <cstdio>
@@ -20,10 +27,14 @@
 #include <string>
 #include <vector>
 
+#include <cinttypes>
+
 #include "advisor/autoce.h"
 #include "advisor/label.h"
 #include "data/csv.h"
 #include "data/generator.h"
+#include "util/serde.h"
+#include "util/snapshot.h"
 #include "util/timer.h"
 
 namespace autoce {
@@ -33,6 +44,12 @@ struct Args {
   std::vector<std::string> positional;
   std::vector<std::pair<std::string, std::string>> flags;
 
+  bool Has(const std::string& name) const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return true;
+    }
+    return false;
+  }
   std::string Get(const std::string& name,
                   const std::string& fallback = "") const {
     for (const auto& [k, v] : flags) {
@@ -120,6 +137,37 @@ int CmdGenerate(const Args& args) {
 int CmdTrain(const Args& args) {
   std::string data_dir = args.Get("data");
   std::string out_path = args.Get("out");
+  std::string snapshot_dir = args.Get("snapshot-dir");
+  if (args.Has("resume") && snapshot_dir.empty()) {
+    std::fprintf(stderr, "train: --resume requires --snapshot-dir\n");
+    return 2;
+  }
+  if (args.Has("resume")) {
+    // Everything (RCS, encoder, RNG cursors) lives in the snapshot, so a
+    // resume needs no relabeling — it continues the interrupted fit.
+    auto resumed = advisor::AutoCe::ResumeFit(snapshot_dir);
+    if (resumed.ok()) {
+      if (!out_path.empty()) {
+        Status st = resumed->Save(out_path);
+        if (!st.ok()) {
+          std::fprintf(stderr, "train: %s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+      std::printf("resumed advisor from %s (RCS %zu, drift threshold "
+                  "%.4f)\n",
+                  snapshot_dir.c_str(), resumed->RcsSize(),
+                  resumed->DriftThreshold());
+      return 0;
+    }
+    if (resumed.status().code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "train: %s\n",
+                   resumed.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("no snapshot in %s yet; training from scratch\n",
+                snapshot_dir.c_str());
+  }
   if (data_dir.empty() || out_path.empty()) {
     std::fprintf(stderr, "train: --data DIR and --out FILE are required\n");
     return 2;
@@ -157,6 +205,13 @@ int CmdTrain(const Args& args) {
   advisor::AutoCeConfig config;
   config.dml.epochs = static_cast<int>(args.GetInt("epochs", 40));
   advisor::AutoCe advisor(config);
+  if (!snapshot_dir.empty()) {
+    Status st = advisor.EnableSnapshots(snapshot_dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "train: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   Status st = advisor.Fit(corpus.graphs, corpus.labels);
   if (!st.ok()) {
     std::fprintf(stderr, "train: %s\n", st.ToString().c_str());
@@ -231,10 +286,71 @@ int CmdRecommend(const Args& args) {
   return 0;
 }
 
+const char* PhaseName(uint32_t phase) {
+  switch (phase) {
+    case 0: return "chunk training";
+    case 1: return "incremental learning";
+    case 2: return "done";
+    case 3: return "plain training";
+    default: return "unknown";
+  }
+}
+
+int InspectSnapshotDir(const std::string& dir) {
+  auto store = util::SnapshotStore::Open(dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "inspect: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("AutoCE snapshot store: %s\n", dir.c_str());
+  auto gens = store->ListGenerations();
+  std::printf("  generations on disk : %zu (", gens.size());
+  for (size_t i = 0; i < gens.size(); ++i) {
+    std::printf("%s%" PRIu64, i == 0 ? "" : " ", gens[i]);
+  }
+  std::printf(")\n");
+  auto manifest = store->ManifestGeneration();
+  if (manifest.ok()) {
+    std::printf("  MANIFEST generation : %" PRIu64 "\n", *manifest);
+  } else {
+    std::printf("  MANIFEST generation : absent or torn\n");
+  }
+  uint64_t gen = 0;
+  auto sections = store->LoadLatest(&gen);
+  if (!sections.ok()) {
+    std::fprintf(stderr, "inspect: no loadable snapshot: %s\n",
+                 sections.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  newest good snapshot: generation %" PRIu64 "\n", gen);
+  for (const auto& s : *sections) {
+    std::printf("    section %-10s %8zu bytes\n", s.name.c_str(),
+                s.payload.size());
+    if (s.name == "cursor") {
+      // Cursor layout (DESIGN.md Sec. 5.7): u32 phase, i64 trained
+      // epochs, f64 best validation D-error, u64 hold-out size + ids.
+      BinaryReader r(s.payload.data(), s.payload.size());
+      uint32_t phase = r.ReadU32();
+      int64_t trained = r.ReadI64();
+      double best_err = r.ReadDouble();
+      if (r.status().ok()) {
+        std::printf("      phase %s, %" PRId64
+                    " epochs trained, best val D-error %.4f\n",
+                    PhaseName(phase), trained, best_err);
+      }
+    }
+  }
+  return 0;
+}
+
 int CmdInspect(const Args& args) {
+  if (!args.Get("snapshot-dir").empty()) {
+    return InspectSnapshotDir(args.Get("snapshot-dir"));
+  }
   std::string model_path = args.Get("model");
   if (model_path.empty()) {
-    std::fprintf(stderr, "inspect: --model FILE is required\n");
+    std::fprintf(stderr,
+                 "inspect: --model FILE or --snapshot-dir DIR is required\n");
     return 2;
   }
   auto advisor = advisor::AutoCe::Load(model_path);
