@@ -1,0 +1,304 @@
+// Serving-layer throughput harness (ISSUE 4): batched embedding vs.
+// one-at-a-time, and indexed (VP-tree) vs. linear-scan KNN, over a
+// default-scale RCS. Emits BENCH_serve.json with p50/p99 latency and
+// QPS per batch size plus the KNN comparison, and self-checks that
+// every fast path is bit-identical to its reference path — the bench
+// fails loudly if batching or indexing ever changes a recommendation.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "knn/index.h"
+#include "serve/server.h"
+
+namespace autoce::bench {
+namespace {
+
+/// FNV-1a over raw double bits (the cross-path identity witness).
+class Digest {
+ public:
+  void Add(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      h_ ^= (bits >> (8 * b)) & 0xFF;
+      h_ *= 0x100000001B3ULL;
+    }
+  }
+  void Add(uint64_t v) { Add(static_cast<double>(v)); }
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = 0xCBF29CE484222325ULL;
+};
+
+/// Synthetic-but-deterministic labels: serving throughput does not
+/// depend on label quality, so the bench skips the testbed (which
+/// trains 7 CE models per dataset) and spends its time where the
+/// serving layer does — embedding and retrieval.
+std::vector<advisor::DatasetLabel> SyntheticLabels(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<advisor::DatasetLabel> labels(n);
+  for (auto& label : labels) {
+    for (size_t m = 0; m < ce::kNumModels; ++m) {
+      label.accuracy_score[m] = rng.Uniform(0.05, 1.0);
+      label.efficiency_score[m] = rng.Uniform(0.05, 1.0);
+      label.qerror_mean[m] = rng.Uniform(1.0, 50.0);
+      label.latency_ms[m] = rng.Uniform(0.1, 120.0);
+    }
+  }
+  return labels;
+}
+
+struct KnnResult {
+  size_t queries = 0;
+  int repeats = 0;
+  int k = 0;
+  double linear_ns_per_query = 0.0;
+  double vptree_ns_per_query = 0.0;
+  uint64_t linear_distance_evals = 0;
+  uint64_t vptree_distance_evals = 0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+/// Linear scan vs. VP-tree over the advisor's own RCS embeddings, with
+/// the advisor's query embeddings — exactly the retrieval the serving
+/// layer performs per request.
+KnnResult BenchKnn(const advisor::AutoCe& advisor,
+                   const std::vector<std::vector<double>>& queries,
+                   int repeats) {
+  KnnResult res;
+  res.queries = queries.size();
+  res.repeats = repeats;
+  res.k = advisor.config().knn_k;
+  const auto& points = advisor.rcs_index().points();
+
+  knn::IndexConfig linear_cfg;
+  linear_cfg.backend = knn::Backend::kLinear;
+  knn::Index linear = knn::Index::Build(points, {}, linear_cfg);
+  knn::Index vptree = knn::Index::Build(points);
+
+  Digest linear_digest, vptree_digest;
+  size_t k = static_cast<size_t>(res.k);
+  Timer timer;
+  for (int r = 0; r < repeats; ++r) {
+    for (const auto& q : queries) {
+      knn::QueryStats stats;
+      auto got = linear.Query(q, k, SIZE_MAX, nullptr, &stats);
+      res.linear_distance_evals += stats.distance_evals;
+      if (r == 0) {
+        for (const auto& n : got) {
+          linear_digest.Add(n.distance);
+          linear_digest.Add(static_cast<uint64_t>(n.index));
+        }
+      }
+    }
+  }
+  double linear_s = timer.ElapsedSeconds();
+
+  timer.Reset();
+  for (int r = 0; r < repeats; ++r) {
+    for (const auto& q : queries) {
+      knn::QueryStats stats;
+      auto got = vptree.Query(q, k, SIZE_MAX, nullptr, &stats);
+      res.vptree_distance_evals += stats.distance_evals;
+      if (r == 0) {
+        for (const auto& n : got) {
+          vptree_digest.Add(n.distance);
+          vptree_digest.Add(static_cast<uint64_t>(n.index));
+        }
+      }
+    }
+  }
+  double vptree_s = timer.ElapsedSeconds();
+
+  double total = static_cast<double>(queries.size()) * repeats;
+  res.linear_ns_per_query = linear_s * 1e9 / total;
+  res.vptree_ns_per_query = vptree_s * 1e9 / total;
+  res.speedup = vptree_s > 0 ? linear_s / vptree_s : 0.0;
+  res.identical = linear_digest.value() == vptree_digest.value();
+  AUTOCE_CHECK(res.identical);  // exactness, not approximation
+  return res;
+}
+
+struct ServePoint {
+  size_t batch = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t digest = 0;  // response bits (the batch-invariance witness)
+};
+
+/// Serves `requests` in bursts of `batch` through a fresh server with
+/// the cache disabled (every request pays its embedding, so the batch
+/// comparison measures the stacked GIN forward, not cache luck).
+ServePoint BenchServe(const std::string& path,
+                      const std::vector<serve::RecommendRequest>& requests,
+                      size_t batch, int repeats) {
+  auto loaded = advisor::AutoCe::Load(path);
+  AUTOCE_CHECK(loaded.ok());
+  serve::ServerConfig cfg;
+  cfg.max_batch = batch;
+  cfg.queue_capacity = requests.size() + 1;
+  cfg.cache_capacity = 0;
+  serve::AdvisorServer server(std::move(*loaded), cfg);
+
+  ServePoint point;
+  point.batch = batch;
+  std::vector<double> burst_ms;
+  Digest digest;
+  Timer total;
+  for (int r = 0; r < repeats; ++r) {
+    for (size_t b = 0; b < requests.size(); b += batch) {
+      size_t end = std::min(requests.size(), b + batch);
+      std::vector<serve::RecommendRequest> burst(requests.begin() + b,
+                                                 requests.begin() + end);
+      Timer t;
+      auto responses = server.Serve(burst);
+      burst_ms.push_back(t.ElapsedMillis());
+      if (r == 0) {
+        for (const auto& resp : responses) {
+          AUTOCE_CHECK(resp.status.ok());
+          digest.Add(static_cast<uint64_t>(resp.recommendation.model));
+          for (double s : resp.recommendation.score_vector) digest.Add(s);
+          for (size_t n : resp.recommendation.neighbors) {
+            digest.Add(static_cast<uint64_t>(n));
+          }
+        }
+      }
+    }
+  }
+  double seconds = total.ElapsedSeconds();
+  point.qps = static_cast<double>(requests.size()) * repeats / seconds;
+  point.p50_ms = stats::Percentile(burst_ms, 50.0);
+  point.p99_ms = stats::Percentile(burst_ms, 99.0);
+  point.digest = digest.value();
+  return point;
+}
+
+int Main() {
+  const bool paper = PaperScale();
+  const int rcs_datasets = paper ? 1000 : 150;
+  const int query_datasets = paper ? 200 : 64;
+  const int knn_repeats = paper ? 20 : 200;
+  const int serve_repeats = paper ? 3 : 10;
+
+  data::DatasetGenParams gen;
+  gen.min_tables = 1;
+  gen.max_tables = 5;
+  gen.min_columns = 1;
+  gen.max_columns = 6;
+  gen.min_domain = 20;
+  gen.max_domain = 2000;
+  gen.max_fanout_skew = 2.0;
+  gen.min_rows = paper ? 10000 : 600;
+  gen.max_rows = paper ? 50000 : 1500;
+
+  Rng rng(1234);
+  featgraph::FeatureExtractor extractor;
+  Timer timer;
+  auto rcs_datasets_vec = data::GenerateCorpus(gen, rcs_datasets, &rng);
+  auto query_datasets_vec = data::GenerateCorpus(gen, query_datasets, &rng);
+  std::vector<featgraph::FeatureGraph> rcs_graphs, query_graphs;
+  for (const auto& d : rcs_datasets_vec) rcs_graphs.push_back(extractor.Extract(d));
+  for (const auto& d : query_datasets_vec) {
+    query_graphs.push_back(extractor.Extract(d));
+  }
+  std::printf("# corpus: %d RCS + %d query datasets generated in %.1fs\n",
+              rcs_datasets, query_datasets, timer.ElapsedSeconds());
+
+  timer.Reset();
+  advisor::AutoCe advisor(BenchAutoCeConfig());
+  Status st = advisor.Fit(rcs_graphs, SyntheticLabels(rcs_graphs.size(), 77));
+  AUTOCE_CHECK(st.ok());
+  std::string model_path = "BENCH_serve_model.tmp";
+  AUTOCE_CHECK(advisor.Save(model_path).ok());
+  std::printf("# advisor fitted in %.1fs (RCS %zu, embedding dim %d)\n",
+              timer.ElapsedSeconds(), advisor.RcsSize(),
+              advisor.config().gin.embedding_dim);
+
+  // --- indexed vs. linear KNN over the serving query stream ---------
+  std::vector<std::vector<double>> query_embeddings;
+  for (const auto& g : query_graphs) query_embeddings.push_back(advisor.Embed(g));
+  KnnResult knn = BenchKnn(advisor, query_embeddings, knn_repeats);
+  PrintRow({"knn backend", "ns/query", "dist evals", "identical"});
+  PrintRow({"linear", Fmt(knn.linear_ns_per_query, 0),
+            std::to_string(knn.linear_distance_evals), "-"});
+  PrintRow({"vp-tree", Fmt(knn.vptree_ns_per_query, 0),
+            std::to_string(knn.vptree_distance_evals),
+            knn.identical ? "yes" : "NO"});
+  std::printf("# vp-tree speedup over linear scan: %.2fx\n", knn.speedup);
+
+  // --- serve throughput vs. batch size ------------------------------
+  std::vector<serve::RecommendRequest> requests;
+  const double weights[3] = {0.9, 0.7, 0.5};
+  for (size_t i = 0; i < query_graphs.size(); ++i) {
+    serve::RecommendRequest r;
+    r.id = i;
+    r.graph = query_graphs[i];
+    r.w_a = weights[i % 3];
+    requests.push_back(std::move(r));
+  }
+  std::vector<ServePoint> points;
+  PrintRow({"batch", "QPS", "p50 ms", "p99 ms"});
+  for (size_t batch : {size_t{1}, size_t{8}, size_t{32}}) {
+    points.push_back(BenchServe(model_path, requests, batch, serve_repeats));
+    const ServePoint& p = points.back();
+    PrintRow({std::to_string(p.batch), Fmt(p.qps, 1), Fmt(p.p50_ms, 3),
+              Fmt(p.p99_ms, 3)});
+  }
+  bool batch_identical = true;
+  for (const auto& p : points) {
+    batch_identical &= (p.digest == points[0].digest);
+  }
+  AUTOCE_CHECK(batch_identical);  // batching never changes response bits
+  double speedup_at_8 = points[0].qps > 0 ? points[1].qps / points[0].qps : 0;
+  std::printf("# batched (8) throughput vs one-at-a-time: %.2fx; "
+              "responses bit-identical across batch sizes: %s\n",
+              speedup_at_8, batch_identical ? "yes" : "NO");
+  std::remove(model_path.c_str());
+
+  // --- BENCH_serve.json ---------------------------------------------
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  AUTOCE_CHECK(f != nullptr);
+  std::fprintf(f, "{\n  \"scale\": \"%s\",\n", paper ? "paper" : "small");
+  std::fprintf(f, "  \"rcs_size\": %zu,\n", advisor.RcsSize());
+  std::fprintf(f, "  \"embedding_dim\": %d,\n",
+               advisor.config().gin.embedding_dim);
+  std::fprintf(f,
+               "  \"knn\": {\"queries\": %zu, \"repeats\": %d, \"k\": %d,\n"
+               "    \"linear_ns_per_query\": %.1f, \"vptree_ns_per_query\": "
+               "%.1f,\n"
+               "    \"linear_distance_evals\": %llu, "
+               "\"vptree_distance_evals\": %llu,\n"
+               "    \"vptree_speedup\": %.3f, \"identical_neighbors\": %s},\n",
+               knn.queries, knn.repeats, knn.k, knn.linear_ns_per_query,
+               knn.vptree_ns_per_query,
+               static_cast<unsigned long long>(knn.linear_distance_evals),
+               static_cast<unsigned long long>(knn.vptree_distance_evals),
+               knn.speedup, knn.identical ? "true" : "false");
+  std::fprintf(f, "  \"serve\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"batch\": %zu, \"qps\": %.1f, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f}%s\n",
+                 points[i].batch, points[i].qps, points[i].p50_ms,
+                 points[i].p99_ms, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"batched_speedup_at_8\": %.3f,\n", speedup_at_8);
+  std::fprintf(f, "  \"identical_recommendations_across_batch_sizes\": %s\n",
+               batch_identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("# wrote BENCH_serve.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace autoce::bench
+
+int main() { return autoce::bench::Main(); }

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <span>
 
+#include "knn/index.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -65,6 +66,7 @@ Status AutoCe::Fit(const std::vector<featgraph::FeatureGraph>& graphs,
     labels_.push_back(labels[i]);
   }
   rcs_section_cache_.clear();
+  embed_digest_ = 0;  // corpus replaced: next refresh must be full
   if (fit_report_.samples_skipped > 0) {
     AUTOCE_LOG(Warning) << "Fit skipped " << fit_report_.samples_skipped
                         << "/" << fit_report_.samples_total
@@ -216,30 +218,25 @@ Status AutoCe::RunCheckpointedFit() {
 }
 
 double AutoCe::HoldOutDError(const std::vector<size_t>& val_idx) const {
-  std::vector<char> is_val(graphs_.size(), 0);
+  // Retrieval restricted to non-validation members: the same index the
+  // recommendation path queries, with the split as an `allowed` mask
+  // (unusable members are already excluded by the index itself).
+  std::vector<char> allowed(graphs_.size(), 1);
   for (size_t i : val_idx) {
-    if (i < is_val.size()) is_val[i] = 1;
+    if (i < allowed.size()) allowed[i] = 0;
   }
   double total = 0.0;
   int count = 0;
   for (size_t i : val_idx) {
     if (i >= graphs_.size() || !embedding_ok_[i]) continue;
-    // Nearest non-validation neighbors only.
-    std::vector<std::pair<double, size_t>> dist;
-    for (size_t j = 0; j < embeddings_.size(); ++j) {
-      if (is_val[j] || !embedding_ok_[j]) continue;
-      dist.emplace_back(
-          nn::EuclideanDistance(embeddings_[i], embeddings_[j]), j);
-    }
-    size_t k = std::min<size_t>(static_cast<size_t>(config_.knn_k),
-                                dist.size());
-    if (k == 0) continue;
-    std::partial_sort(dist.begin(), dist.begin() + static_cast<ptrdiff_t>(k),
-                      dist.end());
+    auto hits = knn_index_.Query(embeddings_[i],
+                                 static_cast<size_t>(config_.knn_k),
+                                 /*exclude=*/SIZE_MAX, &allowed);
+    if (hits.empty()) continue;
     for (double w : config_.training_weights) {
       std::vector<double> avg(ce::kNumModels, 0.0);
-      for (size_t kk = 0; kk < k; ++kk) {
-        auto s = labels_[dist[kk].second].ScoreVector(w);
+      for (const knn::Neighbor& nb : hits) {
+        auto s = labels_[nb.index].ScoreVector(w);
         for (size_t m = 0; m < avg.size(); ++m) avg[m] += s[m];
       }
       size_t best = 0;
@@ -254,15 +251,30 @@ double AutoCe::HoldOutDError(const std::vector<size_t>& val_idx) const {
 }
 
 void AutoCe::RefreshEmbeddings() {
-  // Embedding the RCS is a read-only scan of the encoder; each graph
-  // embeds into its own slot.
-  embeddings_ = util::ParallelMap(
-      0, graphs_.size(), 1, [&](size_t i) { return encoder_->Embed(graphs_[i]); });
+  // Incremental path: when the encoder is unchanged since the last
+  // refresh and the corpus only grew (the online-adapt append path),
+  // the existing prefix is already correct — embed just the tail. Any
+  // weight change (digest mismatch) or corpus rebuild (embed_digest_
+  // reset to 0) recomputes everything.
+  uint64_t digest = EncoderDigest();
+  size_t keep = (digest == embed_digest_ && embed_digest_ != 0 &&
+                 embeddings_.size() <= graphs_.size())
+                    ? embeddings_.size()
+                    : 0;
+  // Embedding is a read-only scan of the encoder; each graph embeds
+  // into its own slot.
+  auto tail = util::ParallelMap(
+      keep, graphs_.size(), 1,
+      [&](size_t i) { return encoder_->Embed(graphs_[i]); });
+  embeddings_.resize(keep);
+  for (auto& e : tail) embeddings_.push_back(std::move(e));
   embedding_ok_.assign(embeddings_.size(), 1);
   for (size_t i = 0; i < embeddings_.size(); ++i) {
     embedding_ok_[i] =
         nn::IsFinite(std::span<const double>(embeddings_[i])) ? 1 : 0;
   }
+  knn_index_ = knn::Index::Build(embeddings_, embedding_ok_);
+  embed_digest_ = digest;
 }
 
 void AutoCe::RefreshDriftThreshold() {
@@ -288,30 +300,12 @@ std::vector<double> AutoCe::BuildDmlLabel(const DatasetLabel& label) const {
 
 std::vector<size_t> AutoCe::NearestNeighbors(
     const std::vector<double>& embedding, size_t k, size_t exclude) const {
-  // KNN scan (Eq. 13): distances fill index-addressed slots in parallel;
-  // the (distance, index) pair ordering breaks ties deterministically.
-  // The grain keeps small RCS scans on the sequential path where the
-  // per-task overhead would dominate.
-  std::vector<std::pair<double, size_t>> dist(embeddings_.size());
-  util::ParallelFor(0, embeddings_.size(), 1024, [&](size_t i) {
-    // Degraded members (non-finite embeddings) sort last and are
-    // filtered below: they can never be retrieved as neighbors.
-    double d = embedding_ok_[i]
-                   ? nn::EuclideanDistance(embedding, embeddings_[i])
-                   : std::numeric_limits<double>::infinity();
-    dist[i] = {d, i};
-  });
-  if (exclude < dist.size()) {
-    dist.erase(dist.begin() + static_cast<ptrdiff_t>(exclude));
-  }
-  k = std::min(k, dist.size());
-  std::partial_sort(dist.begin(), dist.begin() + static_cast<ptrdiff_t>(k),
-                    dist.end());
+  // KNN retrieval (Eq. 13) through the shared index; unusable members
+  // and ties are handled by its (distance, index) ordering contract.
+  auto hits = knn_index_.Query(embedding, k, exclude);
   std::vector<size_t> out;
-  for (size_t i = 0; i < k; ++i) {
-    if (!std::isfinite(dist[i].first)) break;
-    out.push_back(dist[i].second);
-  }
+  out.reserve(hits.size());
+  for (const knn::Neighbor& nb : hits) out.push_back(nb.index);
   return out;
 }
 
@@ -408,6 +402,12 @@ std::vector<double> AutoCe::Embed(
   return encoder_->Embed(graph);
 }
 
+std::vector<std::vector<double>> AutoCe::EmbedBatch(
+    const std::vector<const featgraph::FeatureGraph*>& graphs) const {
+  AUTOCE_CHECK(encoder_ != nullptr);
+  return encoder_->EmbedBatch(graphs);
+}
+
 AutoCe::Recommendation AutoCe::FallbackRecommendation(
     double w_a, std::string reason) const {
   // The same default the drift detector hands an out-of-distribution
@@ -434,6 +434,11 @@ AutoCe::Recommendation AutoCe::FallbackRecommendation(
   return rec;
 }
 
+AutoCe::Recommendation AutoCe::CorpusDefault(double w_a,
+                                             std::string reason) const {
+  return FallbackRecommendation(w_a, std::move(reason));
+}
+
 Result<AutoCe::Recommendation> AutoCe::Recommend(
     const featgraph::FeatureGraph& graph, double w_a) const {
   if (encoder_ == nullptr || embeddings_.empty()) {
@@ -441,7 +446,18 @@ Result<AutoCe::Recommendation> AutoCe::Recommend(
   }
   AUTOCE_RETURN_NOT_OK(
       featgraph::ValidateGraph(graph, extractor_.vertex_dim()));
-  auto embedding = encoder_->Embed(graph);
+  return RecommendFromEmbedding(encoder_->Embed(graph), w_a);
+}
+
+Result<AutoCe::Recommendation> AutoCe::RecommendFromEmbedding(
+    std::span<const double> target, double w_a) const {
+  if (encoder_ == nullptr || embeddings_.empty()) {
+    return Status::FailedPrecondition("advisor is not fitted");
+  }
+  if (target.size() != encoder_->embedding_dim()) {
+    return Status::InvalidArgument("embedding dimension mismatch");
+  }
+  std::vector<double> embedding(target.begin(), target.end());
   if (util::FaultPoint(
           util::fault_sites::kRecommendEmbed,
           util::FaultKeyFromDoubles(embedding.data(), embedding.size()))) {
@@ -511,14 +527,19 @@ Status AutoCe::AddLabeledSample(const featgraph::FeatureGraph& graph,
   dml_labels_.push_back(BuildDmlLabel(label));
   rcs_section_cache_.clear();
 
-  // Fine-tune with a few DML epochs over the updated corpus.
-  gnn::DmlConfig cfg = config_.dml;
-  cfg.epochs = config_.online_update_epochs;
-  gnn::DmlTrainer tuner(encoder_.get(), cfg);
-  Rng tune_rng = rng_.Fork(graphs_.size());
-  auto loss = tuner.Train(graphs_, dml_labels_, &tune_rng);
-  if (!loss.ok()) return loss.status();
-  opt_state_ = tuner.ExportOptimizerState();
+  if (config_.online_update_epochs > 0) {
+    // Fine-tune with a few DML epochs over the updated corpus.
+    gnn::DmlConfig cfg = config_.dml;
+    cfg.epochs = config_.online_update_epochs;
+    gnn::DmlTrainer tuner(encoder_.get(), cfg);
+    Rng tune_rng = rng_.Fork(graphs_.size());
+    auto loss = tuner.Train(graphs_, dml_labels_, &tune_rng);
+    if (!loss.ok()) return loss.status();
+    opt_state_ = tuner.ExportOptimizerState();
+  }
+  // With fine-tuning disabled (online_update_epochs <= 0) the encoder
+  // is unchanged, so this refresh takes the incremental path and embeds
+  // only the appended sample.
   RefreshEmbeddings();
   RefreshDriftThreshold();
   // Online updates are durable too: each accepted sample commits a new
@@ -1065,7 +1086,8 @@ Result<AutoCe> AutoCe::FromSnapshotSections(
 }
 
 Result<AutoCe> AutoCe::ResumeFit(const std::string& dir,
-                                 util::SnapshotStoreOptions options) {
+                                 util::SnapshotStoreOptions options,
+                                 uint64_t* generation_out) {
   AUTOCE_ASSIGN_OR_RETURN(util::SnapshotStore store,
                           util::SnapshotStore::Open(dir, options));
   uint64_t generation = 0;
@@ -1078,7 +1100,18 @@ Result<AutoCe> AutoCe::ResumeFit(const std::string& dir,
                      << generation;
     AUTOCE_RETURN_NOT_OK(advisor.RunCheckpointedFit());
   }
+  if (generation_out != nullptr) *generation_out = generation;
   return advisor;
+}
+
+uint64_t AutoCe::EncoderDigest() const {
+  if (encoder_ == nullptr) return 0;
+  uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  auto params = const_cast<gnn::GinEncoder*>(encoder_.get())->Params();
+  for (const nn::Matrix* p : params) h = DigestMatrix(*p, h);
+  // 0 is the "invalid" sentinel of embed_digest_; remap the (absurdly
+  // unlikely) collision so a real digest never reads as invalid.
+  return h == 0 ? 1 : h;
 }
 
 uint64_t AutoCe::ModelDigest() const {

@@ -7,6 +7,7 @@
 
 #include "advisor/label.h"
 #include "gnn/metric_learning.h"
+#include "knn/index.h"
 #include "util/result.h"
 #include "util/snapshot.h"
 
@@ -112,8 +113,40 @@ class AutoCe {
   Result<Recommendation> RecommendDataset(const data::Dataset& dataset,
                                           double w_a) const;
 
+  /// Stage 4 from a precomputed embedding (the serving layer embeds
+  /// requests in batches, then answers each through this entry point;
+  /// Recommend delegates here after embedding). Same degradation
+  /// contract as Recommend.
+  Result<Recommendation> RecommendFromEmbedding(
+      std::span<const double> embedding, double w_a) const;
+
   /// Embedding of a graph under the trained encoder.
   std::vector<double> Embed(const featgraph::FeatureGraph& graph) const;
+
+  /// Batched embedding: one stacked GIN forward over all graphs,
+  /// bit-identical to calling Embed per graph (see GinEncoder::
+  /// EmbedBatch).
+  std::vector<std::vector<double>> EmbedBatch(
+      const std::vector<const featgraph::FeatureGraph*>& graphs) const;
+
+  /// FNV-1a digest over the encoder parameters alone. Changes exactly
+  /// when the encoder weights change (training chunk, incremental
+  /// learning, online update, hot reload) — the serving layer keys its
+  /// embedding cache on it, and RefreshEmbeddings uses it to detect
+  /// that only appended RCS members need embedding.
+  uint64_t EncoderDigest() const;
+
+  /// The KNN index over the RCS embeddings (rebuilt by every
+  /// RefreshEmbeddings). Exposed for the serving layer and benches.
+  const knn::Index& rcs_index() const { return knn_index_; }
+
+  /// The RCS labels, aligned with rcs_index() member indices.
+  const std::vector<DatasetLabel>& rcs_labels() const { return labels_; }
+
+  /// The corpus-default degraded recommendation — the same fallback
+  /// Recommend degrades to when KNN retrieval is impossible. The
+  /// serving layer sheds overloaded requests to it.
+  Recommendation CorpusDefault(double w_a, std::string reason) const;
 
   /// --- Online adapting (Sec. V-E) ---
 
@@ -181,9 +214,12 @@ class AutoCe {
   /// checkpoints into the same store. The resumed run reaches a final
   /// model bit-identical to the uninterrupted one (every RNG stream is
   /// restored from the snapshot). A kDone snapshot restores the
-  /// finished advisor as-is.
+  /// finished advisor as-is. `generation` (optional) receives the
+  /// loaded snapshot generation — the serving layer reports it as the
+  /// model version.
   static Result<AutoCe> ResumeFit(const std::string& dir,
-                                  util::SnapshotStoreOptions options = {});
+                                  util::SnapshotStoreOptions options = {},
+                                  uint64_t* generation = nullptr);
 
   const TrainCursor& train_cursor() const { return cursor_; }
 
@@ -215,6 +251,10 @@ class AutoCe {
   /// checkpointing signal of Fit.
   double HoldOutDError(const std::vector<size_t>& val_idx) const;
 
+  /// Recomputes RCS embeddings and rebuilds the KNN index. Incremental
+  /// when the encoder is unchanged since the last refresh (per
+  /// EncoderDigest) and members were only appended: only the new tail
+  /// is embedded. Any weight change forces a full recompute.
   void RefreshEmbeddings();
   void RefreshDriftThreshold();
   Status RunIncrementalLearning();
@@ -249,8 +289,15 @@ class AutoCe {
   std::vector<std::vector<double>> dml_labels_;  // centered concat scores
   std::vector<std::vector<double>> embeddings_;
   /// embedding_ok_[i] is false when embeddings_[i] has non-finite
-  /// entries; such members are skipped by every KNN scan.
+  /// entries; such members are skipped by every KNN retrieval (they
+  /// build into the index as unusable).
   std::vector<char> embedding_ok_;
+  /// Exact KNN over embeddings_; every retrieval (Recommend, drift,
+  /// validation D-error) goes through it.
+  knn::Index knn_index_;
+  /// EncoderDigest() at the last RefreshEmbeddings; 0 = embeddings are
+  /// invalid and the next refresh must be full.
+  uint64_t embed_digest_ = 0;
   double drift_threshold_ = 0.0;
   FitReport fit_report_;
 

@@ -55,6 +55,58 @@ std::vector<double> GinEncoder::Embed(
   return Forward(graph).Row(0);
 }
 
+std::vector<std::vector<double>> GinEncoder::EmbedBatch(
+    const std::vector<const featgraph::FeatureGraph*>& graphs) const {
+  if (graphs.empty()) return {};
+  size_t total = 0;
+  std::vector<size_t> offset(graphs.size() + 1, 0);
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    AUTOCE_CHECK(graphs[g] != nullptr);
+    AUTOCE_CHECK(graphs[g]->vertices.cols() == input_dim_);
+    offset[g] = total;
+    total += graphs[g]->vertices.rows();
+  }
+  offset[graphs.size()] = total;
+
+  // Stack every graph's vertex rows into one matrix.
+  nn::Matrix h(total, input_dim_);
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    h.SetRows(offset[g], graphs[g]->vertices);
+  }
+  for (size_t l = 0; l < layer_mlps_.size(); ++l) {
+    // Edge aggregation is inherently per graph (each E is n_i x n_i),
+    // so it runs on row slices; every slice computes exactly the bits
+    // the single-graph Forward would.
+    nn::Matrix agg(total, h.cols());
+    double scale = 1.0 + eps_[l](0, 0);
+    for (size_t g = 0; g < graphs.size(); ++g) {
+      nn::Matrix hg = h.SubRows(offset[g], offset[g + 1]);
+      nn::Matrix agg_g = graphs[g]->edges.MatMul(hg);
+      for (size_t i = 0; i < hg.rows(); ++i) {
+        for (size_t c = 0; c < hg.cols(); ++c) {
+          agg_g(i, c) += scale * hg(i, c);
+        }
+      }
+      agg.SetRows(offset[g], agg_g);
+    }
+    // One shared-MLP forward over the whole stack: xW + b and the
+    // activation are row-wise, so each row equals its per-graph value.
+    h = layer_mlps_[l].Forward(agg);
+  }
+
+  // Per-graph sum pooling over each row slice, rows ascending — the
+  // same accumulation order as the single-graph ColSum.
+  std::vector<std::vector<double>> out(graphs.size());
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    std::vector<double> pooled(h.cols(), 0.0);
+    for (size_t i = offset[g]; i < offset[g + 1]; ++i) {
+      for (size_t c = 0; c < h.cols(); ++c) pooled[c] += h(i, c);
+    }
+    out[g] = std::move(pooled);
+  }
+  return out;
+}
+
 void GinEncoder::Backward(const featgraph::FeatureGraph& graph,
                           const GinTrace& trace,
                           const nn::Matrix& grad_embedding) {

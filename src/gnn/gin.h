@@ -48,6 +48,17 @@ class GinEncoder {
   /// Convenience: embedding as a plain vector (no trace).
   std::vector<double> Embed(const featgraph::FeatureGraph& graph) const;
 
+  /// Encodes a batch of graphs in one stacked forward pass: the vertex
+  /// blocks of every graph are concatenated into a single matrix, each
+  /// layer runs its per-graph edge aggregation on row slices but a
+  /// *single* MLP forward over the whole stack, so the tiled MatMul
+  /// kernels see one (sum n_i x width) product per layer instead of
+  /// `graphs.size()` slivers. Row-wise operations make the result
+  /// bit-identical to calling Embed on each graph individually — the
+  /// serving layer's determinism contract relies on it.
+  std::vector<std::vector<double>> EmbedBatch(
+      const std::vector<const featgraph::FeatureGraph*>& graphs) const;
+
   /// Backpropagates the gradient w.r.t. the pooled embedding through the
   /// pass recorded in `trace`, accumulating parameter gradients.
   void Backward(const featgraph::FeatureGraph& graph, const GinTrace& trace,

@@ -1,0 +1,180 @@
+#include "knn/index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace autoce::knn {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Lexicographic (distance, index) order — the tie-break contract.
+bool Better(double d_a, size_t i_a, double d_b, size_t i_b) {
+  return d_a < d_b || (d_a == d_b && i_a < i_b);
+}
+
+}  // namespace
+
+Index Index::Build(std::vector<std::vector<double>> points,
+                   std::vector<char> usable, IndexConfig config) {
+  Index index;
+  index.points_ = std::move(points);
+  index.config_ = config;
+  if (usable.empty()) {
+    index.usable_.assign(index.points_.size(), 1);
+  } else {
+    AUTOCE_CHECK(usable.size() == index.points_.size());
+    index.usable_ = std::move(usable);
+  }
+  std::vector<size_t> ids;
+  for (size_t i = 0; i < index.points_.size(); ++i) {
+    if (index.usable_[i]) ids.push_back(i);
+  }
+  index.usable_count_ = ids.size();
+  if (config.backend == Backend::kVpTree && !ids.empty()) {
+    index.nodes_.reserve(2 * ids.size() / std::max(1, config.leaf_size) + 4);
+    index.leaf_items_.reserve(ids.size());
+    index.BuildNode(&ids, 0, ids.size());
+  }
+  return index;
+}
+
+int32_t Index::BuildNode(std::vector<size_t>* ids, size_t begin, size_t end) {
+  size_t n = end - begin;
+  if (n == 0) return -1;
+  int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (n <= static_cast<size_t>(std::max(1, config_.leaf_size))) {
+    Node& node = nodes_[static_cast<size_t>(node_id)];
+    node.is_leaf = true;
+    node.leaf_begin = static_cast<uint32_t>(leaf_items_.size());
+    for (size_t i = begin; i < end; ++i) leaf_items_.push_back((*ids)[i]);
+    node.leaf_end = static_cast<uint32_t>(leaf_items_.size());
+    return node_id;
+  }
+  // Deterministic pseudo-random vantage point: a pure function of the
+  // subtree's member ids, so rebuilding the same member set always
+  // yields the same tree (and hence the same traversal costs).
+  size_t pick = begin + SplitMix64((*ids)[begin] * 0x9E3779B97F4A7C15ULL ^
+                                   n) % n;
+  std::swap((*ids)[begin], (*ids)[pick]);
+  size_t pivot = (*ids)[begin];
+
+  // Median split of the remaining members by (distance-to-pivot, id);
+  // the id tie-break makes the partition unique.
+  std::vector<std::pair<double, size_t>> dist;
+  dist.reserve(n - 1);
+  for (size_t i = begin + 1; i < end; ++i) {
+    dist.emplace_back(
+        nn::EuclideanDistance(points_[pivot], points_[(*ids)[i]]),
+        (*ids)[i]);
+  }
+  size_t half = dist.size() / 2;
+  std::nth_element(dist.begin(), dist.begin() + static_cast<ptrdiff_t>(half),
+                   dist.end());
+  double radius = dist[half].first;
+  for (size_t i = 0; i < dist.size(); ++i) {
+    (*ids)[begin + 1 + i] = dist[i].second;
+  }
+  nodes_[static_cast<size_t>(node_id)].pivot = pivot;
+  nodes_[static_cast<size_t>(node_id)].radius = radius;
+  // Inside child holds distances <= radius (plus the median element
+  // itself), outside holds the rest; both are non-empty because half <
+  // dist.size() and the median element anchors the outside range.
+  int32_t inside = BuildNode(ids, begin + 1, begin + 1 + half);
+  int32_t outside = BuildNode(ids, begin + 1 + half, end);
+  nodes_[static_cast<size_t>(node_id)].inside = inside;
+  nodes_[static_cast<size_t>(node_id)].outside = outside;
+  return node_id;
+}
+
+void Index::Offer(size_t i, double d, size_t k, std::vector<Neighbor>* best) {
+  // Non-finite distances are never neighbors (the historical scan
+  // stopped at the first non-finite entry).
+  if (!std::isfinite(d)) return;
+  if (best->size() == k &&
+      !Better(d, i, best->back().distance, best->back().index)) {
+    return;
+  }
+  Neighbor n{d, i};
+  auto pos = std::lower_bound(
+      best->begin(), best->end(), n, [](const Neighbor& a, const Neighbor& b) {
+        return Better(a.distance, a.index, b.distance, b.index);
+      });
+  best->insert(pos, n);
+  if (best->size() > k) best->pop_back();
+}
+
+void Index::SearchNode(int32_t node_id, std::span<const double> query,
+                       size_t k, size_t exclude,
+                       const std::vector<char>* allowed,
+                       std::vector<Neighbor>* best,
+                       QueryStats* stats) const {
+  if (node_id < 0) return;
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  if (stats != nullptr) ++stats->nodes_visited;
+  if (node.is_leaf) {
+    for (uint32_t i = node.leaf_begin; i < node.leaf_end; ++i) {
+      size_t id = leaf_items_[i];
+      if (id == exclude) continue;
+      if (allowed != nullptr && !(*allowed)[id]) continue;
+      if (stats != nullptr) ++stats->distance_evals;
+      Offer(id, nn::EuclideanDistance(query, points_[id]), k, best);
+    }
+    return;
+  }
+  if (stats != nullptr) ++stats->distance_evals;
+  double d = nn::EuclideanDistance(query, points_[node.pivot]);
+  if (node.pivot != exclude &&
+      (allowed == nullptr || (*allowed)[node.pivot])) {
+    Offer(node.pivot, d, k, best);
+  }
+  // Visit the side the query falls in first so the pruning bound
+  // tightens before the far side is considered. A subtree is skipped
+  // only when the triangle inequality puts every member *strictly*
+  // beyond the current k-th distance, where the (distance, index)
+  // tie-break can no longer matter — exactness is preserved.
+  int32_t near = d <= node.radius ? node.inside : node.outside;
+  int32_t far = d <= node.radius ? node.outside : node.inside;
+  SearchNode(near, query, k, exclude, allowed, best, stats);
+  double tau = best->size() == k ? best->back().distance
+                                 : std::numeric_limits<double>::infinity();
+  bool visit_far = far == node.inside ? (d - node.radius <= tau)
+                                      : (node.radius - d <= tau);
+  if (visit_far) SearchNode(far, query, k, exclude, allowed, best, stats);
+}
+
+std::vector<Neighbor> Index::Query(std::span<const double> query, size_t k,
+                                   size_t exclude,
+                                   const std::vector<char>* allowed,
+                                   QueryStats* stats) const {
+  AUTOCE_CHECK(allowed == nullptr || allowed->size() == points_.size());
+  std::vector<Neighbor> best;
+  if (k == 0 || usable_count_ == 0 ||
+      !nn::IsFinite(std::span<const double>(query))) {
+    return best;
+  }
+  best.reserve(k + 1);
+  if (config_.backend == Backend::kVpTree && !nodes_.empty()) {
+    SearchNode(0, query, k, exclude, allowed, &best, stats);
+    return best;
+  }
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (!usable_[i] || i == exclude) continue;
+    if (allowed != nullptr && !(*allowed)[i]) continue;
+    if (stats != nullptr) ++stats->distance_evals;
+    Offer(i, nn::EuclideanDistance(query, points_[i]), k, &best);
+  }
+  return best;
+}
+
+}  // namespace autoce::knn

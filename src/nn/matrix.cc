@@ -34,6 +34,21 @@ void Matrix::SetRow(size_t r, std::span<const double> v) {
   for (size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
 }
 
+Matrix Matrix::SubRows(size_t begin, size_t end) const {
+  AUTOCE_CHECK(begin <= end && end <= rows_);
+  Matrix out(end - begin, cols_);
+  std::copy(data_.begin() + static_cast<ptrdiff_t>(begin * cols_),
+            data_.begin() + static_cast<ptrdiff_t>(end * cols_),
+            out.data_.begin());
+  return out;
+}
+
+void Matrix::SetRows(size_t begin, const Matrix& block) {
+  AUTOCE_CHECK(block.cols_ == cols_ && begin + block.rows_ <= rows_);
+  std::copy(block.data_.begin(), block.data_.end(),
+            data_.begin() + static_cast<ptrdiff_t>(begin * cols_));
+}
+
 namespace {
 
 // Register-tile shape shared by the three dense kernels. Each output

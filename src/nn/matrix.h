@@ -66,6 +66,15 @@ class Matrix {
   /// Overwrites row `r` with `v` (v.size() must equal cols()).
   void SetRow(size_t r, std::span<const double> v);
 
+  /// Copy of rows [begin, end) as a ((end - begin) x cols) matrix —
+  /// the slice accessor the multi-graph batched forward uses to hand
+  /// one graph's vertex block to its per-graph edge aggregation.
+  Matrix SubRows(size_t begin, size_t end) const;
+
+  /// Overwrites rows [begin, begin + block.rows()) with `block`
+  /// (block.cols() must equal cols()).
+  void SetRows(size_t begin, const Matrix& block);
+
   /// this * other  (rows x other.cols). Cache-tiled dense kernel; the
   /// per-element accumulation order is the plain ascending-k order, so
   /// results are bit-identical to the naive triple loop.

@@ -1,0 +1,276 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "util/fault.h"
+#include "util/logging.h"
+
+namespace autoce::serve {
+
+namespace {
+
+uint64_t Fnv1a(const void* data, size_t n, uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t AdvisorServer::Fingerprint(const featgraph::FeatureGraph& graph) {
+  uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  h = Fnv1a(graph.dataset_name.data(), graph.dataset_name.size(), h);
+  uint64_t dims[2] = {static_cast<uint64_t>(graph.vertices.rows()),
+                      static_cast<uint64_t>(graph.vertices.cols())};
+  h = Fnv1a(dims, sizeof(dims), h);
+  h = Fnv1a(graph.vertices.data(), graph.vertices.size() * sizeof(double), h);
+  h = Fnv1a(graph.edges.data(), graph.edges.size() * sizeof(double), h);
+  return h;
+}
+
+AdvisorServer::AdvisorServer(advisor::AutoCe advisor, ServerConfig config)
+    : config_(config),
+      advisor_(std::make_shared<const advisor::AutoCe>(std::move(advisor))) {
+  AUTOCE_CHECK(config_.max_batch >= 1);
+  cache_digest_ = advisor_->EncoderDigest();
+}
+
+Result<std::unique_ptr<AdvisorServer>> AdvisorServer::Open(
+    const std::string& dir, ServerConfig config,
+    util::SnapshotStoreOptions options) {
+  uint64_t generation = 0;
+  AUTOCE_ASSIGN_OR_RETURN(advisor::AutoCe advisor,
+                          advisor::AutoCe::ResumeFit(dir, options,
+                                                     &generation));
+  auto server =
+      std::make_unique<AdvisorServer>(std::move(advisor), config);
+  server->store_dir_ = dir;
+  server->store_options_ = options;
+  server->generation_ = generation;
+  return server;
+}
+
+Status AdvisorServer::AttachStore(const std::string& dir,
+                                  util::SnapshotStoreOptions options) {
+  // Probe the store once so a bad directory fails here, not at the
+  // first Reload.
+  AUTOCE_ASSIGN_OR_RETURN(util::SnapshotStore store,
+                          util::SnapshotStore::Open(dir, options));
+  (void)store;
+  std::lock_guard<std::mutex> lock(mu_);
+  store_dir_ = dir;
+  store_options_ = options;
+  return Status::OK();
+}
+
+const AdvisorServer::CacheEntry* AdvisorServer::CacheLookup(uint64_t key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return &it->second;
+}
+
+void AdvisorServer::CacheInsert(uint64_t key, std::vector<double> embedding) {
+  if (config_.cache_capacity == 0) return;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    it->second.embedding = std::move(embedding);
+    return;
+  }
+  if (cache_.size() >= config_.cache_capacity) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  cache_.emplace(key, CacheEntry{std::move(embedding), lru_.begin()});
+}
+
+void AdvisorServer::InvalidateCacheIfStale(const advisor::AutoCe& advisor) {
+  uint64_t digest = advisor.EncoderDigest();
+  if (digest == cache_digest_) return;
+  cache_.clear();
+  lru_.clear();
+  cache_digest_ = digest;
+}
+
+std::vector<RecommendResponse> AdvisorServer::Serve(
+    const std::vector<RecommendRequest>& requests) {
+  // The model is pinned for the whole burst: a concurrent Reload swaps
+  // the shared_ptr but this burst keeps answering from the generation
+  // it admitted under — no request is dropped mid-reload.
+  std::shared_ptr<const advisor::AutoCe> advisor;
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    advisor = advisor_;
+    generation = generation_;
+    stats_.requests += requests.size();
+  }
+
+  std::vector<RecommendResponse> responses(requests.size());
+  // Admission: arrival order, bounded by queue_capacity; the overflow
+  // and injected-fault requests are shed to the degraded corpus
+  // default. The shed decision depends only on arrival position and
+  // request content, never on thread count.
+  std::vector<size_t> admitted;
+  admitted.reserve(std::min(requests.size(), config_.queue_capacity));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    responses[i].id = requests[i].id;
+    responses[i].model_generation = generation;
+    uint64_t key = Fingerprint(requests[i].graph);
+    const char* shed_reason = nullptr;
+    if (admitted.size() >= config_.queue_capacity) {
+      shed_reason = "admission queue overflow";
+    } else if (util::FaultPoint(util::fault_sites::kServeAdmission, key)) {
+      shed_reason = "injected admission fault";
+    }
+    if (shed_reason != nullptr) {
+      responses[i].shed = true;
+      responses[i].recommendation =
+          advisor->CorpusDefault(requests[i].w_a, shed_reason);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.shed;
+      continue;
+    }
+    admitted.push_back(i);
+  }
+
+  // Coalesce admitted requests into batches of max_batch, in admission
+  // order. Each batch embeds its cache misses in ONE stacked GIN
+  // forward (bit-identical to per-graph embedding, so batch composition
+  // cannot change response bits).
+  size_t vertex_dim = advisor->extractor().vertex_dim();
+  for (size_t b = 0; b < admitted.size(); b += config_.max_batch) {
+    size_t end = std::min(admitted.size(), b + config_.max_batch);
+    struct Pending {
+      size_t request;     // index into `requests`
+      uint64_t key;
+      std::vector<double> embedding;
+      bool from_cache = false;
+    };
+    std::vector<Pending> pending;
+    std::vector<size_t> misses;  // indices into `pending`
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      InvalidateCacheIfStale(*advisor);
+      for (size_t j = b; j < end; ++j) {
+        size_t i = admitted[j];
+        Status valid = featgraph::ValidateGraph(requests[i].graph,
+                                                vertex_dim);
+        if (!valid.ok()) {
+          responses[i].status = valid;
+          ++stats_.invalid;
+          continue;
+        }
+        Pending p;
+        p.request = i;
+        p.key = Fingerprint(requests[i].graph);
+        if (const CacheEntry* hit = CacheLookup(p.key)) {
+          p.embedding = hit->embedding;
+          p.from_cache = true;
+          ++stats_.cache_hits;
+        } else {
+          misses.push_back(pending.size());
+        }
+        pending.push_back(std::move(p));
+      }
+    }
+
+    if (!misses.empty()) {
+      std::vector<const featgraph::FeatureGraph*> graphs;
+      graphs.reserve(misses.size());
+      for (size_t m : misses) {
+        graphs.push_back(&requests[pending[m].request].graph);
+      }
+      auto embedded = advisor->EmbedBatch(graphs);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.batches;
+      stats_.embedded += misses.size();
+      for (size_t k = 0; k < misses.size(); ++k) {
+        pending[misses[k]].embedding = embedded[k];
+        CacheInsert(pending[misses[k]].key, std::move(embedded[k]));
+      }
+    }
+
+    for (Pending& p : pending) {
+      RecommendResponse& resp = responses[p.request];
+      resp.from_cache = p.from_cache;
+      auto rec = advisor->RecommendFromEmbedding(p.embedding,
+                                                 requests[p.request].w_a);
+      if (rec.ok()) {
+        resp.recommendation = std::move(*rec);
+      } else {
+        resp.status = rec.status();
+      }
+    }
+  }
+  return responses;
+}
+
+RecommendResponse AdvisorServer::ServeOne(const RecommendRequest& request) {
+  return Serve({request})[0];
+}
+
+Status AdvisorServer::Reload() {
+  std::string dir;
+  util::SnapshotStoreOptions options;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (store_dir_.empty()) {
+      return Status::FailedPrecondition(
+          "no snapshot store attached (Open or AttachStore first)");
+    }
+    dir = store_dir_;
+    options = store_options_;
+  }
+  // Load outside the lock: requests keep being served from the current
+  // generation while the new one deserializes.
+  uint64_t generation = 0;
+  auto loaded = advisor::AutoCe::ResumeFit(dir, options, &generation);
+  if (!loaded.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.reload_failures;
+    return loaded.status();
+  }
+  if (util::FaultPoint(util::fault_sites::kServeReload, generation)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.reload_failures;
+    return Status::Internal("injected reload fault at generation " +
+                            std::to_string(generation));
+  }
+  // Crash window: the new generation is loaded but not installed. A
+  // kill here must leave a restarted server on the previous durable
+  // generation.
+  util::KillPoint(util::kill_sites::kServeReload, generation);
+  auto fresh =
+      std::make_shared<const advisor::AutoCe>(std::move(*loaded));
+  std::lock_guard<std::mutex> lock(mu_);
+  advisor_ = std::move(fresh);
+  generation_ = generation;
+  ++stats_.reloads;
+  // The embedding cache invalidates lazily on the next Serve through
+  // the encoder digest; an identical re-committed encoder keeps its
+  // cache.
+  return Status::OK();
+}
+
+uint64_t AdvisorServer::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+std::shared_ptr<const advisor::AutoCe> AdvisorServer::advisor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return advisor_;
+}
+
+ServerStats AdvisorServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace autoce::serve

@@ -16,11 +16,12 @@ std::atomic<bool> g_fault_enabled{false};
 
 namespace {
 
-constexpr std::array<const char*, 8> kAllSites = {
+constexpr std::array<const char*, 10> kAllSites = {
     fault_sites::kCsvRow,          fault_sites::kTestbedTrain,
     fault_sites::kTestbedEstimate, fault_sites::kNnLoss,
     fault_sites::kDmlLoss,         fault_sites::kDmlGrad,
     fault_sites::kFitSample,       fault_sites::kRecommendEmbed,
+    fault_sites::kServeAdmission,  fault_sites::kServeReload,
 };
 
 uint64_t SplitMix64(uint64_t x) {

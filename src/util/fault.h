@@ -59,6 +59,15 @@ inline constexpr const char* kFitSample = "advisor.fit.sample";
 /// non-finite; contract: degraded recommendation falling back to the
 /// corpus-level default model (the drift-detection default).
 inline constexpr const char* kRecommendEmbed = "advisor.recommend.embed";
+/// The serving admission queue treats the keyed request as arriving
+/// under overload (`serve::AdvisorServer`); contract: the request is
+/// shed to the degraded corpus-default recommendation instead of
+/// queueing — the server answers every request, it never hangs.
+inline constexpr const char* kServeAdmission = "serve.admission";
+/// A hot reload fails after loading the snapshot, before installing it
+/// (`serve::AdvisorServer::Reload`); contract: the server keeps serving
+/// the previous model generation.
+inline constexpr const char* kServeReload = "serve.reload";
 }  // namespace fault_sites
 
 /// Every registered site, in a fixed order. Tests iterate this list to

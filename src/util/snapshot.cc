@@ -27,11 +27,12 @@ constexpr uint32_t kManifestMagic = 0x41434D46;  // "ACMF"
 constexpr uint32_t kManifestVersion = 1;
 constexpr uint64_t kMaxSections = 4096;
 
-constexpr std::array<const char*, 7> kKillSites = {
+constexpr std::array<const char*, 8> kKillSites = {
     kill_sites::kTmpPartial,  kill_sites::kTmpSynced,
     kill_sites::kRenamed,     kill_sites::kManifestTmp,
     kill_sites::kCommitted,   kill_sites::kGcDone,
     kill_sites::kAdvisorCheckpoint,
+    kill_sites::kServeReload,
 };
 
 /// fsyncs a directory so a rename inside it is durable.

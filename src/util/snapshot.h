@@ -56,6 +56,10 @@ inline constexpr const char* kCommitted = "snapshot.committed";
 inline constexpr const char* kGcDone = "snapshot.gc_done";
 /// An advisor training checkpoint committed, before training resumes.
 inline constexpr const char* kAdvisorCheckpoint = "advisor.checkpoint";
+/// A serving hot reload loaded the new generation, before installing
+/// it; a kill here must leave a restarted server on the previous
+/// (still durable) generation.
+inline constexpr const char* kServeReload = "serve.reload";
 }  // namespace kill_sites
 
 /// Every registered kill site, in commit order. The recovery harness

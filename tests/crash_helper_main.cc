@@ -15,6 +15,7 @@
 
 #include "advisor/autoce.h"
 #include "data/generator.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -74,6 +75,30 @@ int FreshFit(const std::string& dir, bool plain, uint64_t* digest) {
   return 0;
 }
 
+// Exercises the serving hot-reload path over the same store — the
+// `serve.reload` kill site lives between loading a generation and
+// installing it. The reloaded model must digest identically to the
+// fitted one, proving a kill mid-reload can only ever leave a restarted
+// server on a bit-identical durable generation.
+int ReloadPass(const std::string& dir, uint64_t fit_digest) {
+  auto server = autoce::serve::AdvisorServer::Open(dir);
+  if (!server.ok()) {
+    std::fprintf(stderr, "serve::Open: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  autoce::Status st = (*server)->Reload();  // armed runs die inside
+  if (!st.ok()) {
+    std::fprintf(stderr, "Reload: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if ((*server)->advisor()->ModelDigest() != fit_digest) {
+    std::fprintf(stderr, "reloaded model digest differs from fit\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +140,7 @@ int main(int argc, char** argv) {
   } else {
     if (int rc = FreshFit(dir, plain, &digest); rc != 0) return rc;
   }
+  if (int rc = ReloadPass(dir, digest); rc != 0) return rc;
   std::printf("DIGEST %016" PRIx64 "\n", digest);
   return 0;
 }

@@ -85,7 +85,9 @@ TEST_P(KillPointSweepTest, EverySiteResumesToBitIdenticalModel) {
 
   // Uninterrupted baseline.
   RunResult baseline =
-      RunCmd(HelperCmd(FreshDir("crash_baseline"), threads, "", false));
+      RunCmd(HelperCmd(
+          FreshDir("crash_baseline_t" + std::to_string(threads)), threads,
+          "", false));
   ASSERT_EQ(baseline.exit_code, 0) << baseline.output;
   const std::string want = ExtractDigest(baseline.output);
   ASSERT_EQ(want.size(), 16u) << baseline.output;
@@ -116,7 +118,9 @@ TEST_P(KillPointSweepTest, RepeatedKillsStillConvergeToBaseline) {
   // resume starts from a later-or-equal durable generation.
   const int threads = GetParam();
   RunResult baseline =
-      RunCmd(HelperCmd(FreshDir("crash_repeat_base"), threads, "", false));
+      RunCmd(HelperCmd(
+          FreshDir("crash_repeat_base_t" + std::to_string(threads)), threads,
+          "", false));
   ASSERT_EQ(baseline.exit_code, 0) << baseline.output;
   const std::string want = ExtractDigest(baseline.output);
 

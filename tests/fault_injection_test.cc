@@ -16,6 +16,7 @@
 #include "advisor/label.h"
 #include "data/csv.h"
 #include "data/generator.h"
+#include "serve/server.h"
 #include "util/fault.h"
 #include "util/parallel.h"
 
@@ -279,6 +280,105 @@ void ExerciseRecommendEmbed() {
   EXPECT_FALSE(clean->degraded);
 }
 
+void ExerciseServeAdmission() {
+  auto& reg = util::FaultInjection::Instance();
+  auto datasets = TinyCorpus(8, 123);
+  featgraph::FeatureExtractor extractor;
+  std::vector<featgraph::FeatureGraph> graphs;
+  for (const auto& ds : datasets) graphs.push_back(extractor.Extract(ds));
+  auto labels = SyntheticLabels(graphs.size());
+
+  advisor::AutoCe adv(TinyAdvisorConfig());
+  ASSERT_TRUE(adv.Fit(graphs, labels).ok());
+  serve::AdvisorServer server(std::move(adv));
+
+  std::vector<serve::RecommendRequest> requests;
+  for (size_t i = 0; i < 4; ++i) {
+    requests.push_back({/*id=*/i, graphs[i], /*w_a=*/0.9});
+  }
+
+  // Every request sheds: answered with the finite degraded corpus
+  // default — no hang, no error, no NaN.
+  ASSERT_TRUE(reg.Configure(std::string(sites::kServeAdmission)).ok());
+  auto shed = server.Serve(requests);
+  EXPECT_GT(reg.FireCount(sites::kServeAdmission), 0);
+  ASSERT_EQ(shed.size(), requests.size());
+  for (const auto& resp : shed) {
+    EXPECT_TRUE(resp.status.ok());
+    EXPECT_TRUE(resp.shed);
+    EXPECT_TRUE(resp.recommendation.degraded);
+    for (double s : resp.recommendation.score_vector) {
+      EXPECT_TRUE(std::isfinite(s));
+    }
+  }
+  // The shed decision is deterministic in the request content.
+  auto shed2 = server.Serve(requests);
+  for (size_t i = 0; i < shed.size(); ++i) {
+    EXPECT_EQ(shed[i].shed, shed2[i].shed);
+    EXPECT_EQ(shed[i].recommendation.model, shed2[i].recommendation.model);
+  }
+
+  // With injection off, the same server answers normally.
+  util::FaultInjection::Instance().Disable();
+  auto clean = server.Serve(requests);
+  for (const auto& resp : clean) {
+    EXPECT_TRUE(resp.status.ok());
+    EXPECT_FALSE(resp.shed);
+    EXPECT_FALSE(resp.recommendation.degraded);
+  }
+}
+
+void ExerciseServeReload() {
+  auto& reg = util::FaultInjection::Instance();
+  auto datasets = TinyCorpus(8, 321);
+  featgraph::FeatureExtractor extractor;
+  std::vector<featgraph::FeatureGraph> graphs;
+  for (const auto& ds : datasets) graphs.push_back(extractor.Extract(ds));
+  auto labels = SyntheticLabels(graphs.size());
+
+  std::string dir =
+      std::string(::testing::TempDir()) + "/fault_serve_reload";
+  // Fresh store per run: drop any generations a prior run left behind.
+  if (auto old = util::SnapshotStore::Open(dir); old.ok()) {
+    for (uint64_t g : old->ListGenerations()) {
+      std::remove(old->GenerationPath(g).c_str());
+    }
+    std::remove((dir + "/MANIFEST").c_str());
+  }
+  advisor::AutoCe adv(TinyAdvisorConfig());
+  ASSERT_TRUE(adv.EnableSnapshots(dir).ok());
+  ASSERT_TRUE(adv.Fit(graphs, labels).ok());
+
+  auto server = serve::AdvisorServer::Open(dir);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  uint64_t generation = (*server)->generation();
+  auto before =
+      (*server)->ServeOne({/*id=*/1, graphs[0], /*w_a=*/0.9});
+  ASSERT_TRUE(before.status.ok());
+
+  // An injected reload failure must leave the previous generation
+  // serving, bit-identically.
+  ASSERT_TRUE(reg.Configure(std::string(sites::kServeReload)).ok());
+  Status st = (*server)->Reload();
+  EXPECT_FALSE(st.ok());
+  EXPECT_GT(reg.FireCount(sites::kServeReload), 0);
+  EXPECT_EQ((*server)->generation(), generation);
+  auto after = (*server)->ServeOne({/*id=*/1, graphs[0], /*w_a=*/0.9});
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(before.recommendation.model, after.recommendation.model);
+  ASSERT_EQ(before.recommendation.score_vector.size(),
+            after.recommendation.score_vector.size());
+  for (size_t i = 0; i < before.recommendation.score_vector.size(); ++i) {
+    EXPECT_TRUE(SameBits(before.recommendation.score_vector[i],
+                         after.recommendation.score_vector[i]));
+  }
+
+  // With injection off, the reload goes through.
+  util::FaultInjection::Instance().Disable();
+  EXPECT_TRUE((*server)->Reload().ok());
+  EXPECT_GE((*server)->stats().reloads, 1u);
+}
+
 /// Dispatches a site name to its contract handler; fails for any
 /// registered site without one, so new sites cannot ship untested.
 void ExerciseSite(const std::string& site) {
@@ -300,6 +400,10 @@ void ExerciseSite(const std::string& site) {
     ExerciseFitSample();
   } else if (site == sites::kRecommendEmbed) {
     ExerciseRecommendEmbed();
+  } else if (site == sites::kServeAdmission) {
+    ExerciseServeAdmission();
+  } else if (site == sites::kServeReload) {
+    ExerciseServeReload();
   } else {
     FAIL() << "registered fault site has no contract test: " << site;
   }

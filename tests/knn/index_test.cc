@@ -1,0 +1,179 @@
+// Exactness and determinism contract of knn::Index (DESIGN.md §5.8):
+// the VP-tree backend must return bitwise the same neighbor lists as
+// the linear scan for every query shape the advisor issues — including
+// exclusions, allowed masks, unusable members, and distance ties — and
+// must do so with measurably fewer distance evaluations.
+#include "knn/index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace autoce::knn {
+namespace {
+
+std::vector<std::vector<double>> RandomPoints(size_t n, size_t dim,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points(n, std::vector<double>(dim));
+  for (auto& p : points) {
+    for (double& x : p) x = rng.Uniform(-1.0, 1.0);
+  }
+  return points;
+}
+
+IndexConfig Linear() {
+  IndexConfig cfg;
+  cfg.backend = Backend::kLinear;
+  return cfg;
+}
+
+IndexConfig VpTree(int leaf_size = 12) {
+  IndexConfig cfg;
+  cfg.backend = Backend::kVpTree;
+  cfg.leaf_size = leaf_size;
+  return cfg;
+}
+
+/// Bitwise equality of neighbor lists (distance doubles compared
+/// exactly: both backends must produce the same arithmetic).
+void ExpectSameNeighbors(const std::vector<Neighbor>& a,
+                         const std::vector<Neighbor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index) << "rank " << i;
+    EXPECT_EQ(a[i].distance, b[i].distance) << "rank " << i;
+  }
+}
+
+TEST(KnnIndexTest, VpTreeMatchesLinearScanAcrossKValues) {
+  auto points = RandomPoints(97, 8, 11);
+  Index linear = Index::Build(points, {}, Linear());
+  Index vp = Index::Build(points, {}, VpTree());
+  Rng rng(12);
+  for (int q = 0; q < 40; ++q) {
+    std::vector<double> query(8);
+    for (double& x : query) x = rng.Uniform(-1.2, 1.2);
+    for (size_t k : {1u, 2u, 5u, 97u, 200u}) {
+      ExpectSameNeighbors(vp.Query(query, k), linear.Query(query, k));
+    }
+  }
+}
+
+TEST(KnnIndexTest, ExcludeAndAllowedMasksMatchLinear) {
+  auto points = RandomPoints(64, 6, 21);
+  Index linear = Index::Build(points, {}, Linear());
+  Index vp = Index::Build(points, {}, VpTree());
+  // Validation-split style mask: every third member blocked.
+  std::vector<char> allowed(points.size(), 1);
+  for (size_t i = 0; i < allowed.size(); i += 3) allowed[i] = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    ExpectSameNeighbors(vp.Query(points[i], 3, /*exclude=*/i),
+                        linear.Query(points[i], 3, /*exclude=*/i));
+    ExpectSameNeighbors(vp.Query(points[i], 3, SIZE_MAX, &allowed),
+                        linear.Query(points[i], 3, SIZE_MAX, &allowed));
+    ExpectSameNeighbors(vp.Query(points[i], 3, i, &allowed),
+                        linear.Query(points[i], 3, i, &allowed));
+  }
+}
+
+TEST(KnnIndexTest, UnusableMembersAreNeverRetrieved) {
+  auto points = RandomPoints(40, 4, 31);
+  std::vector<char> usable(points.size(), 1);
+  for (size_t i = 1; i < usable.size(); i += 2) usable[i] = 0;
+  Index linear = Index::Build(points, usable, Linear());
+  Index vp = Index::Build(points, usable, VpTree(/*leaf_size=*/2));
+  EXPECT_EQ(vp.usable_size(), 20u);
+  for (size_t i = 0; i < points.size(); ++i) {
+    auto got = vp.Query(points[i], 5);
+    ExpectSameNeighbors(got, linear.Query(points[i], 5));
+    for (const Neighbor& n : got) EXPECT_EQ(n.index % 2, 0u);
+  }
+}
+
+TEST(KnnIndexTest, DuplicatePointsTieBreakOnSmallerIndex) {
+  // Three identical clusters of four points each: within a cluster every
+  // distance ties, so retrieval order must be ascending member index.
+  std::vector<std::vector<double>> points;
+  for (int c = 0; c < 3; ++c) {
+    for (int r = 0; r < 4; ++r) {
+      points.push_back({static_cast<double>(c), 0.0});
+    }
+  }
+  for (Backend backend : {Backend::kLinear, Backend::kVpTree}) {
+    IndexConfig cfg;
+    cfg.backend = backend;
+    cfg.leaf_size = 2;
+    Index index = Index::Build(points, {}, cfg);
+    std::vector<double> query = {0.0, 0.0};
+    auto got = index.Query(query, 4);
+    ASSERT_EQ(got.size(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(got[i].index, i);
+      EXPECT_EQ(got[i].distance, 0.0);
+    }
+  }
+}
+
+TEST(KnnIndexTest, LeafSizeDoesNotChangeResults) {
+  auto points = RandomPoints(120, 5, 41);
+  Index reference = Index::Build(points, {}, VpTree(12));
+  Rng rng(42);
+  for (int leaf : {1, 2, 5, 64}) {
+    Index other = Index::Build(points, {}, VpTree(leaf));
+    for (int q = 0; q < 15; ++q) {
+      std::vector<double> query(5);
+      for (double& x : query) x = rng.Uniform(-1.0, 1.0);
+      ExpectSameNeighbors(other.Query(query, 4), reference.Query(query, 4));
+    }
+    rng = Rng(42);  // identical queries for every leaf size
+  }
+}
+
+TEST(KnnIndexTest, DegenerateQueriesReturnEmpty) {
+  auto points = RandomPoints(16, 3, 51);
+  Index vp = Index::Build(points, {}, VpTree());
+  std::vector<double> query = {0.1, 0.2, 0.3};
+  EXPECT_TRUE(vp.Query(query, 0).empty());
+
+  std::vector<double> bad = {0.1, std::numeric_limits<double>::quiet_NaN(),
+                             0.3};
+  EXPECT_TRUE(vp.Query(bad, 3).empty());
+
+  Index empty = Index::Build({}, {}, VpTree());
+  EXPECT_TRUE(empty.Query(query, 3).empty());
+  EXPECT_EQ(empty.size(), 0u);
+
+  std::vector<char> none(points.size(), 0);
+  Index unusable = Index::Build(points, none, VpTree());
+  EXPECT_EQ(unusable.usable_size(), 0u);
+  EXPECT_TRUE(unusable.Query(query, 3).empty());
+}
+
+TEST(KnnIndexTest, VpTreePrunesDistanceEvaluations) {
+  auto points = RandomPoints(512, 4, 61);
+  Index linear = Index::Build(points, {}, Linear());
+  Index vp = Index::Build(points, {}, VpTree());
+  Rng rng(62);
+  size_t linear_evals = 0;
+  size_t vp_evals = 0;
+  for (int q = 0; q < 50; ++q) {
+    std::vector<double> query(4);
+    for (double& x : query) x = rng.Uniform(-1.0, 1.0);
+    QueryStats ls, vs;
+    auto a = linear.Query(query, 2, SIZE_MAX, nullptr, &ls);
+    auto b = vp.Query(query, 2, SIZE_MAX, nullptr, &vs);
+    ExpectSameNeighbors(b, a);
+    linear_evals += ls.distance_evals;
+    vp_evals += vs.distance_evals;
+  }
+  EXPECT_EQ(linear_evals, 512u * 50u);
+  EXPECT_LT(vp_evals, linear_evals) << "VP-tree did not prune at all";
+}
+
+}  // namespace
+}  // namespace autoce::knn

@@ -1,0 +1,400 @@
+// Determinism and degradation contract of the advisor serving layer
+// (DESIGN.md §5.8): batched serving is bit-identical to direct
+// Recommend calls at any thread count, batch composition, and arrival
+// order; overload sheds to the degraded corpus default instead of
+// blocking; hot reload advances the model generation without dropping
+// requests; and the online-adapt append path refreshes embeddings
+// incrementally.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "util/parallel.h"
+#include "util/snapshot.h"
+
+namespace autoce::serve {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Bitwise equality of the deterministic response fields. `from_cache`
+/// is execution metadata (depends on arrival history) and is excluded
+/// by contract — see RecommendResponse.
+void ExpectSameResponse(const RecommendResponse& a,
+                        const RecommendResponse& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.status.code(), b.status.code());
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.recommendation.model, b.recommendation.model);
+  EXPECT_EQ(a.recommendation.degraded, b.recommendation.degraded);
+  EXPECT_EQ(a.recommendation.neighbors, b.recommendation.neighbors);
+  ASSERT_EQ(a.recommendation.score_vector.size(),
+            b.recommendation.score_vector.size());
+  for (size_t i = 0; i < a.recommendation.score_vector.size(); ++i) {
+    EXPECT_TRUE(SameBits(a.recommendation.score_vector[i],
+                         b.recommendation.score_vector[i]))
+        << "score " << i;
+  }
+}
+
+std::vector<advisor::DatasetLabel> SyntheticLabels(size_t n) {
+  std::vector<advisor::DatasetLabel> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t m = 0; m < ce::kNumModels; ++m) {
+      labels[i].accuracy_score[m] =
+          0.1 + 0.9 * static_cast<double>((i + m) % 7) / 6.0;
+      labels[i].efficiency_score[m] =
+          0.1 + 0.9 * static_cast<double>((3 * i + 2 * m) % 7) / 6.0;
+      labels[i].qerror_mean[m] = 1.0 + static_cast<double>(m);
+      labels[i].latency_ms[m] = 1.0 + static_cast<double>(i % 5);
+    }
+  }
+  return labels;
+}
+
+advisor::AutoCeConfig TinyConfig() {
+  advisor::AutoCeConfig cfg;
+  cfg.dml.epochs = 4;
+  cfg.validation_interval = 2;
+  cfg.incremental_epochs = 2;
+  cfg.gin.hidden = 8;
+  cfg.gin.embedding_dim = 4;
+  cfg.knn_k = 2;
+  return cfg;
+}
+
+/// Fresh snapshot directory (removes leftovers from a prior run).
+std::string TempStoreDir(const std::string& name) {
+  std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  auto store = util::SnapshotStore::Open(dir);
+  if (store.ok()) {
+    for (uint64_t g : store->ListGenerations()) {
+      std::remove(store->GenerationPath(g).c_str());
+    }
+    std::remove((dir + "/MANIFEST").c_str());
+  }
+  return dir;
+}
+
+/// One fitted advisor shared by the whole suite through Save/Load
+/// clones (AutoCe is move-only; serving tests each need their own).
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(777);
+    data::DatasetGenParams gen;
+    gen.min_tables = 1;
+    gen.max_tables = 2;
+    gen.min_rows = 120;
+    gen.max_rows = 250;
+    gen.min_columns = 2;
+    gen.max_columns = 3;
+    auto datasets = data::GenerateCorpus(gen, 12, &rng);
+
+    featgraph::FeatureExtractor fx;
+    graphs_ = new std::vector<featgraph::FeatureGraph>();
+    for (const auto& d : datasets) graphs_->push_back(fx.Extract(d));
+    labels_ = new std::vector<advisor::DatasetLabel>(SyntheticLabels(12));
+
+    advisor::AutoCe advisor(TinyConfig());
+    std::vector<featgraph::FeatureGraph> train(graphs_->begin(),
+                                               graphs_->begin() + 9);
+    std::vector<advisor::DatasetLabel> train_labels(labels_->begin(),
+                                                    labels_->begin() + 9);
+    ASSERT_TRUE(advisor.Fit(train, train_labels).ok());
+    // Per-process file name: ctest runs each test case in its own
+    // process, and concurrent writers to one shared path tear the file.
+    saved_path_ = new std::string(std::string(::testing::TempDir()) +
+                                  "/serve_advisor_" +
+                                  std::to_string(::getpid()));
+    ASSERT_TRUE(advisor.Save(*saved_path_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    if (saved_path_ != nullptr) std::remove(saved_path_->c_str());
+    delete graphs_;
+    delete labels_;
+    delete saved_path_;
+    graphs_ = nullptr;
+    labels_ = nullptr;
+    saved_path_ = nullptr;
+  }
+
+  static advisor::AutoCe LoadAdvisor() {
+    auto loaded = advisor::AutoCe::Load(*saved_path_);
+    AUTOCE_CHECK(loaded.ok());
+    return std::move(*loaded);
+  }
+
+  /// One request per corpus graph, ids 100, 101, ... and cycling
+  /// accuracy weights.
+  static std::vector<RecommendRequest> AllRequests() {
+    const double weights[3] = {0.9, 0.7, 0.5};
+    std::vector<RecommendRequest> requests;
+    for (size_t i = 0; i < graphs_->size(); ++i) {
+      RecommendRequest r;
+      r.id = 100 + i;
+      r.graph = (*graphs_)[i];
+      r.w_a = weights[i % 3];
+      requests.push_back(std::move(r));
+    }
+    return requests;
+  }
+
+  static std::vector<featgraph::FeatureGraph>* graphs_;
+  static std::vector<advisor::DatasetLabel>* labels_;
+  static std::string* saved_path_;
+};
+
+std::vector<featgraph::FeatureGraph>* ServerTest::graphs_ = nullptr;
+std::vector<advisor::DatasetLabel>* ServerTest::labels_ = nullptr;
+std::string* ServerTest::saved_path_ = nullptr;
+
+TEST_F(ServerTest, BatchedServingMatchesDirectRecommend) {
+  advisor::AutoCe reference = LoadAdvisor();
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  AdvisorServer server(LoadAdvisor(), cfg);
+  auto requests = AllRequests();
+  auto responses = server.Serve(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok()) << responses[i].status.ToString();
+    EXPECT_FALSE(responses[i].shed);
+    auto direct = reference.Recommend(requests[i].graph, requests[i].w_a);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(responses[i].recommendation.model, direct->model);
+    EXPECT_EQ(responses[i].recommendation.neighbors, direct->neighbors);
+    ASSERT_EQ(responses[i].recommendation.score_vector.size(),
+              direct->score_vector.size());
+    for (size_t s = 0; s < direct->score_vector.size(); ++s) {
+      EXPECT_TRUE(SameBits(responses[i].recommendation.score_vector[s],
+                           direct->score_vector[s]));
+    }
+  }
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, requests.size());
+  EXPECT_EQ(stats.embedded, requests.size());
+  EXPECT_EQ(stats.batches, 3u);  // 12 requests / max_batch 4
+}
+
+TEST_F(ServerTest, ArrivalOrderAndBatchCompositionDoNotChangeResponses) {
+  ServerConfig small;
+  small.max_batch = 3;
+  AdvisorServer baseline_server(LoadAdvisor(), small);
+  auto requests = AllRequests();
+  auto baseline = baseline_server.Serve(requests);
+
+  Rng rng(31337);
+  for (int round = 0; round < 3; ++round) {
+    auto shuffled = requests;
+    rng.Shuffle(&shuffled);
+    ServerConfig big;
+    big.max_batch = 8;
+    AdvisorServer server(LoadAdvisor(), big);
+    auto responses = server.Serve(shuffled);
+    ASSERT_EQ(responses.size(), baseline.size());
+    for (const RecommendResponse& got : responses) {
+      auto ref = std::find_if(
+          baseline.begin(), baseline.end(),
+          [&](const RecommendResponse& r) { return r.id == got.id; });
+      ASSERT_NE(ref, baseline.end());
+      ExpectSameResponse(got, *ref);
+    }
+  }
+}
+
+TEST_F(ServerTest, ResponsesAreBitIdenticalAcrossThreadCounts) {
+  util::SetGlobalParallelism(1);
+  AdvisorServer baseline_server(LoadAdvisor(), {});
+  auto requests = AllRequests();
+  auto baseline = baseline_server.Serve(requests);
+  for (int threads : {2, 8}) {
+    util::SetGlobalParallelism(threads);
+    AdvisorServer server(LoadAdvisor(), {});
+    auto responses = server.Serve(requests);
+    ASSERT_EQ(responses.size(), baseline.size());
+    for (size_t i = 0; i < responses.size(); ++i) {
+      ExpectSameResponse(responses[i], baseline[i]);
+    }
+  }
+  util::SetGlobalParallelism(1);
+}
+
+TEST_F(ServerTest, CacheHitReturnsIdenticalBits) {
+  AdvisorServer server(LoadAdvisor(), {});
+  RecommendRequest request;
+  request.id = 7;
+  request.graph = (*graphs_)[0];
+  request.w_a = 0.9;
+  RecommendResponse first = server.ServeOne(request);
+  RecommendResponse second = server.ServeOne(request);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_TRUE(second.from_cache);
+  ExpectSameResponse(first, second);
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.embedded, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST_F(ServerTest, CacheEvictsLeastRecentlyUsed) {
+  ServerConfig cfg;
+  cfg.cache_capacity = 2;
+  AdvisorServer server(LoadAdvisor(), cfg);
+  auto requests = AllRequests();
+  // Graphs 0, 1, 2 in turn: capacity 2 evicts graph 0, so a repeat of
+  // graph 0 misses while a repeat of graph 2 hits.
+  server.ServeOne(requests[0]);
+  server.ServeOne(requests[1]);
+  server.ServeOne(requests[2]);
+  EXPECT_FALSE(server.ServeOne(requests[0]).from_cache);
+  EXPECT_TRUE(server.ServeOne(requests[2]).from_cache);
+}
+
+TEST_F(ServerTest, OverloadShedsToDegradedCorpusDefault) {
+  ServerConfig cfg;
+  cfg.queue_capacity = 2;
+  AdvisorServer server(LoadAdvisor(), cfg);
+  auto requests = AllRequests();
+  requests.resize(5);
+  auto responses = server.Serve(requests);
+  ASSERT_EQ(responses.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(responses[i].status.ok());
+    EXPECT_EQ(responses[i].shed, i >= 2) << "request " << i;
+    for (double s : responses[i].recommendation.score_vector) {
+      EXPECT_TRUE(std::isfinite(s));
+    }
+    if (i >= 2) {
+      EXPECT_TRUE(responses[i].recommendation.degraded);
+      EXPECT_EQ(responses[i].recommendation.degraded_reason,
+                "admission queue overflow");
+    }
+  }
+  EXPECT_EQ(server.stats().shed, 3u);
+
+  // The shed pattern and every response bit reproduce on a fresh server.
+  AdvisorServer again(LoadAdvisor(), cfg);
+  auto repeat = again.Serve(requests);
+  for (size_t i = 0; i < 5; ++i) ExpectSameResponse(repeat[i], responses[i]);
+}
+
+TEST_F(ServerTest, InvalidGraphIsRejectedWhileOthersAreServed) {
+  AdvisorServer server(LoadAdvisor(), {});
+  auto requests = AllRequests();
+  requests.resize(3);
+  // Wrong vertex dimension: fails featgraph::ValidateGraph at admission.
+  requests[1].graph.vertices = nn::Matrix(2, 1);
+  auto responses = server.Serve(requests);
+  EXPECT_TRUE(responses[0].status.ok());
+  EXPECT_FALSE(responses[1].status.ok());
+  EXPECT_EQ(responses[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(responses[2].status.ok());
+  EXPECT_EQ(server.stats().invalid, 1u);
+}
+
+TEST_F(ServerTest, ReloadAdvancesGenerationAndServesNewModel) {
+  std::string dir = TempStoreDir("serve_reload_gen");
+  advisor::AutoCe advisor(TinyConfig());
+  ASSERT_TRUE(advisor.EnableSnapshots(dir).ok());
+  std::vector<featgraph::FeatureGraph> train(graphs_->begin(),
+                                             graphs_->begin() + 9);
+  std::vector<advisor::DatasetLabel> train_labels(labels_->begin(),
+                                                  labels_->begin() + 9);
+  ASSERT_TRUE(advisor.Fit(train, train_labels).ok());
+
+  auto server = AdvisorServer::Open(dir);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  uint64_t gen_before = (*server)->generation();
+  EXPECT_GT(gen_before, 0u);
+
+  // The training job commits a new generation through an online update;
+  // the server keeps serving the old one until Reload.
+  ASSERT_TRUE(
+      advisor.AddLabeledSample((*graphs_)[9], (*labels_)[9]).ok());
+  EXPECT_EQ((*server)->generation(), gen_before);
+
+  ASSERT_TRUE((*server)->Reload().ok());
+  EXPECT_GT((*server)->generation(), gen_before);
+  EXPECT_EQ((*server)->stats().reloads, 1u);
+  EXPECT_EQ((*server)->advisor()->ModelDigest(), advisor.ModelDigest());
+
+  // Responses now match the updated advisor bit-for-bit.
+  RecommendRequest request;
+  request.id = 1;
+  request.graph = (*graphs_)[10];
+  request.w_a = 0.7;
+  RecommendResponse response = (*server)->ServeOne(request);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.model_generation, (*server)->generation());
+  auto direct = advisor.Recommend(request.graph, request.w_a);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(response.recommendation.model, direct->model);
+  EXPECT_EQ(response.recommendation.neighbors, direct->neighbors);
+  for (size_t s = 0; s < direct->score_vector.size(); ++s) {
+    EXPECT_TRUE(SameBits(response.recommendation.score_vector[s],
+                         direct->score_vector[s]));
+  }
+}
+
+TEST_F(ServerTest, ReloadWithoutStoreFailsAndKeepsServing) {
+  AdvisorServer server(LoadAdvisor(), {});
+  Status st = server.Reload();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(server.generation(), 0u);
+  RecommendRequest request;
+  request.graph = (*graphs_)[0];
+  request.w_a = 0.9;
+  EXPECT_TRUE(server.ServeOne(request).status.ok());
+}
+
+TEST_F(ServerTest, OnlineAppendRefreshesEmbeddingsIncrementally) {
+  // online_update_epochs = 0: AddLabeledSample appends to the RCS
+  // without touching the encoder, so RefreshEmbeddings only embeds the
+  // appended tail and the prefix embeddings are reused byte-for-byte.
+  advisor::AutoCeConfig cfg = TinyConfig();
+  cfg.online_update_epochs = 0;
+  advisor::AutoCe advisor(cfg);
+  std::vector<featgraph::FeatureGraph> train(graphs_->begin(),
+                                             graphs_->begin() + 9);
+  std::vector<advisor::DatasetLabel> train_labels(labels_->begin(),
+                                                  labels_->begin() + 9);
+  ASSERT_TRUE(advisor.Fit(train, train_labels).ok());
+  std::vector<std::vector<double>> before = advisor.rcs_index().points();
+  uint64_t digest_before = advisor.EncoderDigest();
+
+  ASSERT_TRUE(
+      advisor.AddLabeledSample((*graphs_)[9], (*labels_)[9]).ok());
+  EXPECT_EQ(advisor.EncoderDigest(), digest_before);
+  const auto& after = advisor.rcs_index().points();
+  ASSERT_EQ(after.size(), before.size() + 1);
+  for (size_t i = 0; i < before.size(); ++i) {
+    ASSERT_EQ(after[i].size(), before[i].size());
+    for (size_t d = 0; d < before[i].size(); ++d) {
+      EXPECT_TRUE(SameBits(after[i][d], before[i][d])) << "member " << i;
+    }
+  }
+  std::vector<double> fresh = advisor.Embed((*graphs_)[9]);
+  ASSERT_EQ(after.back().size(), fresh.size());
+  for (size_t d = 0; d < fresh.size(); ++d) {
+    EXPECT_TRUE(SameBits(after.back()[d], fresh[d]));
+  }
+  EXPECT_EQ(advisor.DistanceToRcs((*graphs_)[9]), 0.0);
+}
+
+}  // namespace
+}  // namespace autoce::serve

@@ -219,7 +219,7 @@ TEST(KillPointTest, ConfigureRejectsUnknownSite) {
 
 TEST(KillPointTest, AllSitesAreRegistered) {
   auto sites = AllKillSites();
-  ASSERT_EQ(sites.size(), 7u);
+  ASSERT_EQ(sites.size(), 8u);
   for (const char* site : sites) {
     EXPECT_TRUE(ConfigureKillPoints(site).ok()) << site;
     DisableKillPoints();

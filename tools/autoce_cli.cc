@@ -7,6 +7,8 @@
 //                    [--snapshot-dir DIR [--resume]]
 //   autoce recommend --model model.ace (--dataset F.adat | --csv F.csv)
 //                    [--weight W]
+//   autoce serve     (--model model.ace | --snapshot-dir DIR) --data DIR
+//                    [--weight W] [--batch N] [--queue N]
 //   autoce inspect   (--model model.ace | --snapshot-dir DIR)
 //
 // `generate` writes synthetic datasets as .adat files; `train` labels
@@ -19,6 +21,11 @@
 // --resume continues from the last durable generation and produces the
 // same bits as an uninterrupted run. `inspect --snapshot-dir` prints
 // the store's generations and the sections of the newest good snapshot.
+//
+// `serve` answers every .adat dataset under --data through the batched
+// advisor service (DESIGN.md §5.8): bounded admission, coalesced GIN
+// forwards, indexed KNN. With --snapshot-dir it serves the newest good
+// snapshot generation and reports it per response.
 
 #include <algorithm>
 #include <cstdio>
@@ -33,6 +40,7 @@
 #include "advisor/label.h"
 #include "data/csv.h"
 #include "data/generator.h"
+#include "serve/server.h"
 #include "util/serde.h"
 #include "util/snapshot.h"
 #include "util/timer.h"
@@ -286,6 +294,91 @@ int CmdRecommend(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  std::string data_dir = args.Get("data");
+  if (data_dir.empty()) {
+    std::fprintf(stderr, "serve: --data DIR is required\n");
+    return 2;
+  }
+  serve::ServerConfig config;
+  config.max_batch = static_cast<size_t>(args.GetInt("batch", 8));
+  config.queue_capacity = static_cast<size_t>(args.GetInt("queue", 64));
+
+  std::unique_ptr<serve::AdvisorServer> server;
+  if (!args.Get("snapshot-dir").empty()) {
+    auto opened = serve::AdvisorServer::Open(args.Get("snapshot-dir"), config);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "serve: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    server = std::move(*opened);
+    std::printf("serving snapshot generation %" PRIu64 " from %s\n",
+                server->generation(), args.Get("snapshot-dir").c_str());
+  } else if (!args.Get("model").empty()) {
+    auto advisor = advisor::AutoCe::Load(args.Get("model"));
+    if (!advisor.ok()) {
+      std::fprintf(stderr, "serve: %s\n",
+                   advisor.status().ToString().c_str());
+      return 1;
+    }
+    server = std::make_unique<serve::AdvisorServer>(std::move(*advisor),
+                                                    config);
+  } else {
+    std::fprintf(stderr,
+                 "serve: --model FILE or --snapshot-dir DIR is required\n");
+    return 2;
+  }
+
+  auto files = ListAdatFiles(data_dir);
+  if (files.empty()) {
+    std::fprintf(stderr, "serve: no .adat datasets in %s\n",
+                 data_dir.c_str());
+    return 1;
+  }
+  double w = args.GetDouble("weight", 0.9);
+  const featgraph::FeatureExtractor& extractor =
+      server->advisor()->extractor();
+  std::vector<serve::RecommendRequest> requests;
+  for (size_t i = 0; i < files.size(); ++i) {
+    auto ds = data::LoadDataset(files[i]);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "serve: %s: %s\n", files[i].c_str(),
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    serve::RecommendRequest request;
+    request.id = i;
+    request.graph = extractor.Extract(*ds);
+    request.w_a = w;
+    requests.push_back(std::move(request));
+  }
+
+  Timer timer;
+  auto responses = server->Serve(requests);
+  double ms = timer.ElapsedMillis();
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const serve::RecommendResponse& r = responses[i];
+    if (!r.status.ok()) {
+      std::printf("%-28s ERROR %s\n", files[i].c_str(),
+                  r.status.ToString().c_str());
+      continue;
+    }
+    std::printf("%-28s -> %-10s%s%s\n", files[i].c_str(),
+                ce::ModelName(r.recommendation.model),
+                r.shed ? " [shed: degraded corpus default]" : "",
+                r.from_cache ? " [cached]" : "");
+  }
+  serve::ServerStats stats = server->stats();
+  std::printf("served %zu requests in %.1f ms (%zu batches, %" PRIu64
+              " embedded, %" PRIu64 " cache hits, %" PRIu64 " shed, %" PRIu64
+              " invalid)\n",
+              requests.size(), ms,
+              static_cast<size_t>(stats.batches), stats.embedded,
+              stats.cache_hits, stats.shed, stats.invalid);
+  return 0;
+}
+
 const char* PhaseName(uint32_t phase) {
   switch (phase) {
     case 0: return "chunk training";
@@ -376,7 +469,8 @@ int CmdInspect(const Args& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: autoce <generate|train|recommend|inspect> [flags]\n"
+               "usage: autoce <generate|train|recommend|serve|inspect> "
+               "[flags]\n"
                "see the header of tools/autoce_cli.cc for details\n");
   return 2;
 }
@@ -388,6 +482,7 @@ int Main(int argc, char** argv) {
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "train") return CmdTrain(args);
   if (cmd == "recommend") return CmdRecommend(args);
+  if (cmd == "serve") return CmdServe(args);
   if (cmd == "inspect") return CmdInspect(args);
   return Usage();
 }
