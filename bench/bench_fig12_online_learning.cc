@@ -14,6 +14,7 @@ namespace {
 
 int Run() {
   std::printf("== Figure 12: AutoCE vs online learning ==\n");
+  Timer wall;
   BenchSpec spec = DefaultSpec(1212);
   spec.num_test_datasets = PaperScale() ? 200 : 30;
   BenchData data = BuildCorpus(spec);
@@ -123,19 +124,15 @@ int Run() {
               "%zu generations,\nmodel bit-identical)\n",
               checkpointed_fit_seconds, offline_fit_seconds, overhead_pct,
               generations);
-  std::FILE* f = std::fopen("BENCH_checkpoint.json", "w");
-  AUTOCE_CHECK(f != nullptr);
-  std::fprintf(f,
-               "{\n  \"scale\": \"%s\",\n"
-               "  \"plain_fit_seconds\": %.4f,\n"
-               "  \"checkpointed_fit_seconds\": %.4f,\n"
-               "  \"overhead_pct\": %.2f,\n"
-               "  \"generations_committed\": %zu,\n"
-               "  \"digest_match\": %s\n}\n",
-               PaperScale() ? "paper" : "small", offline_fit_seconds,
-               checkpointed_fit_seconds, overhead_pct, generations,
-               digest_match ? "true" : "false");
-  std::fclose(f);
+  obs::RunManifest manifest = BenchManifest("checkpoint", spec.seed);
+  manifest.AddDouble("wall_seconds", wall.ElapsedSeconds())
+      .AddDouble("plain_fit_seconds", offline_fit_seconds)
+      .AddDouble("checkpointed_fit_seconds", checkpointed_fit_seconds)
+      .AddDouble("overhead_pct", overhead_pct)
+      .AddInt("generations_committed", static_cast<int64_t>(generations))
+      .AddBool("digest_match", digest_match)
+      .AddMetricsSnapshot();
+  AUTOCE_CHECK(manifest.WriteTo("BENCH_checkpoint.json"));
   std::printf("# wrote BENCH_checkpoint.json\n");
   return 0;
 }

@@ -199,6 +199,7 @@ int main() {
   using namespace autoce;
   using namespace autoce::bench;
 
+  Timer wall;
   const int num_datasets = PaperScale() ? 64 : 16;
   data::DatasetGenParams gen;
   gen.min_tables = 1;
@@ -243,31 +244,39 @@ int main() {
                 Hex(r.digest).c_str());
   }
 
-  std::FILE* f = std::fopen("BENCH_parallel.json", "w");
-  AUTOCE_CHECK(f != nullptr);
-  std::fprintf(f, "{\n  \"scale\": \"%s\",\n  \"hardware_threads\": %d,\n",
-               PaperScale() ? "paper" : "small", util::DefaultParallelism());
-  std::fprintf(f, "  \"threads\": [1, 2, 4, 8],\n");
-  std::fprintf(f, "  \"labeling\": {\"datasets\": %d, \"seconds\": %s, "
-               "\"digest\": \"%s\"},\n",
-               num_datasets, JsonArray(labeling.seconds).c_str(),
-               Hex(labeling.digest).c_str());
-  std::fprintf(f, "  \"gin_epoch\": {\"graphs\": %zu, \"seconds\": %s, "
-               "\"digest\": \"%s\"},\n",
-               corpus.size(), JsonArray(gin.seconds).c_str(),
-               Hex(gin.digest).c_str());
-  std::fprintf(f, "  \"matmul\": [\n");
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"datasets\": %d, \"seconds\": %s, \"digest\": \"%s\"}",
+                num_datasets, JsonArray(labeling.seconds).c_str(),
+                Hex(labeling.digest).c_str());
+  std::string labeling_json = buf;
+  std::snprintf(buf, sizeof(buf),
+                "{\"graphs\": %zu, \"seconds\": %s, \"digest\": \"%s\"}",
+                corpus.size(), JsonArray(gin.seconds).c_str(),
+                Hex(gin.digest).c_str());
+  std::string gin_json = buf;
+  std::string matmul_json = "[\n";
   for (size_t i = 0; i < mm.size(); ++i) {
     const auto& r = mm[i];
-    std::fprintf(f,
-                 "    {\"m\": %zu, \"k\": %zu, \"n\": %zu, \"tiled_ms\": %s, "
-                 "\"naive_branch_ms\": %s, \"digest\": \"%s\"}%s\n",
-                 r.m, r.k, r.n, Fmt(r.tiled_ms, 4).c_str(),
-                 Fmt(r.naive_ms, 4).c_str(), Hex(r.digest).c_str(),
-                 i + 1 < mm.size() ? "," : "");
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"m\": %zu, \"k\": %zu, \"n\": %zu, \"tiled_ms\": %s, "
+                  "\"naive_branch_ms\": %s, \"digest\": \"%s\"}%s\n",
+                  r.m, r.k, r.n, Fmt(r.tiled_ms, 4).c_str(),
+                  Fmt(r.naive_ms, 4).c_str(), Hex(r.digest).c_str(),
+                  i + 1 < mm.size() ? "," : "");
+    matmul_json += buf;
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  matmul_json += "  ]";
+
+  obs::RunManifest manifest = BenchManifest("parallel", /*seed=*/4242);
+  manifest.AddDouble("wall_seconds", wall.ElapsedSeconds())
+      .AddInt("hardware_threads", util::DefaultParallelism())
+      .AddRaw("thread_sweep", "[1, 2, 4, 8]")
+      .AddRaw("labeling", labeling_json)
+      .AddRaw("gin_epoch", gin_json)
+      .AddRaw("matmul", matmul_json)
+      .AddMetricsSnapshot();
+  AUTOCE_CHECK(manifest.WriteTo("BENCH_parallel.json"));
   std::printf("# wrote BENCH_parallel.json; all digests identical across "
               "thread counts\n");
   return 0;

@@ -11,6 +11,7 @@
 
 #include "bench/common.h"
 #include "knn/index.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 
 namespace autoce::bench {
@@ -185,6 +186,8 @@ int Main() {
   const int query_datasets = paper ? 200 : 64;
   const int knn_repeats = paper ? 20 : 200;
   const int serve_repeats = paper ? 3 : 10;
+  const uint64_t seed = 1234;
+  Timer wall;
 
   data::DatasetGenParams gen;
   gen.min_tables = 1;
@@ -197,7 +200,7 @@ int Main() {
   gen.min_rows = paper ? 10000 : 600;
   gen.max_rows = paper ? 50000 : 1500;
 
-  Rng rng(1234);
+  Rng rng(seed);
   featgraph::FeatureExtractor extractor;
   Timer timer;
   auto rcs_datasets_vec = data::GenerateCorpus(gen, rcs_datasets, &rng);
@@ -242,6 +245,12 @@ int Main() {
     r.w_a = weights[i % 3];
     requests.push_back(std::move(r));
   }
+  // The off/on QPS comparison below must control the sink state itself,
+  // so the baseline sweep runs with metrics explicitly dormant even if
+  // AUTOCE_METRICS was set in the environment.
+  auto& registry = obs::MetricsRegistry::Instance();
+  const bool metrics_were_enabled = obs::MetricsEnabled();
+  registry.Disable();
   std::vector<ServePoint> points;
   PrintRow({"batch", "QPS", "p50 ms", "p99 ms"});
   for (size_t batch : {size_t{1}, size_t{8}, size_t{32}}) {
@@ -259,41 +268,64 @@ int Main() {
   std::printf("# batched (8) throughput vs one-at-a-time: %.2fx; "
               "responses bit-identical across batch sizes: %s\n",
               speedup_at_8, batch_identical ? "yes" : "NO");
+
+  // --- instrumentation overhead at batch 8 --------------------------
+  registry.Enable();
+  registry.Reset();
+  ServePoint metered =
+      BenchServe(model_path, requests, /*batch=*/8, serve_repeats);
+  AUTOCE_CHECK(metered.digest == points[0].digest);  // metrics change no bits
+  std::string metrics_json = registry.ExportJson();
+  if (!metrics_were_enabled) registry.Disable();
+  double overhead_pct = points[1].qps > 0
+                            ? 100.0 * (points[1].qps - metered.qps) /
+                                  points[1].qps
+                            : 0.0;
+  std::printf("# batch-8 QPS with AUTOCE_METRICS on: %.1f vs %.1f off "
+              "(overhead %.2f%%)\n",
+              metered.qps, points[1].qps, overhead_pct);
   std::remove(model_path.c_str());
 
   // --- BENCH_serve.json ---------------------------------------------
-  std::FILE* f = std::fopen("BENCH_serve.json", "w");
-  AUTOCE_CHECK(f != nullptr);
-  std::fprintf(f, "{\n  \"scale\": \"%s\",\n", paper ? "paper" : "small");
-  std::fprintf(f, "  \"rcs_size\": %zu,\n", advisor.RcsSize());
-  std::fprintf(f, "  \"embedding_dim\": %d,\n",
-               advisor.config().gin.embedding_dim);
-  std::fprintf(f,
-               "  \"knn\": {\"queries\": %zu, \"repeats\": %d, \"k\": %d,\n"
-               "    \"linear_ns_per_query\": %.1f, \"vptree_ns_per_query\": "
-               "%.1f,\n"
-               "    \"linear_distance_evals\": %llu, "
-               "\"vptree_distance_evals\": %llu,\n"
-               "    \"vptree_speedup\": %.3f, \"identical_neighbors\": %s},\n",
-               knn.queries, knn.repeats, knn.k, knn.linear_ns_per_query,
-               knn.vptree_ns_per_query,
-               static_cast<unsigned long long>(knn.linear_distance_evals),
-               static_cast<unsigned long long>(knn.vptree_distance_evals),
-               knn.speedup, knn.identical ? "true" : "false");
-  std::fprintf(f, "  \"serve\": [\n");
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "{\"queries\": %zu, \"repeats\": %d, \"k\": %d,\n"
+                "    \"linear_ns_per_query\": %.1f, \"vptree_ns_per_query\": "
+                "%.1f,\n"
+                "    \"linear_distance_evals\": %llu, "
+                "\"vptree_distance_evals\": %llu,\n"
+                "    \"vptree_speedup\": %.3f, \"identical_neighbors\": %s}",
+                knn.queries, knn.repeats, knn.k, knn.linear_ns_per_query,
+                knn.vptree_ns_per_query,
+                static_cast<unsigned long long>(knn.linear_distance_evals),
+                static_cast<unsigned long long>(knn.vptree_distance_evals),
+                knn.speedup, knn.identical ? "true" : "false");
+  std::string knn_json = buf;
+  std::string serve_json = "[\n";
   for (size_t i = 0; i < points.size(); ++i) {
-    std::fprintf(f,
-                 "    {\"batch\": %zu, \"qps\": %.1f, \"p50_ms\": %.4f, "
-                 "\"p99_ms\": %.4f}%s\n",
-                 points[i].batch, points[i].qps, points[i].p50_ms,
-                 points[i].p99_ms, i + 1 < points.size() ? "," : "");
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"batch\": %zu, \"qps\": %.1f, \"p50_ms\": %.4f, "
+                  "\"p99_ms\": %.4f}%s\n",
+                  points[i].batch, points[i].qps, points[i].p50_ms,
+                  points[i].p99_ms, i + 1 < points.size() ? "," : "");
+    serve_json += buf;
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"batched_speedup_at_8\": %.3f,\n", speedup_at_8);
-  std::fprintf(f, "  \"identical_recommendations_across_batch_sizes\": %s\n",
-               batch_identical ? "true" : "false");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  serve_json += "  ]";
+
+  obs::RunManifest manifest = BenchManifest("serve", seed);
+  manifest.AddDouble("wall_seconds", wall.ElapsedSeconds())
+      .AddInt("rcs_size", static_cast<int64_t>(advisor.RcsSize()))
+      .AddInt("embedding_dim", advisor.config().gin.embedding_dim)
+      .AddRaw("knn", knn_json)
+      .AddRaw("serve", serve_json)
+      .AddDouble("batched_speedup_at_8", speedup_at_8)
+      .AddBool("identical_recommendations_across_batch_sizes",
+               batch_identical)
+      .AddDouble("qps_metrics_off_at_8", points[1].qps)
+      .AddDouble("qps_metrics_on_at_8", metered.qps)
+      .AddDouble("metrics_overhead_pct", overhead_pct)
+      .AddRaw("metrics", metrics_json);
+  AUTOCE_CHECK(manifest.WriteTo("BENCH_serve.json"));
   std::printf("# wrote BENCH_serve.json\n");
   return 0;
 }

@@ -11,7 +11,9 @@
 #include "advisor/label.h"
 #include "data/generator.h"
 #include "data/realworld.h"
+#include "obs/manifest.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -24,6 +26,19 @@ namespace autoce::bench {
 inline bool PaperScale() {
   const char* env = std::getenv("AUTOCE_BENCH_SCALE");
   return env != nullptr && std::string(env) == "paper";
+}
+
+/// Run manifest pre-filled with the common bench header (DESIGN.md
+/// §5.9): name, git describe, scale, seed, thread count. Benches append
+/// their own fields, then `.AddMetricsSnapshot()` and `WriteTo(...)` the
+/// BENCH_*.json artifact, so every emission shares one shape.
+inline obs::RunManifest BenchManifest(const std::string& name,
+                                      uint64_t seed) {
+  obs::RunManifest manifest(name);
+  manifest.AddString("scale", PaperScale() ? "paper" : "small")
+      .AddInt("seed", static_cast<int64_t>(seed))
+      .AddInt("threads", util::GlobalParallelism());
+  return manifest;
 }
 
 /// Corpus + testbed sizes used by most benches.

@@ -8,13 +8,46 @@
 #include <span>
 
 #include "knn/index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/serde.h"
 #include "util/stats.h"
+#include "util/timer.h"
 
 namespace autoce::advisor {
+
+namespace {
+
+/// Training instruments (DESIGN.md §5.9): per-chunk loss and held-out
+/// validation D-error as gauges (last value = training frontier), chunk
+/// count, skipped samples/batches, and checkpoint commit latency.
+struct FitMetrics {
+  obs::Gauge* chunk_loss;
+  obs::Gauge* val_derror;
+  obs::Gauge* best_val_derror;
+  obs::Counter* chunks;
+  obs::Counter* samples_skipped;
+  obs::Counter* batches_skipped;
+  obs::Histogram* checkpoint_ms;
+  static const FitMetrics& Get() {
+    static const FitMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Instance();
+      return FitMetrics{reg.GetGauge("advisor.fit.chunk_loss"),
+                        reg.GetGauge("advisor.fit.val_derror"),
+                        reg.GetGauge("advisor.fit.best_val_derror"),
+                        reg.GetCounter("advisor.fit.chunks"),
+                        reg.GetCounter("advisor.fit.samples_skipped"),
+                        reg.GetCounter("advisor.fit.batches_skipped"),
+                        reg.GetHistogram("advisor.checkpoint_ms")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 AutoCe::AutoCe(AutoCeConfig config)
     : config_(std::move(config)),
@@ -46,6 +79,7 @@ Status AutoCe::Fit(const std::vector<featgraph::FeatureGraph>& graphs,
   if (graphs.size() != labels.size()) {
     return Status::InvalidArgument("graphs/labels size mismatch");
   }
+  obs::TraceSpan span("advisor.fit");
   // Skip-and-report: a corrupt sample (bad graph shape, non-finite
   // features or scores) is dropped from the corpus instead of aborting
   // the fit; training only fails when too few valid samples remain.
@@ -68,6 +102,8 @@ Status AutoCe::Fit(const std::vector<featgraph::FeatureGraph>& graphs,
   rcs_section_cache_.clear();
   embed_digest_ = 0;  // corpus replaced: next refresh must be full
   if (fit_report_.samples_skipped > 0) {
+    FitMetrics::Get().samples_skipped->Add(
+        static_cast<int64_t>(fit_report_.samples_skipped));
     AUTOCE_LOG(Warning) << "Fit skipped " << fit_report_.samples_skipped
                         << "/" << fit_report_.samples_total
                         << " corrupt samples";
@@ -178,10 +214,16 @@ Status AutoCe::RunCheckpointedFit() {
     }
     gnn::DmlConfig chunk_cfg = config_.dml;
     chunk_cfg.epochs = config_.validation_interval;
+    const FitMetrics& metrics = FitMetrics::Get();
     while (cursor_.trained_epochs < config_.dml.epochs) {
+      obs::TraceSpan chunk_span("advisor.fit.chunk");
       gnn::DmlTrainer chunk_trainer(encoder_.get(), chunk_cfg);
       auto loss = chunk_trainer.Train(fit_graphs, fit_labels, &train_rng_);
       fit_report_.dml_batches_skipped += chunk_trainer.last_skipped_batches();
+      if (chunk_trainer.last_skipped_batches() > 0) {
+        metrics.batches_skipped->Add(
+            static_cast<int64_t>(chunk_trainer.last_skipped_batches()));
+      }
       if (!loss.ok()) return loss.status();
       opt_state_ = chunk_trainer.ExportOptimizerState();
       cursor_.trained_epochs += chunk_cfg.epochs;
@@ -191,6 +233,10 @@ Status AutoCe::RunCheckpointedFit() {
         cursor_.best_err = err;
         best_params_ = encoder_->SnapshotParams();
       }
+      metrics.chunks->Add();
+      metrics.chunk_loss->Set(*loss);
+      metrics.val_derror->Set(err);
+      metrics.best_val_derror->Set(cursor_.best_err);
       AUTOCE_RETURN_NOT_OK(CommitCheckpoint());
     }
     encoder_->RestoreParams(best_params_);
@@ -811,8 +857,11 @@ Status AutoCe::CommitCheckpoint() {
   util::CommitDurability durability = cursor_.phase == FitPhase::kDone
                                           ? util::CommitDurability::kSync
                                           : util::CommitDurability::kLazy;
+  obs::TraceSpan span("advisor.checkpoint");
+  Timer commit_timer;
   AUTOCE_ASSIGN_OR_RETURN(uint64_t generation,
                           store_->Commit(BuildSnapshotSections(), durability));
+  FitMetrics::Get().checkpoint_ms->Observe(commit_timer.ElapsedMillis());
   util::KillPoint(util::kill_sites::kAdvisorCheckpoint, generation);
   return Status::OK();
 }

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -138,6 +140,12 @@ LabeledCorpus LabelCorpus(std::vector<data::Dataset> datasets,
   LabeledCorpus corpus;
   corpus.datasets = std::move(datasets);
   const size_t n = corpus.datasets.size();
+  // Span on the calling thread only; per-dataset work inside the
+  // ParallelMap records counters (testbed.* in ce/testbed.cc), never
+  // spans, so FakeClock traces stay thread-count invariant.
+  obs::TraceSpan span("advisor.label_corpus");
+  obs::Counter* labeled =
+      obs::MetricsRegistry::Instance().GetCounter("advisor.labeled_datasets");
 
   // Stage-1 labeling is embarrassingly parallel across datasets: every
   // testbed run derives its seed purely from (corpus seed, dataset
@@ -165,6 +173,7 @@ LabeledCorpus LabelCorpus(std::vector<data::Dataset> datasets,
                          MakeLabel(ce::TestbedResult{})};
     }
     LabeledCell cell{extractor.Extract(ds), MakeLabel(*result)};
+    labeled->Add();
     size_t done = progress.fetch_add(1, std::memory_order_relaxed) + 1;
     if (verbose && done % 25 == 0) {
       AUTOCE_LOG(Info) << "labeled " << done << "/" << n << " datasets";

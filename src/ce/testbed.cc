@@ -5,6 +5,7 @@
 #include <string>
 
 #include "engine/executor.h"
+#include "obs/metrics.h"
 #include "util/fault.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -140,6 +141,20 @@ Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
   // with a derived seed (so an unlucky initialization does not repeat
   // verbatim); a cell that still fails is recorded trained_ok = false
   // with its FailureInfo and sentinel metrics.
+  // Counters only inside the parallel region (never spans): cells run
+  // on worker threads, and trace streams must not depend on thread
+  // count (DESIGN.md §5.9).
+  struct CellMetrics {
+    obs::Counter* cells;
+    obs::Counter* failures;
+    obs::Counter* retries;
+  };
+  static const CellMetrics cell_metrics = [] {
+    auto& reg = obs::MetricsRegistry::Instance();
+    return CellMetrics{reg.GetCounter("testbed.cells"),
+                       reg.GetCounter("testbed.cell_failures"),
+                       reg.GetCounter("testbed.cell_retries")};
+  }();
   out.models = util::ParallelMap(0, ids.size(), 1, [&](size_t cell) {
     ModelId id = ids[cell];
     ModelPerformance perf;
@@ -148,11 +163,13 @@ Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
     const uint64_t base_seed =
         config.seed ^ (static_cast<uint64_t>(id) * 0x9E3779B9ULL);
 
+    cell_metrics.cells->Add();
     Status last;
     for (int attempt = 0; attempt < kTestbedMaxAttempts; ++attempt) {
       cell_ctx.seed = attempt == 0
                           ? base_seed
                           : util::FaultKeyMix(base_seed, 0x52455452ULL);
+      if (attempt > 0) cell_metrics.retries->Add();
       perf.failure = FailureInfo{};
       last = evaluate_cell(id, cell_ctx, attempt, &perf);
       perf.failure.attempts = attempt + 1;
@@ -160,6 +177,7 @@ Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
     }
     perf.trained_ok = last.ok();
     if (!last.ok()) {
+      cell_metrics.failures->Add();
       perf.failure.cause = last.ToString();
       // A model that fails to train is maximally penalized so the
       // advisor never recommends it for this dataset; MakeLabel maps

@@ -2,8 +2,11 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace autoce::serve {
 
@@ -17,6 +20,39 @@ uint64_t Fnv1a(const void* data, size_t n, uint64_t h) {
   }
   return h;
 }
+
+/// Serving instruments (DESIGN.md §5.9). The counters mirror
+/// ServerStats field for field (plus `admitted`), so a Prometheus dump
+/// and stats() always agree; `request_ms` records each request's
+/// time-in-burst when its batch completes.
+struct ServeMetrics {
+  obs::Counter* requests;
+  obs::Counter* admitted;
+  obs::Counter* shed;
+  obs::Counter* invalid;
+  obs::Counter* cache_hits;
+  obs::Counter* embedded;
+  obs::Counter* batches;
+  obs::Counter* reloads;
+  obs::Counter* reload_failures;
+  obs::Histogram* request_ms;
+  static const ServeMetrics& Get() {
+    static const ServeMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Instance();
+      return ServeMetrics{reg.GetCounter("serve.requests"),
+                          reg.GetCounter("serve.admitted"),
+                          reg.GetCounter("serve.shed"),
+                          reg.GetCounter("serve.invalid"),
+                          reg.GetCounter("serve.cache_hits"),
+                          reg.GetCounter("serve.embedded"),
+                          reg.GetCounter("serve.batches"),
+                          reg.GetCounter("serve.reloads"),
+                          reg.GetCounter("serve.reload_failures"),
+                          reg.GetHistogram("serve.request_ms")};
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -102,6 +138,9 @@ std::vector<RecommendResponse> AdvisorServer::Serve(
   // The model is pinned for the whole burst: a concurrent Reload swaps
   // the shared_ptr but this burst keeps answering from the generation
   // it admitted under — no request is dropped mid-reload.
+  obs::TraceSpan span("serve.burst");
+  const ServeMetrics& metrics = ServeMetrics::Get();
+  Timer burst_timer;
   std::shared_ptr<const advisor::AutoCe> advisor;
   uint64_t generation = 0;
   {
@@ -110,6 +149,7 @@ std::vector<RecommendResponse> AdvisorServer::Serve(
     generation = generation_;
     stats_.requests += requests.size();
   }
+  metrics.requests->Add(static_cast<int64_t>(requests.size()));
 
   std::vector<RecommendResponse> responses(requests.size());
   // Admission: arrival order, bounded by queue_capacity; the overflow
@@ -132,12 +172,15 @@ std::vector<RecommendResponse> AdvisorServer::Serve(
       responses[i].shed = true;
       responses[i].recommendation =
           advisor->CorpusDefault(requests[i].w_a, shed_reason);
+      metrics.shed->Add();
+      metrics.request_ms->Observe(burst_timer.ElapsedMillis());
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.shed;
       continue;
     }
     admitted.push_back(i);
   }
+  metrics.admitted->Add(static_cast<int64_t>(admitted.size()));
 
   // Coalesce admitted requests into batches of max_batch, in admission
   // order. Each batch embeds its cache misses in ONE stacked GIN
@@ -164,6 +207,7 @@ std::vector<RecommendResponse> AdvisorServer::Serve(
         if (!valid.ok()) {
           responses[i].status = valid;
           ++stats_.invalid;
+          metrics.invalid->Add();
           continue;
         }
         Pending p;
@@ -173,6 +217,7 @@ std::vector<RecommendResponse> AdvisorServer::Serve(
           p.embedding = hit->embedding;
           p.from_cache = true;
           ++stats_.cache_hits;
+          metrics.cache_hits->Add();
         } else {
           misses.push_back(pending.size());
         }
@@ -186,7 +231,13 @@ std::vector<RecommendResponse> AdvisorServer::Serve(
       for (size_t m : misses) {
         graphs.push_back(&requests[pending[m].request].graph);
       }
-      auto embedded = advisor->EmbedBatch(graphs);
+      std::vector<std::vector<double>> embedded;
+      {
+        obs::TraceSpan embed_span("serve.embed_batch");
+        embedded = advisor->EmbedBatch(graphs);
+      }
+      metrics.batches->Add();
+      metrics.embedded->Add(static_cast<int64_t>(misses.size()));
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.batches;
       stats_.embedded += misses.size();
@@ -207,6 +258,12 @@ std::vector<RecommendResponse> AdvisorServer::Serve(
         resp.status = rec.status();
       }
     }
+    if (obs::MetricsEnabled()) {
+      // Each admitted request's latency is its time-in-burst when its
+      // batch finishes (the server is synchronous and batched).
+      double elapsed = burst_timer.ElapsedMillis();
+      for (size_t j = b; j < end; ++j) metrics.request_ms->Observe(elapsed);
+    }
   }
   return responses;
 }
@@ -216,6 +273,8 @@ RecommendResponse AdvisorServer::ServeOne(const RecommendRequest& request) {
 }
 
 Status AdvisorServer::Reload() {
+  obs::TraceSpan span("serve.reload");
+  const ServeMetrics& metrics = ServeMetrics::Get();
   std::string dir;
   util::SnapshotStoreOptions options;
   {
@@ -232,11 +291,13 @@ Status AdvisorServer::Reload() {
   uint64_t generation = 0;
   auto loaded = advisor::AutoCe::ResumeFit(dir, options, &generation);
   if (!loaded.ok()) {
+    metrics.reload_failures->Add();
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.reload_failures;
     return loaded.status();
   }
   if (util::FaultPoint(util::fault_sites::kServeReload, generation)) {
+    metrics.reload_failures->Add();
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.reload_failures;
     return Status::Internal("injected reload fault at generation " +
@@ -248,6 +309,7 @@ Status AdvisorServer::Reload() {
   util::KillPoint(util::kill_sites::kServeReload, generation);
   auto fresh =
       std::make_shared<const advisor::AutoCe>(std::move(*loaded));
+  metrics.reloads->Add();
   std::lock_guard<std::mutex> lock(mu_);
   advisor_ = std::move(fresh);
   generation_ = generation;

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace autoce::util {
@@ -149,8 +150,15 @@ bool FaultRegistry::Decide(const char* site, uint64_t key) {
   Rng decision(FaultKeyMix(seed ^ HashSiteName(site), key));
   bool fire = p >= 1.0 || decision.Uniform() < p;
   if (fire) {
-    std::lock_guard<std::mutex> lock(state_->mu);
-    ++state_->fires[site];
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      ++state_->fires[site];
+    }
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Instance()
+          .GetCounter("fault.trips", {{"site", site}})
+          ->Add();
+    }
   }
   return fire;
 }

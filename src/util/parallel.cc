@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace autoce::util {
 
 namespace {
@@ -20,6 +22,28 @@ struct RegionGuard {
   RegionGuard() : prev(t_in_parallel_region) { t_in_parallel_region = true; }
   ~RegionGuard() { t_in_parallel_region = prev; }
   bool prev;
+};
+
+/// Pool instruments, interned once (DESIGN.md §5.9): `fors` counts
+/// ParallelFor calls, `chunks` claimed chunks, `steals` chunks claimed
+/// by helper threads rather than the caller, `queue_depth` the task
+/// queue length observed at enqueue time.
+struct PoolMetrics {
+  obs::Counter* fors;
+  obs::Counter* chunks;
+  obs::Counter* steals;
+  obs::Histogram* queue_depth;
+  static const PoolMetrics& Get() {
+    static const PoolMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Instance();
+      return PoolMetrics{
+          reg.GetCounter("parallel.fors"), reg.GetCounter("parallel.chunks"),
+          reg.GetCounter("parallel.steals"),
+          reg.GetHistogram("parallel.queue_depth", {},
+                           {0, 1, 2, 4, 8, 16, 32, 64, 128})};
+    }();
+    return m;
+  }
 };
 
 }  // namespace
@@ -62,7 +86,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   if (grain == 0) grain = 1;
   const size_t n = end - begin;
   const size_t chunks = (n + grain - 1) / grain;
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.fors->Add();
   if (workers_.empty() || chunks <= 1 || t_in_parallel_region) {
+    metrics.chunks->Add(static_cast<int64_t>(chunks));
     RegionGuard region;
     for (size_t i = begin; i < end; ++i) fn(i);
     return;
@@ -72,10 +99,11 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // All state lives on this stack frame; the completion latch guarantees
   // every enqueued task has returned before ParallelFor does.
   std::atomic<size_t> next{begin};
-  auto drain = [&fn, &next, end, grain] {
+  auto drain = [&fn, &next, end, grain](int64_t* claimed) {
     for (;;) {
       size_t lo = next.fetch_add(grain, std::memory_order_relaxed);
       if (lo >= end) return;
+      ++*claimed;
       size_t hi = std::min(lo + grain, end);
       for (size_t i = lo; i < hi; ++i) fn(i);
     }
@@ -87,9 +115,15 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   size_t active = helpers;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    metrics.queue_depth->Observe(static_cast<double>(tasks_.size()));
     for (size_t t = 0; t < helpers; ++t) {
-      tasks_.emplace_back([&drain, &done_mu, &done_cv, &active] {
-        drain();
+      tasks_.emplace_back([&drain, &done_mu, &done_cv, &active, &metrics] {
+        int64_t stolen = 0;
+        drain(&stolen);
+        if (stolen > 0) {
+          metrics.chunks->Add(stolen);
+          metrics.steals->Add(stolen);
+        }
         std::lock_guard<std::mutex> done_lock(done_mu);
         if (--active == 0) done_cv.notify_one();
       });
@@ -98,7 +132,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   cv_.notify_all();
   {
     RegionGuard region;
-    drain();
+    int64_t claimed = 0;
+    drain(&claimed);
+    metrics.chunks->Add(claimed);
   }
   std::unique_lock<std::mutex> done_lock(done_mu);
   done_cv.wait(done_lock, [&active] { return active == 0; });

@@ -12,13 +12,50 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/serde.h"
+#include "util/timer.h"
 
 namespace autoce::util {
 
 namespace {
+
+/// Store instruments (DESIGN.md §5.9): commit count/latency, payload
+/// bytes, fsync count/latency, and generation fallbacks in LoadLatest.
+struct SnapMetrics {
+  obs::Counter* commits;
+  obs::Counter* bytes_written;
+  obs::Counter* fsyncs;
+  obs::Counter* fallbacks;
+  obs::Histogram* fsync_ms;
+  obs::Histogram* commit_ms;
+  static const SnapMetrics& Get() {
+    static const SnapMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Instance();
+      return SnapMetrics{reg.GetCounter("snapshot.commits"),
+                         reg.GetCounter("snapshot.bytes_written"),
+                         reg.GetCounter("snapshot.fsyncs"),
+                         reg.GetCounter("snapshot.fallbacks"),
+                         reg.GetHistogram("snapshot.fsync_ms"),
+                         reg.GetHistogram("snapshot.commit_ms")};
+    }();
+    return m;
+  }
+};
+
+/// fsync with the call counted and (when metrics are live) timed.
+int TimedFsync(int fd) {
+  const SnapMetrics& m = SnapMetrics::Get();
+  if (!obs::MetricsEnabled()) return ::fsync(fd);
+  Timer timer;
+  int rc = ::fsync(fd);
+  m.fsyncs->Add();
+  m.fsync_ms->Observe(timer.ElapsedMillis());
+  return rc;
+}
 
 constexpr uint32_t kSnapMagic = 0x4143534E;      // "ACSN"
 constexpr uint32_t kSnapVersion = 1;
@@ -39,7 +76,7 @@ constexpr std::array<const char*, 8> kKillSites = {
 Status SyncDir(const std::string& dir) {
   int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) return Status::Internal("cannot open directory: " + dir);
-  int rc = ::fsync(fd);
+  int rc = TimedFsync(fd);
   ::close(fd);
   if (rc != 0) return Status::Internal("fsync failed on directory: " + dir);
   return Status::OK();
@@ -289,7 +326,7 @@ Status SnapshotStore::WriteManifest(uint64_t generation,
   bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
   ok = ok && std::fflush(f) == 0;
   if (durability == CommitDurability::kSync) {
-    ok = ok && ::fsync(::fileno(f)) == 0;
+    ok = ok && TimedFsync(::fileno(f)) == 0;
   }
   ok = (std::fclose(f) == 0) && ok;
   if (!ok) {
@@ -338,6 +375,9 @@ Result<uint64_t> SnapshotStore::Commit(
   if (sections.size() > kMaxSections) {
     return Status::InvalidArgument("too many snapshot sections");
   }
+  obs::TraceSpan span("snapshot.commit");
+  const SnapMetrics& metrics = SnapMetrics::Get();
+  Timer commit_timer;
   // Next generation: one past everything seen on disk or in the
   // manifest, so an orphan from a crashed commit can never collide.
   uint64_t gen = 0;
@@ -379,7 +419,7 @@ Result<uint64_t> SnapshotStore::Commit(
                    bytes.size() - half;
     ok = ok && std::fflush(f) == 0;
     if (durability == CommitDurability::kSync) {
-      ok = ok && ::fsync(::fileno(f)) == 0;
+      ok = ok && TimedFsync(::fileno(f)) == 0;
     }
     ok = (std::fclose(f) == 0) && ok;
     if (!ok) {
@@ -404,6 +444,9 @@ Result<uint64_t> SnapshotStore::Commit(
 
   CollectGarbage(gen);
   KillPoint(kill_sites::kGcDone, gen);
+  metrics.commits->Add();
+  metrics.bytes_written->Add(static_cast<int64_t>(bytes.size()));
+  metrics.commit_ms->Observe(commit_timer.ElapsedMillis());
   return gen;
 }
 
@@ -429,6 +472,7 @@ Result<std::vector<SnapshotSection>> SnapshotStore::LoadLatest(
     auto sections = ReadSnapshotFile(GenerationPath(gen));
     if (sections.ok()) {
       if (i > 0) {
+        SnapMetrics::Get().fallbacks->Add();
         AUTOCE_LOG(Warning)
             << "snapshot store " << dir_ << ": generation "
             << candidates[0] << " unreadable, fell back to generation "

@@ -1,0 +1,121 @@
+#include "obs/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace autoce::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr);
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+TEST(ManifestTest, HeaderOpensWithNameAndGitDescribe) {
+  RunManifest manifest("demo");
+  std::string json = manifest.ToJson();
+  EXPECT_EQ(json.rfind("{\n  \"name\": \"demo\",\n  \"git_describe\": \"", 0),
+            0u);
+  EXPECT_FALSE(GitDescribe().empty());
+}
+
+TEST(ManifestTest, KeysRenderInInsertionOrder) {
+  RunManifest manifest("order");
+  manifest.AddInt("seed", 7).AddString("scale", "small").AddBool("ok", true);
+  std::string json = manifest.ToJson();
+  size_t name_pos = json.find("\"name\"");
+  size_t seed_pos = json.find("\"seed\"");
+  size_t scale_pos = json.find("\"scale\"");
+  size_t ok_pos = json.find("\"ok\"");
+  ASSERT_NE(seed_pos, std::string::npos);
+  ASSERT_NE(scale_pos, std::string::npos);
+  ASSERT_NE(ok_pos, std::string::npos);
+  EXPECT_LT(name_pos, seed_pos);
+  EXPECT_LT(seed_pos, scale_pos);
+  EXPECT_LT(scale_pos, ok_pos);
+}
+
+TEST(ManifestTest, ScalarFormatting) {
+  RunManifest manifest("scalars");
+  manifest.AddInt("negative", -42)
+      .AddDouble("rounded", 0.123456789)
+      .AddDouble("large", 1e9)
+      .AddBool("yes", true)
+      .AddBool("no", false)
+      .AddRaw("list", "[1, 2, 3]");
+  std::string json = manifest.ToJson();
+  EXPECT_NE(json.find("\"negative\": -42"), std::string::npos);
+  EXPECT_NE(json.find("\"rounded\": 0.123457"), std::string::npos);  // %.6g
+  EXPECT_NE(json.find("\"large\": 1e+09"), std::string::npos);
+  EXPECT_NE(json.find("\"yes\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"no\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"list\": [1, 2, 3]"), std::string::npos);
+}
+
+TEST(ManifestTest, StringsAreJsonEscaped) {
+  RunManifest manifest("escape");
+  manifest.AddString("msg", "a\"b\\c\nd\te\rf");
+  manifest.AddString("ctl", std::string("x") + '\x01' + "y");
+  std::string json = manifest.ToJson();
+  EXPECT_NE(json.find("\"msg\": \"a\\\"b\\\\c\\nd\\te\\rf\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ctl\": \"x\\u0001y\""), std::string::npos);
+}
+
+TEST(ManifestTest, JsonIsACompleteObject) {
+  RunManifest manifest("shape");
+  manifest.AddInt("only", 1);
+  std::string json = manifest.ToJson();
+  EXPECT_EQ(json.rfind("{\n", 0), 0u);
+  EXPECT_EQ(json.substr(json.size() - 2), "}\n");
+  // The last field line carries no trailing comma.
+  EXPECT_NE(json.find("\"only\": 1\n}"), std::string::npos);
+}
+
+TEST(ManifestTest, WriteToRoundTripsAndWriteUsesRunPrefix) {
+  RunManifest manifest("mt_roundtrip");
+  manifest.AddInt("seed", 97);
+  const std::string path = "mt_manifest_test.json";
+  ASSERT_TRUE(manifest.WriteTo(path));
+  EXPECT_EQ(ReadFile(path), manifest.ToJson());
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(manifest.Write());
+  EXPECT_EQ(ReadFile("RUN_mt_roundtrip.json"), manifest.ToJson());
+  std::remove("RUN_mt_roundtrip.json");
+}
+
+TEST(ManifestTest, WriteToUnwritablePathFails) {
+  RunManifest manifest("nowhere");
+  EXPECT_FALSE(manifest.WriteTo("mt_no_such_dir/manifest.json"));
+}
+
+TEST(ManifestTest, MetricsSnapshotOnlyWhenEnabled) {
+  auto& registry = MetricsRegistry::Instance();
+  registry.Disable();
+  RunManifest dormant("dormant");
+  dormant.AddMetricsSnapshot();
+  EXPECT_EQ(dormant.ToJson().find("\"metrics\""), std::string::npos);
+
+  registry.Enable();
+  registry.GetCounter("mf.snapshot.c")->Add(2);
+  RunManifest live("live");
+  live.AddMetricsSnapshot();
+  std::string json = live.ToJson();
+  EXPECT_NE(json.find("\"metrics\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"mf.snapshot.c\": 2"), std::string::npos);
+  registry.Disable();
+}
+
+}  // namespace
+}  // namespace autoce::obs

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "data/generator.h"
+#include "obs/metrics.h"
 #include "util/parallel.h"
 #include "util/snapshot.h"
 
@@ -360,6 +361,53 @@ TEST_F(ServerTest, ReloadWithoutStoreFailsAndKeepsServing) {
   request.graph = (*graphs_)[0];
   request.w_a = 0.9;
   EXPECT_TRUE(server.ServeOne(request).status.ok());
+}
+
+TEST_F(ServerTest, MetricsCountersMatchServerStats) {
+  // With the metrics sink enabled, the obs counters shadow ServerStats
+  // exactly, and the Prometheus export carries those counts verbatim
+  // (DESIGN.md §5.9 acceptance: serve counters match asserted stats).
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.Enable();
+  registry.Reset();
+
+  ServerConfig cfg;
+  cfg.queue_capacity = 2;
+  AdvisorServer server(LoadAdvisor(), cfg);
+  auto requests = AllRequests();
+  requests.resize(5);
+  auto responses = server.Serve(requests);
+  ASSERT_EQ(responses.size(), 5u);
+  // Repeat request 0: a cache hit on the second pass.
+  EXPECT_TRUE(server.ServeOne(requests[0]).from_cache);
+  Status reload_status = server.Reload();  // no store: counted as failure
+  EXPECT_FALSE(reload_status.ok());
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 6u);
+  EXPECT_EQ(stats.shed, 3u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+
+  std::string text = registry.ExportPrometheus();
+  registry.Disable();
+  auto expect_line = [&](const std::string& line) {
+    EXPECT_NE(text.find(line), std::string::npos) << line << "\n" << text;
+  };
+  expect_line("serve_requests_total " + std::to_string(stats.requests));
+  expect_line("serve_admitted_total " + std::to_string(stats.requests -
+                                                       stats.shed));
+  expect_line("serve_shed_total " + std::to_string(stats.shed));
+  expect_line("serve_cache_hits_total " + std::to_string(stats.cache_hits));
+  expect_line("serve_embedded_total " + std::to_string(stats.embedded));
+  expect_line("serve_batches_total " + std::to_string(stats.batches));
+  expect_line("serve_invalid_total 0");
+  expect_line("serve_reloads_total " + std::to_string(stats.reloads));
+  // The no-store precondition rejection mirrors ServerStats: neither
+  // counts it as a reload failure (nothing was attempted).
+  expect_line("serve_reload_failures_total " +
+              std::to_string(stats.reload_failures));
+  // Every admitted or shed request lands one latency observation.
+  expect_line("serve_request_ms_count " + std::to_string(stats.requests));
 }
 
 TEST_F(ServerTest, OnlineAppendRefreshesEmbeddingsIncrementally) {

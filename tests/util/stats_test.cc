@@ -79,10 +79,43 @@ TEST(StatsTest, PercentileUnsortedInput) {
   EXPECT_DOUBLE_EQ(stats::Percentile(v, 50), 25.0);
 }
 
+TEST(StatsTest, PercentileEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(stats::Percentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(stats::Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(stats::Percentile({}, 100), 0.0);
+}
+
+TEST(StatsTest, PercentileSingleSampleIsThatSample) {
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(stats::Percentile({42}, p), 42.0);
+  }
+}
+
+TEST(StatsTest, PercentileDuplicateHeavy) {
+  // All duplicates: every percentile is the repeated value.
+  std::vector<double> same{5, 5, 5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(stats::Percentile(same, 1), 5.0);
+  EXPECT_DOUBLE_EQ(stats::Percentile(same, 50), 5.0);
+  EXPECT_DOUBLE_EQ(stats::Percentile(same, 99), 5.0);
+  // One outlier among duplicates only surfaces at the top of the range.
+  std::vector<double> outlier{1, 1, 1, 1, 1, 1, 1, 1, 1, 100};
+  EXPECT_DOUBLE_EQ(stats::Percentile(outlier, 50), 1.0);
+  EXPECT_GT(stats::Percentile(outlier, 95), 1.0);
+  EXPECT_DOUBLE_EQ(stats::Percentile(outlier, 100), 100.0);
+}
+
+TEST(StatsTest, PercentileClampsOutOfRangeP) {
+  std::vector<double> v{10, 20, 30};
+  EXPECT_DOUBLE_EQ(stats::Percentile(v, -5), 10.0);
+  EXPECT_DOUBLE_EQ(stats::Percentile(v, 250), 30.0);
+}
+
 TEST(StatsTest, MinMax) {
   std::vector<double> v{3, -1, 7, 2};
   EXPECT_DOUBLE_EQ(stats::Min(v), -1.0);
   EXPECT_DOUBLE_EQ(stats::Max(v), 7.0);
+  EXPECT_DOUBLE_EQ(stats::Min({}), 0.0);
+  EXPECT_DOUBLE_EQ(stats::Max({}), 0.0);
 }
 
 TEST(StatsTest, GeometricMean) {

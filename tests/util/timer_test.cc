@@ -1,0 +1,45 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace autoce {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
+  Timer timer;
+  double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  double second = timer.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  EXPECT_GT(second, 0.0);
+}
+
+TEST(TimerTest, UnitsAreConsistent) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // The three readouts are separate clock samples, so each later (and
+  // larger-unit) reading bounds the earlier one from above.
+  double seconds = timer.ElapsedSeconds();
+  double millis = timer.ElapsedMillis();
+  double micros = timer.ElapsedMicros();
+  EXPECT_GE(millis, seconds * 1e3);
+  EXPECT_GE(micros, millis * 1e3);
+  EXPECT_GE(millis, 2.0);
+}
+
+TEST(TimerTest, ResetRestartsTheStopwatch) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double before = timer.ElapsedMillis();
+  timer.Reset();
+  double after = timer.ElapsedMillis();
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 0.0);
+}
+
+}  // namespace
+}  // namespace autoce

@@ -10,6 +10,8 @@
 //   autoce serve     (--model model.ace | --snapshot-dir DIR) --data DIR
 //                    [--weight W] [--batch N] [--queue N]
 //   autoce inspect   (--model model.ace | --snapshot-dir DIR)
+//   autoce metrics dump [--json]
+//   autoce faults list
 //
 // `generate` writes synthetic datasets as .adat files; `train` labels
 // them with the CE testbed (training all seven estimators per dataset)
@@ -26,6 +28,15 @@
 // advisor service (DESIGN.md §5.8): bounded admission, coalesced GIN
 // forwards, indexed KNN. With --snapshot-dir it serves the newest good
 // snapshot generation and reports it per response.
+//
+// Telemetry (DESIGN.md §5.9): with AUTOCE_METRICS set, every command
+// records obs counters/histograms; `serve` prints the Prometheus dump
+// at the end and `metrics dump` prints the current registry (of this
+// process — metrics are in-process, so it shows only instrument names
+// unless combined with other flags in one invocation). `faults list`
+// prints the registered fault and kill sites with per-site trip counts.
+// With AUTOCE_RUN_MANIFEST set, each command writes a RUN_<cmd>.json
+// run manifest (config, seed, git describe, wall time, final metrics).
 
 #include <algorithm>
 #include <cstdio>
@@ -40,7 +51,11 @@
 #include "advisor/label.h"
 #include "data/csv.h"
 #include "data/generator.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
+#include "util/fault.h"
+#include "util/parallel.h"
 #include "util/serde.h"
 #include "util/snapshot.h"
 #include "util/timer.h"
@@ -376,6 +391,47 @@ int CmdServe(const Args& args) {
               requests.size(), ms,
               static_cast<size_t>(stats.batches), stats.embedded,
               stats.cache_hits, stats.shed, stats.invalid);
+  if (obs::MetricsEnabled()) {
+    std::printf("--- metrics (Prometheus text) ---\n%s",
+                obs::MetricsRegistry::Instance().ExportPrometheus().c_str());
+  }
+  return 0;
+}
+
+int CmdMetrics(const Args& args) {
+  if (args.positional.empty() || args.positional[0] != "dump") {
+    std::fprintf(stderr, "metrics: expected `metrics dump [--json]`\n");
+    return 2;
+  }
+  auto& registry = obs::MetricsRegistry::Instance();
+  if (args.Has("json")) {
+    std::printf("%s\n", registry.ExportJson().c_str());
+  } else {
+    std::printf("%s", registry.ExportPrometheus().c_str());
+  }
+  if (!obs::MetricsEnabled()) {
+    std::fprintf(stderr,
+                 "note: metrics are dormant (set AUTOCE_METRICS=1 to record; "
+                 "a path value dumps Prometheus text at exit)\n");
+  }
+  return 0;
+}
+
+int CmdFaults(const Args& args) {
+  if (args.positional.empty() || args.positional[0] != "list") {
+    std::fprintf(stderr, "faults: expected `faults list`\n");
+    return 2;
+  }
+  auto& injection = util::FaultInjection::Instance();
+  std::printf("fault sites (AUTOCE_FAULTS=site[:prob],... or `*`):\n");
+  for (const char* site : util::AllFaultSites()) {
+    std::printf("  %-24s trips %" PRId64 "\n", site,
+                injection.FireCount(site));
+  }
+  std::printf("kill sites (AUTOCE_KILLPOINTS=site[:prob],...):\n");
+  for (const char* site : util::AllKillSites()) {
+    std::printf("  %s\n", site);
+  }
   return 0;
 }
 
@@ -469,8 +525,8 @@ int CmdInspect(const Args& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: autoce <generate|train|recommend|serve|inspect> "
-               "[flags]\n"
+               "usage: autoce <generate|train|recommend|serve|inspect|"
+               "metrics|faults> [flags]\n"
                "see the header of tools/autoce_cli.cc for details\n");
   return 2;
 }
@@ -479,12 +535,34 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
   Args args = Parse(argc - 1, argv + 1);
-  if (cmd == "generate") return CmdGenerate(args);
-  if (cmd == "train") return CmdTrain(args);
-  if (cmd == "recommend") return CmdRecommend(args);
-  if (cmd == "serve") return CmdServe(args);
-  if (cmd == "inspect") return CmdInspect(args);
-  return Usage();
+  Timer wall;
+  int rc = 2;
+  if (cmd == "generate") rc = CmdGenerate(args);
+  else if (cmd == "train") rc = CmdTrain(args);
+  else if (cmd == "recommend") rc = CmdRecommend(args);
+  else if (cmd == "serve") rc = CmdServe(args);
+  else if (cmd == "inspect") rc = CmdInspect(args);
+  else if (cmd == "metrics") rc = CmdMetrics(args);
+  else if (cmd == "faults") rc = CmdFaults(args);
+  else return Usage();
+  // AUTOCE_RUN_MANIFEST records what this invocation ran (and, when
+  // metrics are live, every final counter/quantile) to RUN_<cmd>.json.
+  if (const char* env = std::getenv("AUTOCE_RUN_MANIFEST");
+      env != nullptr && env[0] != '\0' && std::string(env) != "0") {
+    obs::RunManifest manifest("autoce_" + cmd);
+    manifest.AddInt("exit_code", rc)
+        .AddInt("seed", args.GetInt("seed", 42))
+        .AddInt("threads", util::GlobalParallelism())
+        .AddDouble("wall_seconds", wall.ElapsedSeconds());
+    std::string flags;
+    for (const auto& [k, v] : args.flags) {
+      if (!flags.empty()) flags += ' ';
+      flags += "--" + k + (v.empty() ? "" : " " + v);
+    }
+    manifest.AddString("flags", flags).AddMetricsSnapshot();
+    manifest.Write();
+  }
+  return rc;
 }
 
 }  // namespace
