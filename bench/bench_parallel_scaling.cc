@@ -1,8 +1,11 @@
 // Threads-vs-wall-clock scaling harness for the deterministic parallel
-// runtime (ISSUE 1): Stage-1 labeling, one GIN training epoch, and the
-// tiled matrix kernels. Emits BENCH_parallel.json so later PRs have a
-// perf trajectory, and checks that every stage's result digest is
-// bit-identical across thread counts.
+// runtime (ISSUE 1, extended by ISSUE 6): Stage-1 labeling (with the
+// pool's obs counters per thread count — the anti-scaling instrument
+// from ROADMAP item 2), one GIN training epoch, and the matrix kernels
+// at the active SIMD dispatch level vs. pinned scalar. Emits
+// BENCH_parallel.json so later PRs have a perf trajectory, and checks
+// that every stage's result digest is bit-identical across thread
+// counts and dispatch levels.
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -10,7 +13,9 @@
 
 #include "bench/common.h"
 #include "gnn/metric_learning.h"
+#include "obs/metrics.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 
 namespace autoce::bench {
 namespace {
@@ -45,6 +50,11 @@ std::string Hex(uint64_t v) {
 struct StageResult {
   std::vector<double> seconds;  // one entry per swept thread count
   uint64_t digest = 0;
+  // Pool counters per swept thread count (DESIGN.md §5.9), recorded so
+  // the labeling anti-scaling from ROADMAP item 2 is diagnosable from
+  // the committed JSON: a steal count near zero at t=8 means helpers
+  // were starved, a chunk count far above cores means oversubscription.
+  std::vector<int64_t> fors, chunks, steals;
 };
 
 const std::vector<int> kThreadCounts = {1, 2, 4, 8};
@@ -54,9 +64,13 @@ StageResult BenchLabeling(const data::DatasetGenParams& gen,
                           const ce::TestbedConfig& testbed, int num_datasets,
                           advisor::LabeledCorpus* out_corpus) {
   StageResult res;
+  auto& registry = obs::MetricsRegistry::Instance();
+  const bool metrics_were_enabled = obs::MetricsEnabled();
+  registry.Enable();
   bool first = true;
   for (int threads : kThreadCounts) {
     util::SetGlobalParallelism(threads);
+    registry.Reset();
     Rng rng(4242);
     auto datasets = data::GenerateCorpus(gen, num_datasets, &rng);
     featgraph::FeatureExtractor extractor;
@@ -64,6 +78,9 @@ StageResult BenchLabeling(const data::DatasetGenParams& gen,
     auto corpus =
         advisor::LabelCorpus(std::move(datasets), testbed, extractor);
     res.seconds.push_back(timer.ElapsedSeconds());
+    res.fors.push_back(registry.GetCounter("parallel.fors")->value());
+    res.chunks.push_back(registry.GetCounter("parallel.chunks")->value());
+    res.steals.push_back(registry.GetCounter("parallel.steals")->value());
 
     Digest d;
     for (const auto& label : corpus.labels) {
@@ -80,6 +97,7 @@ StageResult BenchLabeling(const data::DatasetGenParams& gen,
       AUTOCE_CHECK(d.value() == res.digest);  // bit-for-bit across threads
     }
   }
+  if (!metrics_were_enabled) registry.Disable();
   return res;
 }
 
@@ -146,9 +164,11 @@ nn::Matrix NaiveBranchMatMul(const nn::Matrix& a, const nn::Matrix& b) {
 
 struct MatMulResult {
   size_t m, k, n;
-  double tiled_ms = 0.0;
-  double naive_ms = 0.0;
-  uint64_t digest = 0;
+  double active_ms = 0.0;  ///< MatMul at the active dispatch level
+  double scalar_ms = 0.0;  ///< MatMul pinned to Level::kScalar
+  double naive_ms = 0.0;   ///< historical branchy reference (above)
+  double simd_speedup = 0.0;
+  uint64_t digest = 0;  ///< identical at every level, by construction
 };
 
 MatMulResult BenchMatMul(size_t m, size_t k, size_t n, int reps) {
@@ -169,9 +189,23 @@ MatMulResult BenchMatMul(size_t m, size_t k, size_t n, int reps) {
       nn::Matrix c = a.MatMul(b);
       if (r == 0) d.Add(c);
     }
-    res.tiled_ms = t.ElapsedMillis() / reps;
+    res.active_ms = t.ElapsedMillis() / reps;
   }
   res.digest = d.value();
+  {
+    const util::simd::Level active = util::simd::ActiveLevel();
+    util::simd::SetActiveLevel(util::simd::Level::kScalar);
+    Digest ds;
+    Timer t;
+    for (int r = 0; r < reps; ++r) {
+      nn::Matrix c = a.MatMul(b);
+      if (r == 0) ds.Add(c);
+    }
+    res.scalar_ms = t.ElapsedMillis() / reps;
+    util::simd::SetActiveLevel(active);
+    AUTOCE_CHECK(ds.value() == res.digest);  // fixed reduction order
+  }
+  res.simd_speedup = res.active_ms > 0 ? res.scalar_ms / res.active_ms : 0.0;
   {
     Timer t;
     for (int r = 0; r < reps; ++r) {
@@ -236,19 +270,37 @@ int main() {
   };
   print_stage("labeling", labeling);
   print_stage("gin_epoch", gin);
+  std::printf("# labeling pool counters at t=8: fors=%lld chunks=%lld "
+              "steals=%lld\n",
+              static_cast<long long>(labeling.fors.back()),
+              static_cast<long long>(labeling.chunks.back()),
+              static_cast<long long>(labeling.steals.back()));
   for (const auto& r : mm) {
-    std::printf("matmul %zux%zux%zu: tiled %.3f ms, naive+branch %.3f ms "
-                "(%.2fx), digest %s\n",
-                r.m, r.k, r.n, r.tiled_ms, r.naive_ms,
-                r.naive_ms / std::max(1e-9, r.tiled_ms),
+    std::printf("matmul %zux%zux%zu: %s %.3f ms, scalar %.3f ms (%.2fx), "
+                "naive+branch %.3f ms, digest %s\n",
+                r.m, r.k, r.n,
+                util::simd::LevelName(util::simd::ActiveLevel()), r.active_ms,
+                r.scalar_ms, r.simd_speedup, r.naive_ms,
                 Hex(r.digest).c_str());
   }
 
+  auto json_i64 = [](const std::vector<int64_t>& v) {
+    std::string out = "[";
+    for (size_t i = 0; i < v.size(); ++i) {
+      out += std::to_string(v[i]);
+      if (i + 1 < v.size()) out += ", ";
+    }
+    return out + "]";
+  };
   char buf[512];
   std::snprintf(buf, sizeof(buf),
-                "{\"datasets\": %d, \"seconds\": %s, \"digest\": \"%s\"}",
+                "{\"datasets\": %d, \"seconds\": %s, \"digest\": \"%s\",\n"
+                "    \"pool_fors\": %s, \"pool_chunks\": %s, "
+                "\"pool_steals\": %s}",
                 num_datasets, JsonArray(labeling.seconds).c_str(),
-                Hex(labeling.digest).c_str());
+                Hex(labeling.digest).c_str(), json_i64(labeling.fors).c_str(),
+                json_i64(labeling.chunks).c_str(),
+                json_i64(labeling.steals).c_str());
   std::string labeling_json = buf;
   std::snprintf(buf, sizeof(buf),
                 "{\"graphs\": %zu, \"seconds\": %s, \"digest\": \"%s\"}",
@@ -259,9 +311,12 @@ int main() {
   for (size_t i = 0; i < mm.size(); ++i) {
     const auto& r = mm[i];
     std::snprintf(buf, sizeof(buf),
-                  "    {\"m\": %zu, \"k\": %zu, \"n\": %zu, \"tiled_ms\": %s, "
-                  "\"naive_branch_ms\": %s, \"digest\": \"%s\"}%s\n",
-                  r.m, r.k, r.n, Fmt(r.tiled_ms, 4).c_str(),
+                  "    {\"m\": %zu, \"k\": %zu, \"n\": %zu, "
+                  "\"active_ms\": %s, \"scalar_ms\": %s, "
+                  "\"simd_speedup\": %s, \"naive_branch_ms\": %s, "
+                  "\"digest\": \"%s\"}%s\n",
+                  r.m, r.k, r.n, Fmt(r.active_ms, 4).c_str(),
+                  Fmt(r.scalar_ms, 4).c_str(), Fmt(r.simd_speedup, 2).c_str(),
                   Fmt(r.naive_ms, 4).c_str(), Hex(r.digest).c_str(),
                   i + 1 < mm.size() ? "," : "");
     matmul_json += buf;

@@ -1,9 +1,12 @@
-// Serving-layer throughput harness (ISSUE 4): batched embedding vs.
-// one-at-a-time, and indexed (VP-tree) vs. linear-scan KNN, over a
-// default-scale RCS. Emits BENCH_serve.json with p50/p99 latency and
-// QPS per batch size plus the KNN comparison, and self-checks that
-// every fast path is bit-identical to its reference path — the bench
-// fails loudly if batching or indexing ever changes a recommendation.
+// Serving-layer throughput harness (ISSUE 4, extended by ISSUE 6):
+// batched embedding vs. one-at-a-time, indexed (VP-tree) and
+// int8-quantized vs. linear-scan KNN, and SIMD vs. scalar dispatch for
+// both the embed-batch and KNN kernels, over a default-scale RCS.
+// Emits BENCH_serve.json with p50/p99 latency and QPS per batch size
+// plus the KNN and kernel comparisons, and self-checks that every fast
+// path is bit-identical to its reference path — the bench fails loudly
+// if batching, indexing, quantization, or vectorization ever changes a
+// recommendation.
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -13,6 +16,7 @@
 #include "knn/index.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
+#include "util/simd.h"
 
 namespace autoce::bench {
 namespace {
@@ -53,21 +57,62 @@ std::vector<advisor::DatasetLabel> SyntheticLabels(size_t n, uint64_t seed) {
   return labels;
 }
 
+/// Per-backend timing and work counters for one query stream.
+struct KnnBackendResult {
+  double ns_per_query = 0.0;
+  uint64_t distance_evals = 0;
+  uint64_t lb_prunes = 0;
+  uint64_t digest = 0;
+};
+
 struct KnnResult {
   size_t queries = 0;
   int repeats = 0;
   int k = 0;
-  double linear_ns_per_query = 0.0;
-  double vptree_ns_per_query = 0.0;
-  uint64_t linear_distance_evals = 0;
-  uint64_t vptree_distance_evals = 0;
-  double speedup = 0.0;
-  bool identical = false;
+  KnnBackendResult linear;
+  KnnBackendResult vptree;
+  KnnBackendResult quantized;
+  /// Linear scan with the kernel dispatch pinned to scalar — the
+  /// committed baseline the SIMD speedup is measured against.
+  KnnBackendResult linear_scalar;
+  double vptree_speedup = 0.0;     // linear / vptree, same dispatch level
+  double quantized_speedup = 0.0;  // linear / quantized, same level
+  double simd_speedup = 0.0;       // scalar linear / active-level linear
+  bool identical = false;          // all digests equal (exactness witness)
 };
 
-/// Linear scan vs. VP-tree over the advisor's own RCS embeddings, with
-/// the advisor's query embeddings — exactly the retrieval the serving
-/// layer performs per request.
+KnnBackendResult TimeKnnBackend(const knn::Index& index,
+                                const std::vector<std::vector<double>>& queries,
+                                size_t k, int repeats) {
+  KnnBackendResult res;
+  Digest digest;
+  Timer timer;
+  for (int r = 0; r < repeats; ++r) {
+    for (const auto& q : queries) {
+      knn::QueryStats stats;
+      auto got = index.Query(q, k, SIZE_MAX, nullptr, &stats);
+      res.distance_evals += stats.distance_evals;
+      res.lb_prunes += stats.lb_prunes;
+      if (r == 0) {
+        for (const auto& n : got) {
+          digest.Add(n.distance);
+          digest.Add(static_cast<uint64_t>(n.index));
+        }
+      }
+    }
+  }
+  double seconds = timer.ElapsedSeconds();
+  res.ns_per_query =
+      seconds * 1e9 / (static_cast<double>(queries.size()) * repeats);
+  res.digest = digest.value();
+  return res;
+}
+
+/// Linear scan vs. VP-tree vs. int8-quantized tier over the advisor's
+/// own RCS embeddings, with the advisor's query embeddings — exactly
+/// the retrieval the serving layer performs per request. Also re-runs
+/// the linear scan with dispatch pinned to scalar, so the JSON records
+/// the SIMD kernel speedup against a bit-identical reference.
 KnnResult BenchKnn(const advisor::AutoCe& advisor,
                    const std::vector<std::vector<double>>& queries,
                    int repeats) {
@@ -81,47 +126,85 @@ KnnResult BenchKnn(const advisor::AutoCe& advisor,
   linear_cfg.backend = knn::Backend::kLinear;
   knn::Index linear = knn::Index::Build(points, {}, linear_cfg);
   knn::Index vptree = knn::Index::Build(points);
+  knn::IndexConfig quant_cfg;
+  quant_cfg.backend = knn::Backend::kQuantized;
+  knn::Index quantized = knn::Index::Build(points, {}, quant_cfg);
 
-  Digest linear_digest, vptree_digest;
   size_t k = static_cast<size_t>(res.k);
-  Timer timer;
-  for (int r = 0; r < repeats; ++r) {
-    for (const auto& q : queries) {
-      knn::QueryStats stats;
-      auto got = linear.Query(q, k, SIZE_MAX, nullptr, &stats);
-      res.linear_distance_evals += stats.distance_evals;
-      if (r == 0) {
-        for (const auto& n : got) {
-          linear_digest.Add(n.distance);
-          linear_digest.Add(static_cast<uint64_t>(n.index));
-        }
-      }
-    }
-  }
-  double linear_s = timer.ElapsedSeconds();
+  res.linear = TimeKnnBackend(linear, queries, k, repeats);
+  res.vptree = TimeKnnBackend(vptree, queries, k, repeats);
+  res.quantized = TimeKnnBackend(quantized, queries, k, repeats);
 
-  timer.Reset();
-  for (int r = 0; r < repeats; ++r) {
-    for (const auto& q : queries) {
-      knn::QueryStats stats;
-      auto got = vptree.Query(q, k, SIZE_MAX, nullptr, &stats);
-      res.vptree_distance_evals += stats.distance_evals;
-      if (r == 0) {
-        for (const auto& n : got) {
-          vptree_digest.Add(n.distance);
-          vptree_digest.Add(static_cast<uint64_t>(n.index));
-        }
-      }
-    }
-  }
-  double vptree_s = timer.ElapsedSeconds();
+  const util::simd::Level active = util::simd::ActiveLevel();
+  util::simd::SetActiveLevel(util::simd::Level::kScalar);
+  res.linear_scalar = TimeKnnBackend(linear, queries, k, repeats);
+  util::simd::SetActiveLevel(active);
 
-  double total = static_cast<double>(queries.size()) * repeats;
-  res.linear_ns_per_query = linear_s * 1e9 / total;
-  res.vptree_ns_per_query = vptree_s * 1e9 / total;
-  res.speedup = vptree_s > 0 ? linear_s / vptree_s : 0.0;
-  res.identical = linear_digest.value() == vptree_digest.value();
+  auto speedup = [](double base, double fast) {
+    return fast > 0 ? base / fast : 0.0;
+  };
+  res.vptree_speedup = speedup(res.linear.ns_per_query, res.vptree.ns_per_query);
+  res.quantized_speedup =
+      speedup(res.linear.ns_per_query, res.quantized.ns_per_query);
+  res.simd_speedup =
+      speedup(res.linear_scalar.ns_per_query, res.linear.ns_per_query);
+  res.identical = res.linear.digest == res.vptree.digest &&
+                  res.linear.digest == res.quantized.digest &&
+                  res.linear.digest == res.linear_scalar.digest;
   AUTOCE_CHECK(res.identical);  // exactness, not approximation
+  return res;
+}
+
+struct EmbedResult {
+  size_t graphs = 0;
+  int repeats = 0;
+  double active_ns_per_graph = 0.0;
+  double scalar_ns_per_graph = 0.0;
+  double simd_speedup = 0.0;
+  bool identical = false;
+};
+
+/// Batched embedding of the query stream at the active dispatch level
+/// vs. pinned-scalar — the GIN forward is where the serving layer
+/// spends its time, so this is the embed-side SIMD witness.
+EmbedResult BenchEmbedBatch(const advisor::AutoCe& advisor,
+                            const std::vector<featgraph::FeatureGraph>& graphs,
+                            int repeats) {
+  EmbedResult res;
+  res.graphs = graphs.size();
+  res.repeats = repeats;
+  std::vector<const featgraph::FeatureGraph*> graph_ptrs;
+  graph_ptrs.reserve(graphs.size());
+  for (const auto& g : graphs) graph_ptrs.push_back(&g);
+
+  auto time_level = [&](util::simd::Level level, uint64_t* digest_out) {
+    const util::simd::Level prev = util::simd::ActiveLevel();
+    util::simd::SetActiveLevel(level);
+    Digest digest;
+    Timer timer;
+    for (int r = 0; r < repeats; ++r) {
+      auto embeddings = advisor.EmbedBatch(graph_ptrs);
+      if (r == 0) {
+        for (const auto& e : embeddings) {
+          for (double v : e) digest.Add(v);
+        }
+      }
+    }
+    double seconds = timer.ElapsedSeconds();
+    util::simd::SetActiveLevel(prev);
+    *digest_out = digest.value();
+    return seconds * 1e9 / (static_cast<double>(graphs.size()) * repeats);
+  };
+
+  uint64_t active_digest = 0, scalar_digest = 0;
+  res.active_ns_per_graph = time_level(util::simd::ActiveLevel(), &active_digest);
+  res.scalar_ns_per_graph =
+      time_level(util::simd::Level::kScalar, &scalar_digest);
+  res.simd_speedup = res.active_ns_per_graph > 0
+                         ? res.scalar_ns_per_graph / res.active_ns_per_graph
+                         : 0.0;
+  res.identical = active_digest == scalar_digest;
+  AUTOCE_CHECK(res.identical);  // levels never change embedding bits
   return res;
 }
 
@@ -223,17 +306,35 @@ int Main() {
               timer.ElapsedSeconds(), advisor.RcsSize(),
               advisor.config().gin.embedding_dim);
 
+  // --- embed-batch kernels: active dispatch level vs. scalar --------
+  EmbedResult embed =
+      BenchEmbedBatch(advisor, query_graphs, paper ? 2 : 5);
+  std::printf("# embed-batch: %.0f ns/graph at %s vs %.0f ns/graph scalar "
+              "(%.2fx, bit-identical: %s)\n",
+              embed.active_ns_per_graph,
+              util::simd::LevelName(util::simd::ActiveLevel()),
+              embed.scalar_ns_per_graph, embed.simd_speedup,
+              embed.identical ? "yes" : "NO");
+
   // --- indexed vs. linear KNN over the serving query stream ---------
   std::vector<std::vector<double>> query_embeddings;
   for (const auto& g : query_graphs) query_embeddings.push_back(advisor.Embed(g));
   KnnResult knn = BenchKnn(advisor, query_embeddings, knn_repeats);
-  PrintRow({"knn backend", "ns/query", "dist evals", "identical"});
-  PrintRow({"linear", Fmt(knn.linear_ns_per_query, 0),
-            std::to_string(knn.linear_distance_evals), "-"});
-  PrintRow({"vp-tree", Fmt(knn.vptree_ns_per_query, 0),
-            std::to_string(knn.vptree_distance_evals),
+  PrintRow({"knn backend", "ns/query", "dist evals", "lb prunes", "identical"});
+  PrintRow({"linear(sc)", Fmt(knn.linear_scalar.ns_per_query, 0),
+            std::to_string(knn.linear_scalar.distance_evals), "-", "yes"});
+  PrintRow({"linear", Fmt(knn.linear.ns_per_query, 0),
+            std::to_string(knn.linear.distance_evals), "-", "yes"});
+  PrintRow({"vp-tree", Fmt(knn.vptree.ns_per_query, 0),
+            std::to_string(knn.vptree.distance_evals), "-",
             knn.identical ? "yes" : "NO"});
-  std::printf("# vp-tree speedup over linear scan: %.2fx\n", knn.speedup);
+  PrintRow({"quantized", Fmt(knn.quantized.ns_per_query, 0),
+            std::to_string(knn.quantized.distance_evals),
+            std::to_string(knn.quantized.lb_prunes),
+            knn.identical ? "yes" : "NO"});
+  std::printf("# vp-tree %.2fx, quantized %.2fx over linear scan; "
+              "simd %.2fx over scalar linear\n",
+              knn.vptree_speedup, knn.quantized_speedup, knn.simd_speedup);
 
   // --- serve throughput vs. batch size ------------------------------
   std::vector<serve::RecommendRequest> requests;
@@ -288,19 +389,39 @@ int Main() {
 
   // --- BENCH_serve.json ---------------------------------------------
   char buf[1024];
-  std::snprintf(buf, sizeof(buf),
-                "{\"queries\": %zu, \"repeats\": %d, \"k\": %d,\n"
-                "    \"linear_ns_per_query\": %.1f, \"vptree_ns_per_query\": "
-                "%.1f,\n"
-                "    \"linear_distance_evals\": %llu, "
-                "\"vptree_distance_evals\": %llu,\n"
-                "    \"vptree_speedup\": %.3f, \"identical_neighbors\": %s}",
-                knn.queries, knn.repeats, knn.k, knn.linear_ns_per_query,
-                knn.vptree_ns_per_query,
-                static_cast<unsigned long long>(knn.linear_distance_evals),
-                static_cast<unsigned long long>(knn.vptree_distance_evals),
-                knn.speedup, knn.identical ? "true" : "false");
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"queries\": %zu, \"repeats\": %d, \"k\": %d,\n"
+      "    \"linear_scalar_ns_per_query\": %.1f, "
+      "\"linear_ns_per_query\": %.1f,\n"
+      "    \"vptree_ns_per_query\": %.1f, "
+      "\"quantized_ns_per_query\": %.1f,\n"
+      "    \"linear_distance_evals\": %llu, "
+      "\"vptree_distance_evals\": %llu,\n"
+      "    \"quantized_distance_evals\": %llu, "
+      "\"quantized_lb_prunes\": %llu,\n"
+      "    \"vptree_speedup\": %.3f, \"quantized_speedup\": %.3f, "
+      "\"simd_speedup\": %.3f,\n"
+      "    \"identical_neighbors\": %s}",
+      knn.queries, knn.repeats, knn.k, knn.linear_scalar.ns_per_query,
+      knn.linear.ns_per_query, knn.vptree.ns_per_query,
+      knn.quantized.ns_per_query,
+      static_cast<unsigned long long>(knn.linear.distance_evals),
+      static_cast<unsigned long long>(knn.vptree.distance_evals),
+      static_cast<unsigned long long>(knn.quantized.distance_evals),
+      static_cast<unsigned long long>(knn.quantized.lb_prunes),
+      knn.vptree_speedup, knn.quantized_speedup, knn.simd_speedup,
+      knn.identical ? "true" : "false");
   std::string knn_json = buf;
+  std::snprintf(buf, sizeof(buf),
+                "{\"graphs\": %zu, \"repeats\": %d,\n"
+                "    \"scalar_ns_per_graph\": %.1f, "
+                "\"active_ns_per_graph\": %.1f,\n"
+                "    \"simd_speedup\": %.3f, \"identical_embeddings\": %s}",
+                embed.graphs, embed.repeats, embed.scalar_ns_per_graph,
+                embed.active_ns_per_graph, embed.simd_speedup,
+                embed.identical ? "true" : "false");
+  std::string embed_json = buf;
   std::string serve_json = "[\n";
   for (size_t i = 0; i < points.size(); ++i) {
     std::snprintf(buf, sizeof(buf),
@@ -316,6 +437,7 @@ int Main() {
   manifest.AddDouble("wall_seconds", wall.ElapsedSeconds())
       .AddInt("rcs_size", static_cast<int64_t>(advisor.RcsSize()))
       .AddInt("embedding_dim", advisor.config().gin.embedding_dim)
+      .AddRaw("embed_batch", embed_json)
       .AddRaw("knn", knn_json)
       .AddRaw("serve", serve_json)
       .AddDouble("batched_speedup_at_8", speedup_at_8)

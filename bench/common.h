@@ -14,6 +14,7 @@
 #include "obs/manifest.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -29,15 +30,22 @@ inline bool PaperScale() {
 }
 
 /// Run manifest pre-filled with the common bench header (DESIGN.md
-/// §5.9): name, git describe, scale, seed, thread count. Benches append
-/// their own fields, then `.AddMetricsSnapshot()` and `WriteTo(...)` the
-/// BENCH_*.json artifact, so every emission shares one shape.
+/// §5.9): name, git describe, scale, seed, thread count, and the SIMD
+/// dispatch level (build default + the level active right now, so a
+/// committed BENCH_*.json records which kernels produced its numbers).
+/// Benches append their own fields, then `.AddMetricsSnapshot()` and
+/// `WriteTo(...)` the BENCH_*.json artifact, so every emission shares
+/// one shape.
 inline obs::RunManifest BenchManifest(const std::string& name,
                                       uint64_t seed) {
   obs::RunManifest manifest(name);
   manifest.AddString("scale", PaperScale() ? "paper" : "small")
       .AddInt("seed", static_cast<int64_t>(seed))
-      .AddInt("threads", util::GlobalParallelism());
+      .AddInt("threads", util::GlobalParallelism())
+      .AddString("simd_compiled",
+                 util::simd::LevelName(util::simd::CompiledLevel()))
+      .AddString("simd_selected",
+                 util::simd::LevelName(util::simd::ActiveLevel()));
   return manifest;
 }
 

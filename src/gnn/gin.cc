@@ -1,6 +1,7 @@
 #include "gnn/gin.h"
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace autoce::gnn {
 
@@ -37,11 +38,7 @@ nn::Matrix GinEncoder::Forward(const featgraph::FeatureGraph& graph,
     // weights; E(i, j) multiplies neighbor j's features into vertex i).
     nn::Matrix agg = graph.edges.MatMul(h);
     double scale = 1.0 + eps_[l](0, 0);
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t c = 0; c < h.cols(); ++c) {
-        agg(i, c) += scale * h(i, c);
-      }
-    }
+    util::simd::Axpy(scale, h.data(), agg.data(), n * h.cols());
     if (trace != nullptr) trace->aggregated.push_back(agg);
     h = layer_mlps_[l].Forward(agg,
                                trace != nullptr ? &trace->mlp_traces[l]
@@ -82,11 +79,7 @@ std::vector<std::vector<double>> GinEncoder::EmbedBatch(
     for (size_t g = 0; g < graphs.size(); ++g) {
       nn::Matrix hg = h.SubRows(offset[g], offset[g + 1]);
       nn::Matrix agg_g = graphs[g]->edges.MatMul(hg);
-      for (size_t i = 0; i < hg.rows(); ++i) {
-        for (size_t c = 0; c < hg.cols(); ++c) {
-          agg_g(i, c) += scale * hg(i, c);
-        }
-      }
+      util::simd::Axpy(scale, hg.data(), agg_g.data(), hg.size());
       agg.SetRows(offset[g], agg_g);
     }
     // One shared-MLP forward over the whole stack: xW + b and the
@@ -100,7 +93,7 @@ std::vector<std::vector<double>> GinEncoder::EmbedBatch(
   for (size_t g = 0; g < graphs.size(); ++g) {
     std::vector<double> pooled(h.cols(), 0.0);
     for (size_t i = offset[g]; i < offset[g + 1]; ++i) {
-      for (size_t c = 0; c < h.cols(); ++c) pooled[c] += h(i, c);
+      util::simd::AddInPlace(pooled.data(), h.data() + i * h.cols(), h.cols());
     }
     out[g] = std::move(pooled);
   }
@@ -122,17 +115,12 @@ void GinEncoder::Backward(const featgraph::FeatureGraph& graph,
     nn::Matrix g_agg = layer_mlps_[l].Backward(trace.mlp_traces[l], g);
     const nn::Matrix& h_in = trace.layer_inputs[l];
     // d(agg)/d(eps) = h_in  ->  eps_grad += sum_ij g_agg .* h_in.
-    double deps = 0.0;
-    for (size_t i = 0; i < g_agg.size(); ++i) {
-      deps += g_agg.data()[i] * h_in.data()[i];
-    }
-    eps_grad_[l](0, 0) += deps;
+    eps_grad_[l](0, 0) +=
+        util::simd::Dot(g_agg.data(), h_in.data(), g_agg.size());
     // d(agg)/d(h) = (1 + eps) I + E^T.
     double scale = 1.0 + eps_[l](0, 0);
     nn::Matrix g_h = graph.edges.TransposeMatMul(g_agg);
-    for (size_t i = 0; i < g_h.size(); ++i) {
-      g_h.data()[i] += scale * g_agg.data()[i];
-    }
+    util::simd::Axpy(scale, g_agg.data(), g_h.data(), g_h.size());
     g = std::move(g_h);
   }
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/simd.h"
+
 namespace autoce::nn {
 
 Matrix ApplyActivation(Activation act, const Matrix& pre) {
@@ -10,9 +12,7 @@ Matrix ApplyActivation(Activation act, const Matrix& pre) {
     case Activation::kIdentity:
       break;
     case Activation::kRelu:
-      for (size_t i = 0; i < out.size(); ++i) {
-        if (out.data()[i] < 0.0) out.data()[i] = 0.0;
-      }
+      util::simd::ReluInPlace(out.data(), out.size());
       break;
     case Activation::kSigmoid:
       for (size_t i = 0; i < out.size(); ++i) {
@@ -35,9 +35,7 @@ void ActivationBackwardInPlace(Activation act, const Matrix& pre,
     case Activation::kIdentity:
       break;
     case Activation::kRelu:
-      for (size_t i = 0; i < grad->size(); ++i) {
-        if (pre.data()[i] <= 0.0) grad->data()[i] = 0.0;
-      }
+      util::simd::ReluBackward(pre.data(), grad->data(), grad->size());
       break;
     case Activation::kSigmoid:
       for (size_t i = 0; i < grad->size(); ++i) {

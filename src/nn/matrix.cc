@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/simd.h"
+
 namespace autoce::nn {
+
+namespace simd = ::autoce::util::simd;
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return Matrix();
@@ -49,146 +53,32 @@ void Matrix::SetRows(size_t begin, const Matrix& block) {
             data_.begin() + static_cast<ptrdiff_t>(begin * cols_));
 }
 
-namespace {
-
-// Register-tile shape shared by the three dense kernels. Each output
-// tile is accumulated in a stack array across the *entire* k extent and
-// stored once, so every output element is still the plain ascending-k
-// sum the naive loops computed — tiling changes memory traffic, never
-// floating-point associativity. The dense activations these kernels see
-// (post-ReLU batches, GIN aggregations) made the old `aik == 0.0` skip a
-// mispredicted branch per inner step; it is deliberately gone.
-//
-// Full tiles take a path whose loop bounds are compile-time constants:
-// without that, the variable trip counts keep the accumulators in
-// memory instead of registers and the kernel loses to the naive loop.
-// 4x4 (16 accumulators) measures fastest across both the large shapes
-// in bench_parallel_scaling and the small GIN/MLP shapes that dominate
-// training; larger tiles win a little on big matrices but spill on the
-// baseline-SSE2 register budget and lose on narrow ones.
-constexpr size_t kTileRows = 4;
-constexpr size_t kTileCols = 4;
-
-}  // namespace
+// The three dense products dispatch to util::simd (scalar / AVX2 / NEON
+// behind one fixed reduction order — see simd.h). Each output element
+// is one ascending-k fma chain; register tiling lives inside the kernel
+// and changes memory traffic, never floating-point associativity.
 
 Matrix Matrix::MatMul(const Matrix& other) const {
   AUTOCE_CHECK(cols_ == other.rows_);
-  const size_t m = rows_, kk = cols_, n = other.cols_;
-  Matrix out(m, n);
-  const double* a = data_.data();
-  const double* b = other.data();
-  // Loop order: column panel of B (stays L1/L2-resident across row
-  // tiles), then row tile of A, then the full k extent per tile.
-  for (size_t j0 = 0; j0 < n; j0 += kTileCols) {
-    const size_t nr = std::min(kTileCols, n - j0);
-    for (size_t i0 = 0; i0 < m; i0 += kTileRows) {
-      const size_t mr = std::min(kTileRows, m - i0);
-      double acc[kTileRows][kTileCols] = {};
-      if (mr == kTileRows && nr == kTileCols) {
-        for (size_t k = 0; k < kk; ++k) {
-          const double* brow = b + k * n + j0;
-          for (size_t r = 0; r < kTileRows; ++r) {
-            const double ark = a[(i0 + r) * kk + k];
-            for (size_t c = 0; c < kTileCols; ++c) acc[r][c] += ark * brow[c];
-          }
-        }
-      } else {
-        for (size_t k = 0; k < kk; ++k) {
-          const double* brow = b + k * n + j0;
-          for (size_t r = 0; r < mr; ++r) {
-            const double ark = a[(i0 + r) * kk + k];
-            for (size_t c = 0; c < nr; ++c) acc[r][c] += ark * brow[c];
-          }
-        }
-      }
-      for (size_t r = 0; r < mr; ++r) {
-        double* orow = out.data() + (i0 + r) * n + j0;
-        for (size_t c = 0; c < nr; ++c) orow[c] = acc[r][c];
-      }
-    }
-  }
+  Matrix out(rows_, other.cols_);
+  simd::MatMul(data_.data(), other.data(), out.data(), rows_, cols_,
+               other.cols_);
   return out;
 }
 
 Matrix Matrix::TransposeMatMul(const Matrix& other) const {
   AUTOCE_CHECK(rows_ == other.rows_);
-  const size_t kk = rows_, m = cols_, n = other.cols_;
-  Matrix out(m, n);
-  const double* a = data_.data();
-  const double* b = other.data();
-  // C = A^T B as a k-ordered sum of outer products; both operands are
-  // read along contiguous rows at every k step.
-  for (size_t j0 = 0; j0 < n; j0 += kTileCols) {
-    const size_t nr = std::min(kTileCols, n - j0);
-    for (size_t i0 = 0; i0 < m; i0 += kTileRows) {
-      const size_t mr = std::min(kTileRows, m - i0);
-      double acc[kTileRows][kTileCols] = {};
-      if (mr == kTileRows && nr == kTileCols) {
-        for (size_t k = 0; k < kk; ++k) {
-          const double* arow = a + k * m + i0;
-          const double* brow = b + k * n + j0;
-          for (size_t r = 0; r < kTileRows; ++r) {
-            const double aki = arow[r];
-            for (size_t c = 0; c < kTileCols; ++c) acc[r][c] += aki * brow[c];
-          }
-        }
-      } else {
-        for (size_t k = 0; k < kk; ++k) {
-          const double* arow = a + k * m + i0;
-          const double* brow = b + k * n + j0;
-          for (size_t r = 0; r < mr; ++r) {
-            const double aki = arow[r];
-            for (size_t c = 0; c < nr; ++c) acc[r][c] += aki * brow[c];
-          }
-        }
-      }
-      for (size_t r = 0; r < mr; ++r) {
-        double* orow = out.data() + (i0 + r) * n + j0;
-        for (size_t c = 0; c < nr; ++c) orow[c] = acc[r][c];
-      }
-    }
-  }
+  Matrix out(cols_, other.cols_);
+  simd::MatMulTN(data_.data(), other.data(), out.data(), rows_, cols_,
+                 other.cols_);
   return out;
 }
 
 Matrix Matrix::MatMulTranspose(const Matrix& other) const {
   AUTOCE_CHECK(cols_ == other.cols_);
-  const size_t m = rows_, kk = cols_, n = other.rows_;
-  Matrix out(m, n);
-  const double* a = data_.data();
-  const double* b = other.data();
-  // C = A B^T: a tile of dot products; the k loop streams mr + nr
-  // contiguous rows while mr * nr accumulators sit in registers.
-  for (size_t j0 = 0; j0 < n; j0 += kTileCols) {
-    const size_t nr = std::min(kTileCols, n - j0);
-    for (size_t i0 = 0; i0 < m; i0 += kTileRows) {
-      const size_t mr = std::min(kTileRows, m - i0);
-      double acc[kTileRows][kTileCols] = {};
-      if (mr == kTileRows && nr == kTileCols) {
-        for (size_t k = 0; k < kk; ++k) {
-          for (size_t r = 0; r < kTileRows; ++r) {
-            const double ark = a[(i0 + r) * kk + k];
-            for (size_t c = 0; c < kTileCols; ++c) {
-              acc[r][c] += ark * b[(j0 + c) * kk + k];
-            }
-          }
-        }
-      } else {
-        for (size_t k = 0; k < kk; ++k) {
-          for (size_t r = 0; r < mr; ++r) {
-            const double ark = a[(i0 + r) * kk + k];
-            for (size_t c = 0; c < nr; ++c) {
-              acc[r][c] += ark * b[(j0 + c) * kk + k];
-            }
-          }
-        }
-      }
-      for (size_t r = 0; r < mr; ++r) {
-        double* orow = out.data() + (i0 + r) * n + j0;
-        for (size_t c = 0; c < nr; ++c) orow[c] = acc[r][c];
-      }
-    }
-  }
+  Matrix out(rows_, other.rows_);
+  simd::MatMulNT(data_.data(), other.data(), out.data(), rows_, cols_,
+                 other.rows_);
   return out;
 }
 
@@ -202,41 +92,40 @@ Matrix Matrix::Transposed() const {
 
 Matrix& Matrix::AddInPlace(const Matrix& other) {
   AUTOCE_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  simd::AddInPlace(data_.data(), other.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::SubInPlace(const Matrix& other) {
   AUTOCE_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  simd::SubInPlace(data_.data(), other.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::MulInPlace(const Matrix& other) {
   AUTOCE_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  simd::MulInPlace(data_.data(), other.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::ScaleInPlace(double s) {
-  for (double& v : data_) v *= s;
+  simd::ScaleInPlace(data_.data(), s, data_.size());
   return *this;
 }
 
 Matrix& Matrix::AddRowBroadcast(const Matrix& row) {
   AUTOCE_CHECK(row.rows() == 1 && row.cols() == cols_);
   for (size_t r = 0; r < rows_; ++r) {
-    double* d = data_.data() + r * cols_;
-    for (size_t c = 0; c < cols_; ++c) d[c] += row(0, c);
+    simd::AddInPlace(data_.data() + r * cols_, row.data(), cols_);
   }
   return *this;
 }
 
 Matrix Matrix::ColSum() const {
   Matrix out(1, cols_);
+  // Rows accumulate in ascending order: one plain-add chain per column.
   for (size_t r = 0; r < rows_; ++r) {
-    const double* d = data_.data() + r * cols_;
-    for (size_t c = 0; c < cols_; ++c) out(0, c) += d[c];
+    simd::AddInPlace(out.data(), data_.data() + r * cols_, cols_);
   }
   return out;
 }
@@ -246,25 +135,16 @@ void Matrix::Zero() {
 }
 
 double Matrix::Norm() const {
-  double s = 0.0;
-  for (double v : data_) s += v * v;
-  return std::sqrt(s);
+  return std::sqrt(simd::ReduceSqSum(data_.data(), data_.size()));
 }
 
 double Matrix::Sum() const {
-  double s = 0.0;
-  for (double v : data_) s += v;
-  return s;
+  return simd::ReduceSum(data_.data(), data_.size());
 }
 
 double SquaredL2(std::span<const double> a, std::span<const double> b) {
   AUTOCE_CHECK(a.size() == b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return simd::SquaredL2(a.data(), b.data(), a.size());
 }
 
 double EuclideanDistance(std::span<const double> a,
@@ -275,11 +155,7 @@ double EuclideanDistance(std::span<const double> a,
 double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
   AUTOCE_CHECK(a.size() == b.size());
   double dot = 0.0, na = 0.0, nb = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += a[i] * b[i];
-    na += a[i] * a[i];
-    nb += b[i] * b[i];
-  }
+  simd::DotNorms(a.data(), b.data(), a.size(), &dot, &na, &nb);
   if (na < 1e-24 || nb < 1e-24) return 0.0;
   return dot / std::sqrt(na * nb);
 }

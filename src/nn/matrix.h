@@ -75,9 +75,11 @@ class Matrix {
   /// (block.cols() must equal cols()).
   void SetRows(size_t begin, const Matrix& block);
 
-  /// this * other  (rows x other.cols). Cache-tiled dense kernel; the
-  /// per-element accumulation order is the plain ascending-k order, so
-  /// results are bit-identical to the naive triple loop.
+  /// this * other  (rows x other.cols). Dispatches to util::simd; the
+  /// per-element accumulation order is one ascending-k fma chain per
+  /// output element, so results are bit-identical to the naive triple
+  /// loop written with std::fma — at every dispatch level (scalar,
+  /// AVX2, NEON alike; see util/simd.h).
   Matrix MatMul(const Matrix& other) const;
 
   /// this^T * other.

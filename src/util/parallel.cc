@@ -109,7 +109,17 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     }
   };
 
-  const size_t helpers = std::min(workers_.size(), chunks - 1);
+  // Claimants (caller + helpers) are capped at the hardware core count:
+  // enqueueing more runnable heavy chunks than cores oversubscribes the
+  // machine, and the labeling sweep *anti-scales* (ROADMAP item 2
+  // measured 13.9 -> 21.0 s from 1 -> 8 threads). Chunk decomposition
+  // depends only on (range, grain) and outputs land in per-index slots,
+  // so capping who claims cannot change any result bit. At least one
+  // helper always runs so cross-thread execution stays exercised (TSan).
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t hw_helpers = hw > 1 ? static_cast<size_t>(hw) - 1 : 1;
+  const size_t helpers =
+      std::min(std::min(workers_.size(), chunks - 1), hw_helpers);
   std::mutex done_mu;
   std::condition_variable done_cv;
   size_t active = helpers;

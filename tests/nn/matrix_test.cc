@@ -152,8 +152,12 @@ TEST(MatrixTest, TiledMatMulMatchesReferenceOnOddShapes) {
     ASSERT_EQ(c.cols(), n);
     for (size_t i = 0; i < m; ++i) {
       for (size_t j = 0; j < n; ++j) {
+        // The documented reference order: one ascending-k fma chain per
+        // output element (util/simd.h).
         double ref = 0.0;
-        for (size_t kk = 0; kk < k; ++kk) ref += a(i, kk) * b(kk, j);
+        for (size_t kk = 0; kk < k; ++kk) {
+          ref = std::fma(a(i, kk), b(kk, j), ref);
+        }
         EXPECT_DOUBLE_EQ(c(i, j), ref) << i << "," << j;
       }
     }

@@ -1,0 +1,402 @@
+// Bit-identity sweep for the util::simd dispatch layer (DESIGN.md
+// §5.10): scalar and the best-available vector level must produce
+// byte-identical matrix products, embeddings, and KNN neighbor lists at
+// every thread count, and the int8-quantized KNN tier must return
+// exactly the linear scan's neighbors on adversarial inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "data/generator.h"
+#include "gnn/gin.h"
+#include "knn/index.h"
+#include "nn/matrix.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace autoce {
+namespace {
+
+namespace simd = util::simd;
+
+/// FNV-1a over the raw bits of a double sequence — any reordering or
+/// rounding difference changes the digest.
+uint64_t Digest(std::span<const double> values) {
+  uint64_t h = 1469598103934665603ULL;
+  for (double v : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int b = 0; b < 64; b += 8) {
+      h ^= (bits >> b) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+/// The dispatch levels to sweep: always scalar, plus the best available
+/// level when it differs (on AVX2 hardware this pins scalar == avx2).
+std::vector<simd::Level> SweepLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  for (simd::Level l : {simd::Level::kAvx2, simd::Level::kNeon}) {
+    if (simd::LevelAvailable(l)) {
+      levels.push_back(l);
+      break;
+    }
+  }
+  return levels;
+}
+
+/// Runs `fn` at dispatch level `level`, restoring the previous level.
+template <typename Fn>
+void AtLevel(simd::Level level, Fn&& fn) {
+  simd::Level prev = simd::ActiveLevel();
+  ASSERT_TRUE(simd::SetActiveLevel(level));
+  fn();
+  ASSERT_TRUE(simd::SetActiveLevel(prev));
+}
+
+featgraph::FeatureGraph MakeGraph(uint64_t seed, int tables) {
+  Rng rng(seed);
+  data::DatasetGenParams p;
+  p.min_tables = p.max_tables = tables;
+  p.min_rows = 200;
+  p.max_rows = 300;
+  data::Dataset ds = data::GenerateDataset(p, &rng);
+  featgraph::FeatureExtractor fx;
+  return fx.Extract(ds);
+}
+
+std::vector<std::vector<double>> RandomPoints(size_t n, size_t dim,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> pts(n, std::vector<double>(dim));
+  for (auto& p : pts) {
+    for (double& v : p) v = rng.Gaussian();
+  }
+  return pts;
+}
+
+void ExpectSameNeighborBits(const std::vector<knn::Neighbor>& a,
+                            const std::vector<knn::Neighbor>& b,
+                            const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index) << what << " rank " << i;
+    uint64_t bits_a, bits_b;
+    std::memcpy(&bits_a, &a[i].distance, sizeof(bits_a));
+    std::memcpy(&bits_b, &b[i].distance, sizeof(bits_b));
+    EXPECT_EQ(bits_a, bits_b) << what << " rank " << i;
+  }
+}
+
+/// Thread sweep: the kernels must be invariant to both the dispatch
+/// level and the global parallelism (1 / 2 / 8).
+class SimdDispatchSweep : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    prev_threads_ = util::GlobalParallelism();
+    util::SetGlobalParallelism(GetParam());
+  }
+  void TearDown() override { util::SetGlobalParallelism(prev_threads_); }
+
+ private:
+  int prev_threads_ = 1;
+};
+
+TEST_P(SimdDispatchSweep, MatrixProductsByteIdenticalAcrossLevels) {
+  Rng rng(101);
+  for (auto [m, k, n] : {std::tuple<size_t, size_t, size_t>{1, 1, 1},
+                         {3, 5, 7},
+                         {4, 8, 8},
+                         {8, 16, 8},
+                         {5, 9, 17},
+                         {13, 2, 31}}) {
+    nn::Matrix a(m, k), b(k, n), at(k, m), bt(n, k);
+    for (size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.Gaussian();
+    for (size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.Gaussian();
+    for (size_t i = 0; i < at.size(); ++i) at.data()[i] = rng.Gaussian();
+    for (size_t i = 0; i < bt.size(); ++i) bt.data()[i] = rng.Gaussian();
+
+    std::vector<uint64_t> digests;
+    for (simd::Level level : SweepLevels()) {
+      AtLevel(level, [&] {
+        nn::Matrix ab = a.MatMul(b);
+        nn::Matrix tn = at.TransposeMatMul(b);
+        nn::Matrix nt = a.MatMulTranspose(bt);
+        uint64_t d = Digest({ab.data(), ab.size()}) ^
+                     (Digest({tn.data(), tn.size()}) * 3) ^
+                     (Digest({nt.data(), nt.size()}) * 7);
+        digests.push_back(d);
+      });
+    }
+    for (size_t i = 1; i < digests.size(); ++i) {
+      EXPECT_EQ(digests[0], digests[i])
+          << m << "x" << k << "x" << n << " level "
+          << simd::LevelName(SweepLevels()[i]);
+    }
+  }
+}
+
+TEST_P(SimdDispatchSweep, EmbedBatchDigestInvariant) {
+  featgraph::FeatureExtractor fx;
+  Rng rng(7);
+  gnn::GinConfig cfg;
+  cfg.embedding_dim = 16;
+  gnn::GinEncoder enc(fx.vertex_dim(), cfg, &rng);
+  std::vector<featgraph::FeatureGraph> graphs;
+  for (uint64_t s = 1; s <= 4; ++s) graphs.push_back(MakeGraph(s, 2 + s % 3));
+  std::vector<const featgraph::FeatureGraph*> ptrs;
+  for (const auto& g : graphs) ptrs.push_back(&g);
+
+  std::vector<uint64_t> digests;
+  for (simd::Level level : SweepLevels()) {
+    AtLevel(level, [&] {
+      auto embs = enc.EmbedBatch(ptrs);
+      uint64_t d = 0;
+      for (const auto& e : embs) d ^= Digest(e) * 0x9E3779B97F4A7C15ULL;
+      digests.push_back(d);
+    });
+  }
+  for (size_t i = 1; i < digests.size(); ++i) {
+    EXPECT_EQ(digests[0], digests[i])
+        << "level " << simd::LevelName(SweepLevels()[i]);
+  }
+  // Thread invariance: the digest at this thread count equals the
+  // digest at 1 thread.
+  util::SetGlobalParallelism(1);
+  auto embs = enc.EmbedBatch(ptrs);
+  uint64_t single = 0;
+  for (const auto& e : embs) single ^= Digest(e) * 0x9E3779B97F4A7C15ULL;
+  util::SetGlobalParallelism(GetParam());
+  EXPECT_EQ(digests[0], single);
+}
+
+TEST_P(SimdDispatchSweep, KnnNeighborListsInvariant) {
+  auto points = RandomPoints(160, 24, 55);
+  // Adversarial members: exact duplicates (tie-break), a zero vector,
+  // denormal coordinates.
+  points[40] = points[7];
+  points[41] = points[7];
+  points[42].assign(24, 0.0);
+  points[43].assign(24, 4.9e-324);
+  std::vector<std::vector<double>> queries = RandomPoints(12, 24, 56);
+  queries.push_back(points[7]);   // exact hit with duplicates
+  queries.push_back(points[42]);  // zero query
+
+  std::vector<knn::Index> indexes;
+  for (knn::Backend backend : {knn::Backend::kLinear, knn::Backend::kVpTree,
+                               knn::Backend::kQuantized}) {
+    knn::IndexConfig cfg;
+    cfg.backend = backend;
+    indexes.push_back(knn::Index::Build(points, {}, cfg));
+  }
+  for (const auto& q : queries) {
+    for (size_t k : {size_t{1}, size_t{5}, size_t{16}}) {
+      std::vector<std::vector<knn::Neighbor>> results;
+      for (const auto& index : indexes) {
+        for (simd::Level level : SweepLevels()) {
+          AtLevel(level, [&] { results.push_back(index.Query(q, k)); });
+        }
+      }
+      for (size_t i = 1; i < results.size(); ++i) {
+        ExpectSameNeighborBits(results[0], results[i],
+                               "backend/level sweep");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SimdDispatchSweep,
+                         ::testing::Values(1, 2, 8));
+
+TEST(SimdDispatchTest, ScalarReferenceOrderPinned) {
+  // The documented reduction order, written longhand: element i joins
+  // lane (i mod 4) via fma, lanes combine as (l0 + l2) + (l1 + l3).
+  Rng rng(3);
+  for (size_t n : {size_t{1}, size_t{4}, size_t{7}, size_t{64}, size_t{97}}) {
+    std::vector<double> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.Gaussian();
+      b[i] = rng.Gaussian();
+    }
+    double lane[4] = {0, 0, 0, 0};
+    for (size_t i = 0; i < n; ++i) {
+      lane[i % 4] = std::fma(a[i], b[i], lane[i % 4]);
+    }
+    double expected = (lane[0] + lane[2]) + (lane[1] + lane[3]);
+    for (simd::Level level : SweepLevels()) {
+      AtLevel(level, [&] {
+        double got = simd::Dot(a.data(), b.data(), n);
+        uint64_t bits_got, bits_want;
+        std::memcpy(&bits_got, &got, sizeof(bits_got));
+        std::memcpy(&bits_want, &expected, sizeof(bits_want));
+        EXPECT_EQ(bits_got, bits_want)
+            << "n=" << n << " level=" << simd::LevelName(level);
+      });
+    }
+  }
+}
+
+TEST(SimdDispatchTest, DispatchPlumbing) {
+  EXPECT_STREQ(simd::LevelName(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::LevelName(simd::Level::kAvx2), "avx2");
+  EXPECT_STREQ(simd::LevelName(simd::Level::kNeon), "neon");
+  simd::Level parsed;
+  EXPECT_TRUE(simd::ParseLevel("avx2", &parsed));
+  EXPECT_EQ(parsed, simd::Level::kAvx2);
+  EXPECT_FALSE(simd::ParseLevel("sse9", &parsed));
+  EXPECT_TRUE(simd::LevelAvailable(simd::Level::kScalar));
+  // Scalar can always be selected and restored.
+  simd::Level prev = simd::ActiveLevel();
+  EXPECT_TRUE(simd::SetActiveLevel(simd::Level::kScalar));
+  EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  EXPECT_TRUE(simd::SetActiveLevel(prev));
+  // An unavailable level is rejected and changes nothing.
+  for (simd::Level l : {simd::Level::kAvx2, simd::Level::kNeon}) {
+    if (!simd::LevelAvailable(l)) {
+      EXPECT_FALSE(simd::SetActiveLevel(l));
+      EXPECT_EQ(simd::ActiveLevel(), prev);
+    }
+  }
+}
+
+TEST(QuantizedKnnTest, ExactnessOnAdversarialInputs) {
+  // Ties, zero vectors, denormals, a constant dimension (step == 0),
+  // and widely separated clusters.
+  std::vector<std::vector<double>> points;
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> p(8);
+    for (double& v : p) v = rng.Gaussian();
+    p[3] = 2.5;  // constant dim: degenerate quantization step
+    points.push_back(p);
+  }
+  points.push_back(points[10]);            // duplicate of 10
+  points.push_back(points[10]);            // another duplicate
+  points.push_back(std::vector<double>(8, 0.0));
+  points.push_back(std::vector<double>(8, 4.9e-324));  // denormals
+  points.push_back(std::vector<double>(8, 1e6));       // far cluster
+  for (auto& p : points) p[3] = 2.5;
+
+  knn::IndexConfig lin_cfg, q_cfg;
+  lin_cfg.backend = knn::Backend::kLinear;
+  q_cfg.backend = knn::Backend::kQuantized;
+  knn::Index linear = knn::Index::Build(points, {}, lin_cfg);
+  knn::Index quant = knn::Index::Build(points, {}, q_cfg);
+
+  std::vector<std::vector<double>> queries = RandomPoints(10, 8, 17);
+  queries.push_back(points[10]);                  // lands on the ties
+  queries.push_back(std::vector<double>(8, 0.0));
+  queries.push_back(std::vector<double>(8, 2e6));  // outside code range
+  for (auto& q : queries) q[3] = rng.Gaussian();   // off-lattice dim 3
+
+  for (const auto& q : queries) {
+    for (size_t k : {size_t{1}, size_t{3}, size_t{10}, size_t{200}}) {
+      knn::QueryStats qs;
+      auto expect = linear.Query(q, k);
+      auto got = quant.Query(q, k, SIZE_MAX, nullptr, &qs);
+      ExpectSameNeighborBits(expect, got, "quantized vs linear");
+      // Leave-one-out and filtered retrieval take the same tier.
+      std::vector<char> allowed(points.size(), 1);
+      allowed[10] = 0;
+      ExpectSameNeighborBits(linear.Query(q, k, 11, &allowed),
+                             quant.Query(q, k, 11, &allowed),
+                             "quantized vs linear filtered");
+    }
+  }
+}
+
+TEST(QuantizedKnnTest, LowerBoundPrunesFarCluster) {
+  // Two well-separated clusters: the bound must rule out the far one
+  // without exact evaluations.
+  std::vector<std::vector<double>> points;
+  Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    std::vector<double> p(16);
+    for (double& v : p) v = rng.Gaussian();
+    if (i >= 32) {
+      for (double& v : p) v += 1000.0;
+    }
+    points.push_back(p);
+  }
+  knn::IndexConfig cfg;
+  cfg.backend = knn::Backend::kQuantized;
+  knn::Index index = knn::Index::Build(points, {}, cfg);
+  knn::QueryStats stats;
+  auto got = index.Query(points[3], 5, SIZE_MAX, nullptr, &stats);
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got[0].index, 3u);
+  EXPECT_GT(stats.lb_prunes, 0u);
+  EXPECT_LT(stats.distance_evals, points.size());
+}
+
+TEST(QuantizedKnnTest, SerializeRoundTripPreservesQueryBits) {
+  auto points = RandomPoints(80, 12, 23);
+  std::vector<char> usable(points.size(), 1);
+  usable[5] = 0;
+  for (knn::Backend backend : {knn::Backend::kQuantized,
+                               knn::Backend::kVpTree,
+                               knn::Backend::kLinear}) {
+    knn::IndexConfig cfg;
+    cfg.backend = backend;
+    knn::Index index = knn::Index::Build(points, usable, cfg);
+    BinaryWriter writer;
+    index.Serialize(&writer);
+    ASSERT_TRUE(writer.status().ok());
+    BinaryReader reader(writer.buffer().data(), writer.buffer().size());
+    Result<knn::Index> loaded = knn::Index::Deserialize(&reader);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->size(), index.size());
+    EXPECT_EQ(loaded->usable_size(), index.usable_size());
+    auto queries = RandomPoints(6, 12, 29);
+    for (const auto& q : queries) {
+      ExpectSameNeighborBits(index.Query(q, 7), loaded->Query(q, 7),
+                             "serde roundtrip");
+      ExpectSameNeighborBits(index.Query(q, 7, 3), loaded->Query(q, 7, 3),
+                             "serde roundtrip with exclude");
+    }
+  }
+}
+
+TEST(QuantizedKnnTest, DeserializeRejectsGarbage) {
+  BinaryReader reader("not an index", 12);
+  Result<knn::Index> loaded = knn::Index::Deserialize(&reader);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(KnnFastPathTest, K1MatchesGeneralPathAndTieBreak) {
+  auto points = RandomPoints(60, 10, 77);
+  points[20] = points[4];  // duplicate: k=1 must return the smaller index
+  knn::IndexConfig cfg;
+  cfg.backend = knn::Backend::kLinear;
+  knn::Index index = knn::Index::Build(points, {}, cfg);
+
+  auto tied = index.Query(points[4], 1);
+  ASSERT_EQ(tied.size(), 1u);
+  EXPECT_EQ(tied[0].index, 4u);
+  EXPECT_EQ(tied[0].distance, 0.0);
+
+  // The fast path (k=1, no filters) must agree bit-for-bit with the
+  // general path, which an `allowed` filter of all-ones forces.
+  std::vector<char> all(points.size(), 1);
+  auto queries = RandomPoints(8, 10, 78);
+  queries.push_back(points[4]);
+  for (const auto& q : queries) {
+    ExpectSameNeighborBits(index.Query(q, 1),
+                           index.Query(q, 1, SIZE_MAX, &all),
+                           "k=1 fast path vs general");
+    // Leave-one-out on a duplicate falls to the twin.
+    auto loo = index.Query(points[4], 1, 4);
+    ASSERT_EQ(loo.size(), 1u);
+    EXPECT_EQ(loo[0].index, 20u);
+  }
+}
+
+}  // namespace
+}  // namespace autoce

@@ -57,6 +57,7 @@
 #include "util/fault.h"
 #include "util/parallel.h"
 #include "util/serde.h"
+#include "util/simd.h"
 #include "util/snapshot.h"
 #include "util/timer.h"
 
@@ -523,10 +524,20 @@ int CmdInspect(const Args& args) {
   return 0;
 }
 
+int CmdVersion(const Args&) {
+  std::printf("autoce (C++20 reproduction of AutoCE, ICDE 2023)\n");
+  std::printf("  simd compiled  : %s\n",
+              util::simd::LevelName(util::simd::CompiledLevel()));
+  std::printf("  simd selected  : %s\n",
+              util::simd::LevelName(util::simd::ActiveLevel()));
+  std::printf("  threads        : %d\n", util::GlobalParallelism());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: autoce <generate|train|recommend|serve|inspect|"
-               "metrics|faults> [flags]\n"
+               "metrics|faults|version> [flags]\n"
                "see the header of tools/autoce_cli.cc for details\n");
   return 2;
 }
@@ -544,6 +555,7 @@ int Main(int argc, char** argv) {
   else if (cmd == "inspect") rc = CmdInspect(args);
   else if (cmd == "metrics") rc = CmdMetrics(args);
   else if (cmd == "faults") rc = CmdFaults(args);
+  else if (cmd == "version") rc = CmdVersion(args);
   else return Usage();
   // AUTOCE_RUN_MANIFEST records what this invocation ran (and, when
   // metrics are live, every final counter/quantile) to RUN_<cmd>.json.
@@ -553,6 +565,10 @@ int Main(int argc, char** argv) {
     manifest.AddInt("exit_code", rc)
         .AddInt("seed", args.GetInt("seed", 42))
         .AddInt("threads", util::GlobalParallelism())
+        .AddString("simd_compiled",
+                   util::simd::LevelName(util::simd::CompiledLevel()))
+        .AddString("simd_selected",
+                   util::simd::LevelName(util::simd::ActiveLevel()))
         .AddDouble("wall_seconds", wall.ElapsedSeconds());
     std::string flags;
     for (const auto& [k, v] : args.flags) {
