@@ -1,0 +1,98 @@
+#ifndef AUTOCE_ADAPT_FEEDBACK_QUEUE_H_
+#define AUTOCE_ADAPT_FEEDBACK_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "data/dataset.h"
+#include "featgraph/featgraph.h"
+
+namespace autoce::adapt {
+
+/// FNV-1a fingerprint of a feature graph's content (name, shape,
+/// vertex/edge bytes). The adaptation loop keys everything on it:
+/// queue dedup, fault/kill decisions, per-item labeler seeds, and the
+/// replay dedup against the trainer's RCS — so every per-item decision
+/// is a pure function of the item, never of arrival position.
+uint64_t GraphFingerprint(const featgraph::FeatureGraph& graph);
+
+/// One out-of-distribution dataset waiting to be labeled and trained
+/// into the RCS. The dataset rides along because the testbed labels
+/// datasets, not feature graphs.
+struct OodCandidate {
+  data::Dataset dataset;
+  featgraph::FeatureGraph graph;
+  /// Embedding distance to the nearest RCS member at detection time —
+  /// the admission priority (most-OOD feedback is the most valuable).
+  double distance = 0.0;
+  uint64_t sequence = 0;     ///< assigned by the queue: arrival order
+  uint64_t fingerprint = 0;  ///< assigned by the queue: GraphFingerprint
+};
+
+/// Outcome of one Offer.
+enum class Admission {
+  kAdmitted,         ///< queued
+  kAdmittedEvicting, ///< queued by evicting a lower-priority pending item
+  kDuplicate,        ///< an item with the same fingerprint is pending
+  kRejectedFull,     ///< queue full of higher-priority items; dropped
+  kRejectedFault,    ///< injected `adapt.enqueue` fault; dropped
+};
+
+/// Backpressure counters since construction.
+struct FeedbackQueueStats {
+  uint64_t offered = 0;
+  uint64_t admitted = 0;   ///< includes admissions that evicted
+  uint64_t deduped = 0;
+  uint64_t evicted = 0;    ///< pending items displaced by higher priority
+  uint64_t rejected_full = 0;
+  uint64_t rejected_fault = 0;
+  uint64_t drained = 0;
+};
+
+/// \brief Bounded, lossy-by-policy feedback queue (DESIGN.md §5.11).
+///
+/// Admission and eviction are deterministic in the offered stream: a
+/// full queue admits a new candidate only by evicting the pending item
+/// with the strictly lowest priority, where priority orders by
+/// (distance, then older sequence wins ties) — so the queue always
+/// holds the most out-of-distribution feedback seen so far, and the
+/// same offered stream always yields the same drained stream. Offers
+/// never block and never fail the caller: overload and injected
+/// `adapt.enqueue` faults drop the candidate and count it.
+///
+/// Thread-safe; the serve path offers while the background worker
+/// drains.
+class FeedbackQueue {
+ public:
+  explicit FeedbackQueue(std::size_t capacity);
+
+  /// Offers a candidate; see Admission. `distance` is the caller's
+  /// drift distance (priority).
+  Admission Offer(data::Dataset dataset, featgraph::FeatureGraph graph,
+                  double distance);
+
+  /// Removes and returns up to `max_items` pending candidates in
+  /// arrival (sequence) order.
+  std::vector<OodCandidate> DrainBatch(std::size_t max_items);
+
+  /// Pending candidates.
+  std::size_t depth() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+  FeedbackQueueStats stats() const;
+
+ private:
+  const std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::deque<OodCandidate> items_;  // ascending sequence; guarded by mu_
+  uint64_t next_sequence_ = 0;      // guarded by mu_
+  FeedbackQueueStats stats_;        // guarded by mu_
+};
+
+}  // namespace autoce::adapt
+
+#endif  // AUTOCE_ADAPT_FEEDBACK_QUEUE_H_

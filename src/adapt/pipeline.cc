@@ -1,0 +1,488 @@
+#include "adapt/pipeline.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "advisor/label.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/snapshot.h"
+#include "util/timer.h"
+
+namespace autoce::adapt {
+
+namespace {
+
+/// Pipeline instruments (DESIGN.md §5.9): counters mirror
+/// AdaptationStats; `batch_ms` records each non-empty cycle.
+struct AdaptMetrics {
+  obs::Counter* batches;
+  obs::Counter* applied;
+  obs::Counter* deduped;
+  obs::Counter* quarantined;
+  obs::Counter* labels_sentinel;
+  obs::Counter* label_retries;
+  obs::Counter* train_retries;
+  obs::Counter* commit_failures;
+  obs::Counter* generations;
+  obs::Counter* reloads;
+  obs::Histogram* batch_ms;
+  static const AdaptMetrics& Get() {
+    static const AdaptMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::Instance();
+      return AdaptMetrics{reg.GetCounter("adapt.batches"),
+                          reg.GetCounter("adapt.items_applied"),
+                          reg.GetCounter("adapt.items_deduped"),
+                          reg.GetCounter("adapt.items_quarantined"),
+                          reg.GetCounter("adapt.labels_sentinel"),
+                          reg.GetCounter("adapt.label_retries"),
+                          reg.GetCounter("adapt.train_retries"),
+                          reg.GetCounter("adapt.commit_failures"),
+                          reg.GetCounter("adapt.generations_committed"),
+                          reg.GetCounter("adapt.reloads_triggered"),
+                          reg.GetHistogram("adapt.batch_ms")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+advisor::DatasetLabel SentinelLabel() {
+  advisor::DatasetLabel label;
+  for (std::size_t m = 0; m < ce::kNumModels; ++m) {
+    label.accuracy_score[m] = advisor::kScoreFloor;
+    label.efficiency_score[m] = advisor::kScoreFloor;
+    label.qerror_mean[m] = advisor::kQErrorCap;
+    label.latency_ms[m] = advisor::kLatencyCapMs;
+    label.failed[m] = true;
+  }
+  return label;
+}
+
+Labeler TestbedLabeler(ce::TestbedConfig base) {
+  return [base](const data::Dataset& dataset,
+                uint64_t seed) -> Result<advisor::DatasetLabel> {
+    ce::TestbedConfig cfg = base;
+    cfg.seed = seed;
+    AUTOCE_ASSIGN_OR_RETURN(ce::TestbedResult result,
+                            ce::RunTestbed(dataset, cfg));
+    return advisor::MakeLabel(result);
+  };
+}
+
+Result<std::unique_ptr<AdaptationPipeline>> AdaptationPipeline::Open(
+    const std::string& store_dir, serve::AdvisorServer* server,
+    AdaptationConfig config, util::SnapshotStoreOptions store_options) {
+  // The trainer always comes off the durable store — the same ResumeFit
+  // path a crash recovery takes, so a fresh Open and a post-crash Open
+  // run identical code.
+  AUTOCE_ASSIGN_OR_RETURN(
+      advisor::AutoCe trainer,
+      advisor::AutoCe::ResumeFit(store_dir, store_options, nullptr));
+  AUTOCE_ASSIGN_OR_RETURN(util::SnapshotStore verify_store,
+                          util::SnapshotStore::Open(store_dir, store_options));
+  return std::unique_ptr<AdaptationPipeline>(new AdaptationPipeline(
+      std::move(config), store_options, store_dir, server, std::move(trainer),
+      std::move(verify_store)));
+}
+
+AdaptationPipeline::AdaptationPipeline(AdaptationConfig config,
+                                       util::SnapshotStoreOptions store_options,
+                                       std::string store_dir,
+                                       serve::AdvisorServer* server,
+                                       advisor::AutoCe trainer,
+                                       util::SnapshotStore verify_store)
+    : config_(std::move(config)),
+      store_options_(store_options),
+      store_dir_(std::move(store_dir)),
+      server_(server),
+      queue_(config_.queue_capacity),
+      labeler_(TestbedLabeler(config_.testbed)),
+      sleep_fn_([](double ms) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+      }),
+      trainer_(std::move(trainer)),
+      verify_store_(std::move(verify_store)) {
+  RebuildRcsFingerprints();
+}
+
+AdaptationPipeline::~AdaptationPipeline() { Stop(); }
+
+void AdaptationPipeline::RebuildRcsFingerprints() {
+  rcs_fingerprints_.clear();
+  for (const featgraph::FeatureGraph& graph : trainer_.rcs_graphs()) {
+    rcs_fingerprints_.insert(GraphFingerprint(graph));
+  }
+}
+
+Offered AdaptationPipeline::MaybeEnqueue(const data::Dataset& dataset,
+                                         const featgraph::FeatureGraph& graph) {
+  AUTOCE_CHECK(server_ != nullptr);
+  // Detection runs against the SERVING advisor (the generation answering
+  // requests), not the trainer — exactly the threshold the paper's
+  // Stage 5 applies to incoming workloads.
+  std::shared_ptr<const advisor::AutoCe> advisor = server_->advisor();
+  double distance = advisor->DistanceToRcs(graph);
+  if (!(distance > advisor->DriftThreshold())) return Offered::kNotOod;
+  switch (queue_.Offer(dataset, graph, distance)) {
+    case Admission::kAdmitted:
+      return Offered::kAdmitted;
+    case Admission::kAdmittedEvicting:
+      return Offered::kAdmittedEvicting;
+    case Admission::kDuplicate:
+      return Offered::kDuplicate;
+    case Admission::kRejectedFull:
+      return Offered::kRejectedFull;
+    case Admission::kRejectedFault:
+      return Offered::kRejectedFault;
+  }
+  return Offered::kRejectedFull;  // unreachable
+}
+
+void AdaptationPipeline::Backoff(uint64_t fingerprint, int attempt) {
+  double ms = config_.backoff_initial_ms;
+  for (int i = 1; i < attempt; ++i) ms *= config_.backoff_multiplier;
+  // Jitter keyed by (seed, item, attempt): deterministic, and
+  // independent across items so synchronized retry storms cannot form.
+  Rng rng(util::FaultKeyMix(util::FaultKeyMix(config_.seed, fingerprint),
+                            static_cast<uint64_t>(attempt)));
+  ms *= 1.0 + config_.backoff_jitter * rng.Uniform();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.backoff_ms_total += ms;
+  }
+  if (sleep_fn_) sleep_fn_(ms);
+}
+
+Result<advisor::DatasetLabel> AdaptationPipeline::LabelWithRetries(
+    const OodCandidate& item) {
+  obs::TraceSpan span("adapt.label");
+  const AdaptMetrics& metrics = AdaptMetrics::Get();
+  // The labeler seed is attempt-independent: a retried item ends up
+  // with the same label a first-try success would have produced.
+  uint64_t label_seed = util::FaultKeyMix(config_.seed, item.fingerprint);
+  Status last = Status::Internal("no labeling attempt ran");
+  for (int attempt = 1; attempt <= config_.max_label_attempts; ++attempt) {
+    if (util::FaultPoint(util::fault_sites::kAdaptLabel,
+                         util::FaultKeyMix(item.fingerprint,
+                                           static_cast<uint64_t>(attempt)))) {
+      last = Status::Internal("injected label fault (attempt " +
+                              std::to_string(attempt) + ")");
+    } else {
+      auto label = labeler_(item.dataset, label_seed);
+      if (label.ok()) return label;
+      last = label.status();
+    }
+    if (attempt < config_.max_label_attempts) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.label_retries;
+      }
+      metrics.label_retries->Add();
+      Backoff(item.fingerprint, attempt);
+    }
+  }
+  return last;
+}
+
+void AdaptationPipeline::Quarantine(const OodCandidate& item,
+                                    BatchReport* report) {
+  const AdaptMetrics& metrics = AdaptMetrics::Get();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.items_quarantined;
+  quarantined_.push_back(item.fingerprint);
+  quarantine_set_.insert(item.fingerprint);
+  metrics.quarantined->Add();
+  ++report->quarantined;
+}
+
+Status AdaptationPipeline::ReloadTrainer() {
+  AUTOCE_ASSIGN_OR_RETURN(
+      advisor::AutoCe fresh,
+      advisor::AutoCe::ResumeFit(store_dir_, store_options_, nullptr));
+  trainer_ = std::move(fresh);
+  RebuildRcsFingerprints();
+  return Status::OK();
+}
+
+Status AdaptationPipeline::TrainUnit(const OodCandidate& item,
+                                     const advisor::DatasetLabel& label,
+                                     bool sentinel, BatchReport* report,
+                                     bool* any_applied) {
+  obs::TraceSpan span("adapt.train");
+  const AdaptMetrics& metrics = AdaptMetrics::Get();
+
+  // The unit: the item itself plus (for trustworthy labels) a Mixup
+  // interpolation toward its nearest RCS member — the paper's Eq. 14
+  // augmentation, which densifies the neighborhood the new sample
+  // landed in. Sentinel labels are not smeared across the corpus.
+  std::vector<featgraph::FeatureGraph> unit_graphs{item.graph};
+  std::vector<advisor::DatasetLabel> unit_labels{label};
+  if (config_.mixup_augment && !sentinel && trainer_.RcsSize() > 0) {
+    std::vector<double> embedding = trainer_.Embed(item.graph);
+    auto neighbors = trainer_.rcs_index().Query(embedding, 1);
+    if (!neighbors.empty()) {
+      std::size_t partner = neighbors[0].index;
+      Rng mix_rng(util::FaultKeyMix(
+          util::FaultKeyMix(config_.seed, 0x6D697875ULL), item.fingerprint));
+      double lambda = mix_rng.Beta(trainer_.config().mixup_alpha,
+                                   trainer_.config().mixup_beta);
+      unit_graphs.push_back(featgraph::MixupGraphs(
+          item.graph, trainer_.rcs_graphs()[partner], lambda));
+      unit_labels.push_back(advisor::DatasetLabel::Mixup(
+          label, trainer_.rcs_labels()[partner], lambda));
+    }
+  }
+
+  bool trained = false;
+  Status train_status = Status::OK();
+  for (int attempt = 1; attempt <= config_.max_train_attempts; ++attempt) {
+    // The injectable failure is checked BEFORE any trainer mutation, so
+    // a faulted attempt is all-or-nothing by construction.
+    if (util::FaultPoint(util::fault_sites::kAdaptTrain,
+                         util::FaultKeyMix(item.fingerprint,
+                                           static_cast<uint64_t>(attempt)))) {
+      train_status = Status::Internal("injected train fault (attempt " +
+                                      std::to_string(attempt) + ")");
+      if (attempt < config_.max_train_attempts) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.train_retries;
+        }
+        metrics.train_retries->Add();
+        Backoff(item.fingerprint, attempt);
+      }
+      continue;
+    }
+    train_status = trainer_.AddLabeledSamples(unit_graphs, unit_labels);
+    if (!train_status.ok()) {
+      // A real training error can leave the in-memory corpus ahead of
+      // the durable store (the commit never ran). Retrying a
+      // deterministic failure would fail the same way — roll back to
+      // the durable generation and quarantine instead.
+      AUTOCE_LOG(Warning) << "adaptation unit failed to train: "
+                          << train_status.message();
+      AUTOCE_RETURN_NOT_OK(ReloadTrainer());
+    }
+    trained = train_status.ok();
+    break;
+  }
+  if (!trained) {
+    Quarantine(item, report);
+    return Status::OK();
+  }
+
+  // Crash window: the unit's generation is durable but the serving
+  // process has not been told; a restarted pipeline must dedup the item
+  // and the server must reload to the committed generation.
+  util::KillPoint(util::kill_sites::kAdaptTrained, item.fingerprint);
+
+  // Post-commit verification: the store must expose a readable
+  // generation (the injectable `adapt.commit` failure models a torn or
+  // vanished commit). On failure the trainer state is untrusted — roll
+  // back to whatever is durable.
+  auto manifest = verify_store_.ManifestGeneration();
+  if (!manifest.ok() ||
+      util::FaultPoint(util::fault_sites::kAdaptCommit, item.fingerprint)) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.commit_failures;
+    }
+    metrics.commit_failures->Add();
+    AUTOCE_RETURN_NOT_OK(ReloadTrainer());
+    Quarantine(item, report);
+    return Status::OK();
+  }
+
+  for (const featgraph::FeatureGraph& graph : unit_graphs) {
+    rcs_fingerprints_.insert(GraphFingerprint(graph));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.items_applied;
+    ++stats_.generations_committed;
+  }
+  metrics.applied->Add();
+  metrics.generations->Add();
+  ++report->applied;
+  *any_applied = true;
+  return Status::OK();
+}
+
+Result<BatchReport> AdaptationPipeline::RunOnce() {
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  const AdaptMetrics& metrics = AdaptMetrics::Get();
+  BatchReport report;
+  {
+    auto manifest = verify_store_.ManifestGeneration();
+    if (manifest.ok()) report.generation = *manifest;
+  }
+  std::vector<OodCandidate> batch = queue_.DrainBatch(config_.batch_size);
+  report.drained = batch.size();
+  if (batch.empty()) return report;
+
+  obs::TraceSpan span("adapt.batch");
+  Timer timer;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.batches;
+    stats_.items_seen += batch.size();
+  }
+  metrics.batches->Add();
+
+  bool any_applied = false;
+  for (const OodCandidate& item : batch) {
+    // Replay dedup: items already trained into the RCS (this run or a
+    // pre-crash one) and quarantined items are consumed without
+    // touching the trainer — the property that makes resumed runs
+    // converge to the uninterrupted digest.
+    bool skip = rcs_fingerprints_.count(item.fingerprint) > 0;
+    if (!skip) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      skip = quarantine_set_.count(item.fingerprint) > 0;
+    }
+    if (skip) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.items_deduped;
+      }
+      metrics.deduped->Add();
+      ++report.deduped;
+      continue;
+    }
+
+    auto label_or = LabelWithRetries(item);
+    bool sentinel = !label_or.ok();
+    advisor::DatasetLabel label = sentinel ? SentinelLabel() : *label_or;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (sentinel) {
+        ++stats_.labels_sentinel;
+      } else {
+        ++stats_.labels_ok;
+      }
+    }
+    if (sentinel) {
+      AUTOCE_LOG(Warning)
+          << "adaptation item " << item.dataset.name()
+          << " exhausted labeling retries, degrading to sentinel scores: "
+          << label_or.status().message();
+      metrics.labels_sentinel->Add();
+      ++report.sentinel;
+    }
+    // Crash window: the item is labeled but its unit is not applied; a
+    // restart must relabel it to the same bits (content-keyed seed).
+    util::KillPoint(util::kill_sites::kAdaptLabeled, item.fingerprint);
+
+    AUTOCE_RETURN_NOT_OK(
+        TrainUnit(item, label, sentinel, &report, &any_applied));
+  }
+
+  {
+    auto manifest = verify_store_.ManifestGeneration();
+    if (manifest.ok()) report.generation = *manifest;
+  }
+  if (any_applied && server_ != nullptr) {
+    report.reload_attempted = true;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.reloads_triggered;
+    }
+    metrics.reloads->Add();
+    Status reload = server_->Reload();
+    report.reload_ok = reload.ok();
+    if (!reload.ok()) {
+      // Degraded, not fatal: the server keeps answering on its previous
+      // generation; the next batch triggers another reload.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.reload_failures;
+      AUTOCE_LOG(Warning) << "post-batch server reload failed: "
+                          << reload.message();
+    }
+  }
+  metrics.batch_ms->Observe(timer.ElapsedMillis());
+  return report;
+}
+
+Status AdaptationPipeline::DrainAll() {
+  while (queue_.depth() > 0) {
+    AUTOCE_ASSIGN_OR_RETURN(BatchReport report, RunOnce());
+    (void)report;
+  }
+  return Status::OK();
+}
+
+Status AdaptationPipeline::Start() {
+  std::lock_guard<std::mutex> lock(worker_mu_);
+  if (running_) {
+    return Status::FailedPrecondition("adaptation worker already running");
+  }
+  stop_ = false;
+  running_ = true;
+  worker_ = std::thread([this] { WorkerLoop(); });
+  return Status::OK();
+}
+
+void AdaptationPipeline::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(worker_mu_);
+    if (!running_) return;
+    stop_ = true;
+    to_join = std::move(worker_);
+  }
+  worker_cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  std::lock_guard<std::mutex> lock(worker_mu_);
+  running_ = false;
+}
+
+bool AdaptationPipeline::running() const {
+  std::lock_guard<std::mutex> lock(worker_mu_);
+  return running_;
+}
+
+void AdaptationPipeline::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(worker_mu_);
+  while (!stop_) {
+    lock.unlock();
+    if (queue_.depth() > 0) {
+      auto report = RunOnce();
+      if (!report.ok()) {
+        AUTOCE_LOG(Warning) << "adaptation batch failed: "
+                            << report.status().message();
+      }
+    }
+    lock.lock();
+    if (stop_) break;
+    worker_cv_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(config_.poll_interval_ms),
+        [this] { return stop_; });
+  }
+}
+
+AdaptationStats AdaptationPipeline::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::vector<uint64_t> AdaptationPipeline::quarantined() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return quarantined_;
+}
+
+uint64_t AdaptationPipeline::TrainerDigest() const {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  return trainer_.ModelDigest();
+}
+
+std::size_t AdaptationPipeline::TrainerRcsSize() const {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  return trainer_.RcsSize();
+}
+
+}  // namespace autoce::adapt

@@ -1,0 +1,262 @@
+#ifndef AUTOCE_ADAPT_PIPELINE_H_
+#define AUTOCE_ADAPT_PIPELINE_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "adapt/feedback_queue.h"
+#include "advisor/autoce.h"
+#include "ce/testbed.h"
+#include "serve/server.h"
+#include "util/result.h"
+
+namespace autoce::adapt {
+
+/// Labels one dataset. `seed` is derived from the item content (never
+/// from arrival position or attempt count), so the label an item gets
+/// is a pure function of the item — the bit-identity anchor of the
+/// whole loop. The default labeler runs the CE testbed.
+using Labeler =
+    std::function<Result<advisor::DatasetLabel>(const data::Dataset&,
+                                                uint64_t seed)>;
+
+/// Waits `ms` milliseconds between retry attempts. Injectable so
+/// deterministic tests record backoff instead of sleeping.
+using SleepFn = std::function<void(double ms)>;
+
+/// Configuration of the adaptation loop.
+struct AdaptationConfig {
+  /// Feedback queue bound (see FeedbackQueue).
+  std::size_t queue_capacity = 64;
+  /// Items drained per RunOnce cycle.
+  std::size_t batch_size = 4;
+  /// Bounded retries: labeling attempts per item / training attempts
+  /// per unit before degrading (sentinel label / quarantine).
+  int max_label_attempts = 3;
+  int max_train_attempts = 2;
+  /// Seeded exponential backoff between retry attempts:
+  /// initial * multiplier^(attempt-1) * (1 + jitter * U[0,1)) ms, with
+  /// U drawn from an Rng keyed by (seed, item fingerprint, attempt).
+  double backoff_initial_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double backoff_jitter = 0.5;
+  /// Mixup-augment each labeled item toward its nearest RCS member
+  /// (paper Eq. 14; skipped for sentinel-labeled items so a degraded
+  /// label is never smeared across the corpus).
+  bool mixup_augment = true;
+  /// Seeds the labeler and the backoff jitter (always mixed with the
+  /// item fingerprint, so per-item decisions stay content-keyed).
+  uint64_t seed = 42;
+  /// Background worker wake-up period (Start/Stop mode).
+  double poll_interval_ms = 50.0;
+  /// Testbed configuration of the default labeler; ignored when a
+  /// custom labeler is installed.
+  ce::TestbedConfig testbed;
+};
+
+/// Cumulative pipeline counters since Open.
+struct AdaptationStats {
+  uint64_t batches = 0;
+  uint64_t items_seen = 0;         ///< drained out of the queue
+  uint64_t items_applied = 0;      ///< trained into the RCS and committed
+  uint64_t items_deduped = 0;      ///< replayed items already in the RCS
+  uint64_t items_quarantined = 0;  ///< dropped after exhausted retries
+  uint64_t labels_ok = 0;
+  uint64_t labels_sentinel = 0;    ///< degraded to the all-sentinel label
+  uint64_t label_retries = 0;
+  uint64_t train_retries = 0;
+  uint64_t commit_failures = 0;    ///< rollbacks to the durable generation
+  uint64_t generations_committed = 0;
+  uint64_t reloads_triggered = 0;
+  uint64_t reload_failures = 0;
+  double backoff_ms_total = 0.0;
+};
+
+/// What one RunOnce cycle did.
+struct BatchReport {
+  std::size_t drained = 0;
+  std::size_t applied = 0;
+  std::size_t deduped = 0;
+  std::size_t sentinel = 0;
+  std::size_t quarantined = 0;
+  /// Durable store generation after the batch (0 when unreadable).
+  uint64_t generation = 0;
+  bool reload_attempted = false;
+  bool reload_ok = false;
+};
+
+/// How MaybeEnqueue disposed of a request.
+enum class Offered {
+  kNotOod,  ///< within the drift threshold; nothing enqueued
+  kAdmitted,
+  kAdmittedEvicting,
+  kDuplicate,
+  kRejectedFull,
+  kRejectedFault,
+};
+
+/// \brief The online-adaptation loop (paper Sec. V-E; DESIGN.md §5.11).
+///
+/// Closes the loop the serving layer leaves open: OOD requests detected
+/// against the serving advisor's drift threshold land in the bounded
+/// feedback queue; RunOnce drains a batch, labels each item with
+/// bounded retries + seeded exponential backoff (degrading to the
+/// all-sentinel label), Mixup-augments it toward its nearest RCS
+/// member, applies the (item, mixup) unit through one snapshot-atomic
+/// `AutoCe::AddLabeledSamples` commit, and finally triggers
+/// `AdvisorServer::Reload` so the server picks the new generation up
+/// without dropping traffic.
+///
+/// Crash contract: the trainer is always opened from the durable store
+/// (`ResumeFit`), every unit is one atomic commit, and replayed items
+/// are deduped against the RCS by fingerprint — so a crash at ANY kill
+/// site leaves the store on a good generation and a restarted pipeline
+/// fed the same request stream converges to a bit-identical final
+/// snapshot. Failure modes degrade instead of wedging: label
+/// exhaustion → sentinel scoring, train exhaustion → quarantine,
+/// commit verification failure → rollback to the durable generation;
+/// the serve path is never blocked (the queue never blocks, and the
+/// worker only touches the server in the brief Reload swap).
+class AdaptationPipeline {
+ public:
+  /// Opens the pipeline over the snapshot store at `store_dir`: the
+  /// trainer is loaded from the newest good generation (the same
+  /// ResumeFit path the server uses) with the store attached, so every
+  /// accepted unit commits durably. `server` (may be null for
+  /// trainer-only harnesses) is reloaded after each batch that applied
+  /// an item.
+  static Result<std::unique_ptr<AdaptationPipeline>> Open(
+      const std::string& store_dir, serve::AdvisorServer* server,
+      AdaptationConfig config = {},
+      util::SnapshotStoreOptions store_options = {});
+
+  ~AdaptationPipeline();
+
+  AdaptationPipeline(const AdaptationPipeline&) = delete;
+  AdaptationPipeline& operator=(const AdaptationPipeline&) = delete;
+
+  /// Serve-path hook: checks `graph` against the SERVING advisor's
+  /// drift threshold and offers it to the feedback queue when out of
+  /// distribution. Never blocks, never fails the caller. Requires a
+  /// server.
+  Offered MaybeEnqueue(const data::Dataset& dataset,
+                       const featgraph::FeatureGraph& graph);
+
+  /// Runs one synchronous batch cycle (see class comment). Serialized
+  /// against itself and the background worker. An empty queue is a
+  /// cheap no-op. Errors are reserved for infrastructure failure
+  /// (store unreadable after rollback); per-item failures degrade and
+  /// are reported in the counters instead.
+  Result<BatchReport> RunOnce();
+
+  /// Runs RunOnce until the queue is empty (the deterministic harness
+  /// entry point; every item is consumed — applied, deduped,
+  /// sentinel-labeled, or quarantined — so this terminates).
+  Status DrainAll();
+
+  /// Starts the background worker: drains a batch every
+  /// `poll_interval_ms` while the queue is non-empty.
+  Status Start();
+
+  /// Stops and joins the background worker (idempotent).
+  void Stop();
+
+  bool running() const;
+
+  FeedbackQueue& queue() { return queue_; }
+
+  AdaptationStats stats() const;
+
+  /// Fingerprints of quarantined items, in quarantine order.
+  std::vector<uint64_t> quarantined() const;
+
+  /// ModelDigest of the trainer — the bit-identity witness the
+  /// recovery harness compares across killed/resumed runs.
+  uint64_t TrainerDigest() const;
+
+  std::size_t TrainerRcsSize() const;
+
+  /// Replaces the labeler (tests and harnesses install fast
+  /// deterministic ones). Not thread-safe against a running worker.
+  void set_labeler(Labeler labeler) { labeler_ = std::move(labeler); }
+
+  /// Replaces the backoff sleeper (deterministic tests record instead
+  /// of sleeping). Not thread-safe against a running worker.
+  void set_sleep_fn(SleepFn fn) { sleep_fn_ = std::move(fn); }
+
+ private:
+  AdaptationPipeline(AdaptationConfig config,
+                     util::SnapshotStoreOptions store_options,
+                     std::string store_dir, serve::AdvisorServer* server,
+                     advisor::AutoCe trainer, util::SnapshotStore verify_store);
+
+  /// Labels one item: bounded attempts, `adapt.label` fault site keyed
+  /// by (fingerprint, attempt), seeded backoff between attempts. The
+  /// labeler seed is attempt-independent so retries cannot change the
+  /// label an item ends up with.
+  Result<advisor::DatasetLabel> LabelWithRetries(const OodCandidate& item);
+
+  /// Applies one labeled unit (item + optional mixup) to the trainer:
+  /// bounded attempts with the `adapt.train` fault checked BEFORE any
+  /// trainer mutation, rollback-and-quarantine on real training errors,
+  /// post-commit verification gated by `adapt.commit`.
+  Status TrainUnit(const OodCandidate& item,
+                   const advisor::DatasetLabel& label, bool sentinel,
+                   BatchReport* report, bool* any_applied);
+
+  /// Reloads the trainer from the durable store and rebuilds the RCS
+  /// fingerprint set — the rollback path.
+  Status ReloadTrainer();
+
+  void RebuildRcsFingerprints();
+  void Quarantine(const OodCandidate& item, BatchReport* report);
+  void Backoff(uint64_t fingerprint, int attempt);
+  void WorkerLoop();
+
+  const AdaptationConfig config_;
+  const util::SnapshotStoreOptions store_options_;
+  const std::string store_dir_;
+  serve::AdvisorServer* const server_;  // not owned; may be null
+
+  FeedbackQueue queue_;
+  Labeler labeler_;
+  SleepFn sleep_fn_;
+
+  /// Serializes batch cycles; the trainer is only touched under it.
+  mutable std::mutex run_mu_;
+  advisor::AutoCe trainer_;               // guarded by run_mu_
+  util::SnapshotStore verify_store_;      // guarded by run_mu_
+  std::unordered_set<uint64_t> rcs_fingerprints_;  // guarded by run_mu_
+
+  /// Guards the counters and the quarantine list (readable while a
+  /// batch runs).
+  mutable std::mutex stats_mu_;
+  AdaptationStats stats_;                  // guarded by stats_mu_
+  std::vector<uint64_t> quarantined_;      // guarded by stats_mu_
+  std::unordered_set<uint64_t> quarantine_set_;  // guarded by stats_mu_
+
+  mutable std::mutex worker_mu_;
+  std::condition_variable worker_cv_;
+  bool stop_ = false;       // guarded by worker_mu_
+  bool running_ = false;    // guarded by worker_mu_
+  std::thread worker_;      // guarded by worker_mu_ (start/join)
+};
+
+/// The all-sentinel degraded label: every model at the score floor and
+/// flagged failed — the same shape a fully failed testbed run produces,
+/// so downstream scoring already knows how to handle it.
+advisor::DatasetLabel SentinelLabel();
+
+/// The default labeler: runs the CE testbed under `base` with the
+/// per-item derived seed and builds the label (`advisor::MakeLabel`).
+Labeler TestbedLabeler(ce::TestbedConfig base);
+
+}  // namespace autoce::adapt
+
+#endif  // AUTOCE_ADAPT_PIPELINE_H_

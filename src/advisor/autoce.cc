@@ -564,31 +564,48 @@ bool AutoCe::IsOutOfDistribution(
 
 Status AutoCe::AddLabeledSample(const featgraph::FeatureGraph& graph,
                                 const DatasetLabel& label) {
+  return AddLabeledSamples({graph}, {label});
+}
+
+Status AutoCe::AddLabeledSamples(
+    const std::vector<featgraph::FeatureGraph>& graphs,
+    const std::vector<DatasetLabel>& labels) {
   if (encoder_ == nullptr) {
     return Status::FailedPrecondition("advisor is not fitted");
   }
-  AUTOCE_RETURN_NOT_OK(ValidateSample(graph, label, graphs_.size()));
-  graphs_.push_back(graph);
-  labels_.push_back(label);
-  dml_labels_.push_back(BuildDmlLabel(label));
-  rcs_section_cache_.clear();
+  if (graphs.size() != labels.size()) {
+    return Status::InvalidArgument("graph/label count mismatch");
+  }
+  if (graphs.empty()) return Status::OK();
+  // All-or-nothing validation before any mutation; the fault keys match
+  // the insertion indices sequential AddLabeledSample calls would use.
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    AUTOCE_RETURN_NOT_OK(ValidateSample(graphs[i], labels[i],
+                                        graphs_.size() + i));
+  }
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    graphs_.push_back(graphs[i]);
+    labels_.push_back(labels[i]);
+    dml_labels_.push_back(BuildDmlLabel(labels[i]));
+    rcs_section_cache_.clear();
 
-  if (config_.online_update_epochs > 0) {
-    // Fine-tune with a few DML epochs over the updated corpus.
-    gnn::DmlConfig cfg = config_.dml;
-    cfg.epochs = config_.online_update_epochs;
-    gnn::DmlTrainer tuner(encoder_.get(), cfg);
-    Rng tune_rng = rng_.Fork(graphs_.size());
-    auto loss = tuner.Train(graphs_, dml_labels_, &tune_rng);
-    if (!loss.ok()) return loss.status();
-    opt_state_ = tuner.ExportOptimizerState();
+    if (config_.online_update_epochs > 0) {
+      // Fine-tune with a few DML epochs over the updated corpus.
+      gnn::DmlConfig cfg = config_.dml;
+      cfg.epochs = config_.online_update_epochs;
+      gnn::DmlTrainer tuner(encoder_.get(), cfg);
+      Rng tune_rng = rng_.Fork(graphs_.size());
+      auto loss = tuner.Train(graphs_, dml_labels_, &tune_rng);
+      if (!loss.ok()) return loss.status();
+      opt_state_ = tuner.ExportOptimizerState();
+    }
   }
   // With fine-tuning disabled (online_update_epochs <= 0) the encoder
   // is unchanged, so this refresh takes the incremental path and embeds
-  // only the appended sample.
+  // only the appended samples.
   RefreshEmbeddings();
   RefreshDriftThreshold();
-  // Online updates are durable too: each accepted sample commits a new
+  // Online updates are durable too: each accepted batch commits a new
   // snapshot generation (no-op without a store).
   return CommitCheckpoint();
 }

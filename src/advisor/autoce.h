@@ -143,6 +143,13 @@ class AutoCe {
   /// The RCS labels, aligned with rcs_index() member indices.
   const std::vector<DatasetLabel>& rcs_labels() const { return labels_; }
 
+  /// The RCS feature graphs, aligned with rcs_labels(). The adaptation
+  /// pipeline dedups replayed feedback against them by fingerprint, and
+  /// Mixup augmentation interpolates toward them.
+  const std::vector<featgraph::FeatureGraph>& rcs_graphs() const {
+    return graphs_;
+  }
+
   /// The corpus-default degraded recommendation — the same fallback
   /// Recommend degrades to when KNN retrieval is impossible. The
   /// serving layer sheds overloaded requests to it.
@@ -166,6 +173,20 @@ class AutoCe {
   /// neighborhood), then refreshes embeddings and the drift threshold.
   Status AddLabeledSample(const featgraph::FeatureGraph& graph,
                           const DatasetLabel& label);
+
+  /// Online learning over a small batch applied atomically at the
+  /// snapshot level: every sample is validated up front, then appended
+  /// and fine-tuned in order, and ONE checkpoint generation is
+  /// committed after the shared embedding/threshold refresh (no-op
+  /// without a store). Bit-identical to per-sample AddLabeledSample
+  /// calls — the per-sample refreshes they run are pure functions of
+  /// (encoder, corpus) and do not feed the fine-tune — but a crash
+  /// mid-call can never persist a partial batch: the store still holds
+  /// the pre-call generation. A fine-tune error mid-batch leaves the
+  /// in-memory corpus ahead of the durable store; callers that need
+  /// rollback reload from the store (see adapt::AdaptationPipeline).
+  Status AddLabeledSamples(const std::vector<featgraph::FeatureGraph>& graphs,
+                           const std::vector<DatasetLabel>& labels);
 
   /// Number of labeled samples in the RCS.
   size_t RcsSize() const { return labels_.size(); }

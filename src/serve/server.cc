@@ -34,6 +34,7 @@ struct ServeMetrics {
   obs::Counter* embedded;
   obs::Counter* batches;
   obs::Counter* reloads;
+  obs::Counter* reload_attempts;
   obs::Counter* reload_failures;
   obs::Histogram* request_ms;
   static const ServeMetrics& Get() {
@@ -47,6 +48,7 @@ struct ServeMetrics {
                           reg.GetCounter("serve.embedded"),
                           reg.GetCounter("serve.batches"),
                           reg.GetCounter("serve.reloads"),
+                          reg.GetCounter("serve.reload_attempts"),
                           reg.GetCounter("serve.reload_failures"),
                           reg.GetHistogram("serve.request_ms")};
     }();
@@ -275,13 +277,19 @@ RecommendResponse AdvisorServer::ServeOne(const RecommendRequest& request) {
 Status AdvisorServer::Reload() {
   obs::TraceSpan span("serve.reload");
   const ServeMetrics& metrics = ServeMetrics::Get();
+  metrics.reload_attempts->Add();
   std::string dir;
   util::SnapshotStoreOptions options;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.reload_attempts;
     if (store_dir_.empty()) {
-      return Status::FailedPrecondition(
+      Status status = Status::FailedPrecondition(
           "no snapshot store attached (Open or AttachStore first)");
+      metrics.reload_failures->Add();
+      ++stats_.reload_failures;
+      stats_.last_reload_error = status.message();
+      return status;
     }
     dir = store_dir_;
     options = store_options_;
@@ -294,14 +302,17 @@ Status AdvisorServer::Reload() {
     metrics.reload_failures->Add();
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.reload_failures;
+    stats_.last_reload_error = loaded.status().message();
     return loaded.status();
   }
   if (util::FaultPoint(util::fault_sites::kServeReload, generation)) {
+    Status status = Status::Internal("injected reload fault at generation " +
+                                     std::to_string(generation));
     metrics.reload_failures->Add();
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.reload_failures;
-    return Status::Internal("injected reload fault at generation " +
-                            std::to_string(generation));
+    stats_.last_reload_error = status.message();
+    return status;
   }
   // Crash window: the new generation is loaded but not installed. A
   // kill here must leave a restarted server on the previous durable

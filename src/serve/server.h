@@ -67,7 +67,13 @@ struct ServerStats {
   uint64_t shed = 0;
   uint64_t invalid = 0;       ///< requests rejected by graph validation
   uint64_t reloads = 0;       ///< successful hot reloads
+  uint64_t reload_attempts = 0;  ///< Reload() calls, successful or not
   uint64_t reload_failures = 0;
+  /// Message of the most recent failed reload; sticky across later
+  /// successes so operators can see what the last failure was
+  /// (reload_failures says whether there ever was one, reloads whether
+  /// a success came after).
+  std::string last_reload_error;
 };
 
 /// \brief Embedded deterministic advisor service (DESIGN.md §5.8).

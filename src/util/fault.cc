@@ -17,12 +17,14 @@ std::atomic<bool> g_fault_enabled{false};
 
 namespace {
 
-constexpr std::array<const char*, 10> kAllSites = {
+constexpr std::array<const char*, 14> kAllSites = {
     fault_sites::kCsvRow,          fault_sites::kTestbedTrain,
     fault_sites::kTestbedEstimate, fault_sites::kNnLoss,
     fault_sites::kDmlLoss,         fault_sites::kDmlGrad,
     fault_sites::kFitSample,       fault_sites::kRecommendEmbed,
     fault_sites::kServeAdmission,  fault_sites::kServeReload,
+    fault_sites::kAdaptEnqueue,    fault_sites::kAdaptLabel,
+    fault_sites::kAdaptTrain,      fault_sites::kAdaptCommit,
 };
 
 uint64_t SplitMix64(uint64_t x) {

@@ -68,6 +68,25 @@ inline constexpr const char* kServeAdmission = "serve.admission";
 /// (`serve::AdvisorServer::Reload`); contract: the server keeps serving
 /// the previous model generation.
 inline constexpr const char* kServeReload = "serve.reload";
+/// Admission into the adaptation feedback queue fails for the keyed
+/// candidate (`adapt::FeedbackQueue::Offer`); contract: the candidate
+/// is dropped and counted (`rejected_fault`) — the serve path that
+/// offered it is never blocked or failed.
+inline constexpr const char* kAdaptEnqueue = "adapt.enqueue";
+/// One labeling attempt of a drained feedback item fails
+/// (`adapt::AdaptationPipeline`); contract: bounded retries with seeded
+/// exponential backoff, then the item degrades to the all-sentinel
+/// label (it still enters the RCS, it never wedges the worker).
+inline constexpr const char* kAdaptLabel = "adapt.label";
+/// One training attempt of a labeled feedback unit fails before any
+/// trainer state is touched; contract: bounded retries with backoff,
+/// then the unit is quarantined — the trainer and the durable store are
+/// left exactly as before the unit.
+inline constexpr const char* kAdaptTrain = "adapt.train";
+/// Post-commit verification of an adaptation unit fails; contract: the
+/// trainer rolls back to the newest durable generation, the unit is
+/// quarantined, and `commit_failures` counts the rollback.
+inline constexpr const char* kAdaptCommit = "adapt.commit";
 }  // namespace fault_sites
 
 /// Every registered site, in a fixed order. Tests iterate this list to

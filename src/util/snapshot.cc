@@ -30,6 +30,7 @@ struct SnapMetrics {
   obs::Counter* bytes_written;
   obs::Counter* fsyncs;
   obs::Counter* fallbacks;
+  obs::Counter* load_retries;
   obs::Histogram* fsync_ms;
   obs::Histogram* commit_ms;
   static const SnapMetrics& Get() {
@@ -39,6 +40,7 @@ struct SnapMetrics {
                          reg.GetCounter("snapshot.bytes_written"),
                          reg.GetCounter("snapshot.fsyncs"),
                          reg.GetCounter("snapshot.fallbacks"),
+                         reg.GetCounter("snapshot.load_retries"),
                          reg.GetHistogram("snapshot.fsync_ms"),
                          reg.GetHistogram("snapshot.commit_ms")};
     }();
@@ -64,12 +66,15 @@ constexpr uint32_t kManifestMagic = 0x41434D46;  // "ACMF"
 constexpr uint32_t kManifestVersion = 1;
 constexpr uint64_t kMaxSections = 4096;
 
-constexpr std::array<const char*, 8> kKillSites = {
+constexpr std::array<const char*, 11> kKillSites = {
     kill_sites::kTmpPartial,  kill_sites::kTmpSynced,
     kill_sites::kRenamed,     kill_sites::kManifestTmp,
     kill_sites::kCommitted,   kill_sites::kGcDone,
     kill_sites::kAdvisorCheckpoint,
     kill_sites::kServeReload,
+    kill_sites::kAdaptEnqueue,
+    kill_sites::kAdaptLabeled,
+    kill_sites::kAdaptTrained,
 };
 
 /// fsyncs a directory so a rename inside it is durable.
@@ -452,36 +457,57 @@ Result<uint64_t> SnapshotStore::Commit(
 
 Result<std::vector<SnapshotSection>> SnapshotStore::LoadLatest(
     uint64_t* generation) const {
-  // Candidate order: the MANIFEST generation (the last known-good commit
-  // point) first, then every other generation newest-first. A renamed
-  // snapshot whose commit died before the MANIFEST update is only used
-  // when the manifest itself is gone.
-  std::vector<uint64_t> candidates;
-  auto manifest = ManifestGeneration();
-  if (manifest.ok()) candidates.push_back(*manifest);
-  std::vector<uint64_t> gens = ListGenerations();
-  std::sort(gens.begin(), gens.end(), std::greater<uint64_t>());
-  for (uint64_t g : gens) {
-    if (manifest.ok() && g >= *manifest) continue;
-    candidates.push_back(g);
-  }
-
+  // A concurrent committer can race this reader: between listing the
+  // candidates and opening one, a Commit + keep-N GC may delete every
+  // generation the reader saw (keep_generations = 1 makes the window
+  // one commit wide). When every candidate fails AND the store moved
+  // forward since the candidates were computed, the failure is that
+  // race, not data loss — recompute the candidates and retry. Bounded:
+  // each retry re-reads a strictly newer MANIFEST, and a store that is
+  // genuinely corrupt never advances, so the loop exits on the first
+  // stable pass.
   Status last = Status::NotFound("no snapshot in " + dir_);
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    uint64_t gen = candidates[i];
-    auto sections = ReadSnapshotFile(GenerationPath(gen));
-    if (sections.ok()) {
-      if (i > 0) {
-        SnapMetrics::Get().fallbacks->Add();
-        AUTOCE_LOG(Warning)
-            << "snapshot store " << dir_ << ": generation "
-            << candidates[0] << " unreadable, fell back to generation "
-            << gen;
-      }
-      if (generation != nullptr) *generation = gen;
-      return sections;
+  constexpr int kMaxLoadAttempts = 5;
+  for (int attempt = 0; attempt < kMaxLoadAttempts; ++attempt) {
+    // Candidate order: the MANIFEST generation (the last known-good
+    // commit point) first, then every other generation newest-first. A
+    // renamed snapshot whose commit died before the MANIFEST update is
+    // only used when the manifest itself is gone.
+    std::vector<uint64_t> candidates;
+    auto manifest = ManifestGeneration();
+    if (manifest.ok()) candidates.push_back(*manifest);
+    std::vector<uint64_t> gens = ListGenerations();
+    std::sort(gens.begin(), gens.end(), std::greater<uint64_t>());
+    for (uint64_t g : gens) {
+      if (manifest.ok() && g >= *manifest) continue;
+      candidates.push_back(g);
     }
-    last = sections.status();
+
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      uint64_t gen = candidates[i];
+      auto sections = ReadSnapshotFile(GenerationPath(gen));
+      if (sections.ok()) {
+        if (i > 0) {
+          SnapMetrics::Get().fallbacks->Add();
+          AUTOCE_LOG(Warning)
+              << "snapshot store " << dir_ << ": generation "
+              << candidates[0] << " unreadable, fell back to generation "
+              << gen;
+        }
+        if (generation != nullptr) *generation = gen;
+        return sections;
+      }
+      last = sections.status();
+    }
+
+    auto now = ManifestGeneration();
+    bool moved = now.ok() && (!manifest.ok() || *now > *manifest);
+    if (!moved) break;
+    SnapMetrics::Get().load_retries->Add();
+    AUTOCE_LOG(Warning) << "snapshot store " << dir_
+                        << ": generations collected under a concurrent "
+                           "commit, retrying load at generation "
+                        << *now;
   }
   return last;
 }

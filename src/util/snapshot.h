@@ -60,6 +60,18 @@ inline constexpr const char* kAdvisorCheckpoint = "advisor.checkpoint";
 /// it; a kill here must leave a restarted server on the previous
 /// (still durable) generation.
 inline constexpr const char* kServeReload = "serve.reload";
+/// An OOD candidate admitted into the adaptation feedback queue; the
+/// queue is in-memory by design, so a crash here simply loses pending
+/// feedback — the durable model is untouched.
+inline constexpr const char* kAdaptEnqueue = "adapt.enqueue";
+/// A feedback item labeled, before its training unit is applied; a
+/// crash here must leave the store on the pre-unit generation and a
+/// restarted pipeline must relabel the item to the same bits.
+inline constexpr const char* kAdaptLabeled = "adapt.labeled";
+/// An adaptation unit trained and committed, before the server reload
+/// is triggered; a crash here leaves a serving process on its previous
+/// generation until a restarted server reopens the store.
+inline constexpr const char* kAdaptTrained = "adapt.trained";
 }  // namespace kill_sites
 
 /// Every registered kill site, in commit order. The recovery harness

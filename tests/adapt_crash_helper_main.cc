@@ -1,0 +1,195 @@
+// Subprocess body of the adaptation kill-point recovery harness (see
+// adapt_crash_recovery_test.cc). Three modes over one snapshot dir:
+//
+//   --setup  fits a small advisor corpus with snapshots enabled (no
+//            adaptation) — the durable starting state.
+//   --adapt  opens a server + adaptation pipeline over the store,
+//            offers a fixed deterministic stream of feedback datasets,
+//            and drains it to completion. With AUTOCE_KILLPOINTS armed
+//            in the environment the process dies mid-loop with exit
+//            code 137 exactly like a `kill -9`; rerunning unarmed IS
+//            the recovery (the pipeline reopens from the durable store
+//            and replay dedup consumes already-committed items).
+//   --probe  opens a fresh server over the store and answers one
+//            request — the restarted-server liveness check.
+//
+// Every mode prints "DIGEST <hex> GEN <n>" on success so the harness
+// can compare killed/resumed runs against an uninterrupted baseline.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "adapt/pipeline.h"
+#include "advisor/autoce.h"
+#include "data/generator.h"
+#include "serve/server.h"
+#include "util/snapshot.h"
+
+namespace {
+
+autoce::advisor::AutoCeConfig HarnessConfig() {
+  autoce::advisor::AutoCeConfig cfg;
+  cfg.dml.epochs = 4;
+  cfg.validation_interval = 2;
+  cfg.incremental_epochs = 2;
+  cfg.gin.hidden = 8;
+  cfg.gin.embedding_dim = 4;
+  cfg.knn_k = 2;
+  return cfg;
+}
+
+std::vector<autoce::data::Dataset> MakeDatasets(int n, uint64_t seed) {
+  autoce::data::DatasetGenParams p;
+  p.min_tables = 1;
+  p.max_tables = 2;
+  p.min_rows = 100;
+  p.max_rows = 220;
+  p.min_columns = 2;
+  p.max_columns = 3;
+  autoce::Rng rng(seed);
+  return autoce::data::GenerateCorpus(p, n, &rng);
+}
+
+/// Deterministic stand-in for the testbed labeler: a pure function of
+/// the content-derived seed, so killed and resumed runs label an item
+/// to the same bits.
+autoce::adapt::Labeler SyntheticLabeler() {
+  return [](const autoce::data::Dataset&,
+            uint64_t seed) -> autoce::Result<autoce::advisor::DatasetLabel> {
+    autoce::Rng rng(seed);
+    autoce::advisor::DatasetLabel label;
+    for (size_t m = 0; m < autoce::ce::kNumModels; ++m) {
+      label.accuracy_score[m] = rng.Uniform(0.1, 1.0);
+      label.efficiency_score[m] = rng.Uniform(0.1, 1.0);
+      label.qerror_mean[m] = rng.Uniform(1.0, 40.0);
+      label.latency_ms[m] = rng.Uniform(0.1, 130.0);
+    }
+    return label;
+  };
+}
+
+int PrintWitness(const std::string& dir, uint64_t digest) {
+  auto store = autoce::util::SnapshotStore::Open(dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "store: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  auto gen = store->ManifestGeneration();
+  std::printf("DIGEST %016" PRIx64 " GEN %" PRIu64 "\n", digest,
+              gen.ok() ? *gen : 0);
+  return 0;
+}
+
+int Setup(const std::string& dir) {
+  auto datasets = MakeDatasets(12, 29);
+  autoce::featgraph::FeatureExtractor fx;
+  std::vector<autoce::featgraph::FeatureGraph> graphs;
+  for (const auto& d : datasets) graphs.push_back(fx.Extract(d));
+  std::vector<autoce::advisor::DatasetLabel> labels;
+  autoce::Rng rng(31);
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    autoce::advisor::DatasetLabel label;
+    for (size_t m = 0; m < autoce::ce::kNumModels; ++m) {
+      label.accuracy_score[m] = rng.Uniform(0.1, 1.0);
+      label.efficiency_score[m] = rng.Uniform(0.1, 1.0);
+      label.qerror_mean[m] = rng.Uniform(1.0, 40.0);
+      label.latency_ms[m] = rng.Uniform(0.1, 130.0);
+    }
+    labels.push_back(label);
+  }
+  autoce::advisor::AutoCe advisor(HarnessConfig());
+  autoce::Status st = advisor.EnableSnapshots(dir);
+  if (st.ok()) st = advisor.Fit(graphs, labels);
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return PrintWitness(dir, advisor.ModelDigest());
+}
+
+int Adapt(const std::string& dir) {
+  auto server = autoce::serve::AdvisorServer::Open(dir);
+  if (!server.ok()) {
+    std::fprintf(stderr, "serve::Open: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  autoce::adapt::AdaptationConfig config;
+  config.batch_size = 2;
+  auto pipeline =
+      autoce::adapt::AdaptationPipeline::Open(dir, server->get(), config);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "adapt::Open: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+  (*pipeline)->set_labeler(SyntheticLabeler());
+  (*pipeline)->set_sleep_fn([](double) {});
+
+  // The fixed feedback stream. Offers go straight to the queue (with a
+  // deterministic distance) so the stream is identical no matter what
+  // generation the serving advisor is on.
+  auto feed = MakeDatasets(5, 991);
+  autoce::featgraph::FeatureExtractor fx;
+  for (size_t i = 0; i < feed.size(); ++i) {
+    (*pipeline)->queue().Offer(feed[i], fx.Extract(feed[i]),
+                               1.0 + static_cast<double>(i));
+  }
+  autoce::Status st = (*pipeline)->DrainAll();
+  if (!st.ok()) {
+    std::fprintf(stderr, "DrainAll: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return PrintWitness(dir, (*pipeline)->TrainerDigest());
+}
+
+int Probe(const std::string& dir) {
+  auto server = autoce::serve::AdvisorServer::Open(dir);
+  if (!server.ok()) {
+    std::fprintf(stderr, "probe open: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  autoce::featgraph::FeatureExtractor fx;
+  autoce::serve::RecommendRequest request;
+  request.graph = fx.Extract(MakeDatasets(1, 991)[0]);
+  request.w_a = 0.9;
+  autoce::serve::RecommendResponse response = (*server)->ServeOne(request);
+  if (!response.status.ok()) {
+    std::fprintf(stderr, "probe serve: %s\n",
+                 response.status.ToString().c_str());
+    return 1;
+  }
+  return PrintWitness(dir, (*server)->advisor()->ModelDigest());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string mode;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dir=", 6) == 0) {
+      dir = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--setup") == 0 ||
+               std::strcmp(argv[i], "--adapt") == 0 ||
+               std::strcmp(argv[i], "--probe") == 0) {
+      mode = argv[i] + 2;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (dir.empty() || mode.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s (--setup|--adapt|--probe) --dir=<snapshot dir>\n",
+                 argv[0]);
+    return 2;
+  }
+  if (mode == "setup") return Setup(dir);
+  if (mode == "adapt") return Adapt(dir);
+  return Probe(dir);
+}

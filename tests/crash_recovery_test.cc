@@ -93,6 +93,9 @@ TEST_P(KillPointSweepTest, EverySiteResumesToBitIdenticalModel) {
   ASSERT_EQ(want.size(), 16u) << baseline.output;
 
   for (const char* site : util::AllKillSites()) {
+    // The adapt.* sites fire on the online-adaptation path, which this
+    // helper never takes — adapt_crash_recovery_test.cc sweeps them.
+    if (std::string(site).rfind("adapt.", 0) == 0) continue;
     std::string dir =
         FreshDir(std::string("crash_") + site + "_t" +
                  std::to_string(threads));

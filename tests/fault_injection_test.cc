@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/pipeline.h"
 #include "advisor/autoce.h"
 #include "advisor/label.h"
 #include "data/csv.h"
@@ -19,6 +20,7 @@
 #include "serve/server.h"
 #include "util/fault.h"
 #include "util/parallel.h"
+#include "util/snapshot.h"
 
 namespace autoce {
 namespace {
@@ -379,6 +381,102 @@ void ExerciseServeReload() {
   EXPECT_GE((*server)->stats().reloads, 1u);
 }
 
+void ExerciseAdaptEnqueue() {
+  auto& reg = util::FaultInjection::Instance();
+  auto datasets = TinyCorpus(1, 555);
+  featgraph::FeatureExtractor fx;
+  adapt::FeedbackQueue queue(4);
+
+  // An injected enqueue fault drops the candidate (counted, never
+  // thrown back at the serve path)...
+  ASSERT_TRUE(reg.Configure(std::string(sites::kAdaptEnqueue)).ok());
+  EXPECT_EQ(queue.Offer(datasets[0], fx.Extract(datasets[0]), 1.0),
+            adapt::Admission::kRejectedFault);
+  EXPECT_GT(reg.FireCount(sites::kAdaptEnqueue), 0);
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(queue.stats().rejected_fault, 1u);
+
+  // ...and with injection off the same candidate admits.
+  reg.Disable();
+  EXPECT_EQ(queue.Offer(datasets[0], fx.Extract(datasets[0]), 1.0),
+            adapt::Admission::kAdmitted);
+}
+
+/// Shared contract of the pipeline-stage sites: the injected stage
+/// degrades exactly as documented (label exhaustion -> sentinel, train
+/// exhaustion -> quarantine, commit verification -> rollback +
+/// quarantine), DrainAll never errors or wedges, and the loop applies
+/// fresh items again once injection is off.
+void ExerciseAdaptPipelineSite(const std::string& site) {
+  auto& reg = util::FaultInjection::Instance();
+  auto datasets = TinyCorpus(10, 556);
+  featgraph::FeatureExtractor fx;
+  std::vector<featgraph::FeatureGraph> graphs;
+  std::vector<advisor::DatasetLabel> labels = SyntheticLabels(8);
+  for (int i = 0; i < 8; ++i) graphs.push_back(fx.Extract(datasets[i]));
+
+  std::string dir = std::string(::testing::TempDir()) + "/fault_" + site;
+  if (auto old = util::SnapshotStore::Open(dir); old.ok()) {
+    for (uint64_t g : old->ListGenerations()) {
+      std::remove(old->GenerationPath(g).c_str());
+    }
+    std::remove((dir + "/MANIFEST").c_str());
+  }
+  advisor::AutoCe adv(TinyAdvisorConfig());
+  ASSERT_TRUE(adv.EnableSnapshots(dir).ok());
+  ASSERT_TRUE(adv.Fit(graphs, labels).ok());
+
+  auto pipeline = adapt::AdaptationPipeline::Open(dir, /*server=*/nullptr);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  (*pipeline)->set_labeler(
+      [](const data::Dataset&, uint64_t seed) -> Result<advisor::DatasetLabel> {
+        Rng rng(seed);
+        advisor::DatasetLabel label;
+        for (size_t m = 0; m < ce::kNumModels; ++m) {
+          label.accuracy_score[m] = 0.1 + 0.8 * rng.Uniform();
+          label.efficiency_score[m] = 0.1 + 0.8 * rng.Uniform();
+          label.qerror_mean[m] = 1.0 + static_cast<double>(m);
+          label.latency_ms[m] = 1.0 + rng.Uniform();
+        }
+        return label;
+      });
+  (*pipeline)->set_sleep_fn([](double) {});
+  uint64_t digest_before = (*pipeline)->TrainerDigest();
+
+  (*pipeline)->queue().Offer(datasets[8], fx.Extract(datasets[8]), 1.0);
+  ASSERT_TRUE(reg.Configure(site).ok());
+  ASSERT_TRUE((*pipeline)->DrainAll().ok());  // degrades, never errors
+  EXPECT_GT(reg.FireCount(site.c_str()), 0);
+  adapt::AdaptationStats stats = (*pipeline)->stats();
+  if (site == sites::kAdaptLabel) {
+    // Label exhaustion degrades to the sentinel label, still applied.
+    EXPECT_EQ(stats.labels_sentinel, 1u);
+    EXPECT_EQ(stats.items_applied, 1u);
+  } else if (site == sites::kAdaptTrain) {
+    EXPECT_EQ(stats.items_quarantined, 1u);
+    EXPECT_EQ(stats.items_applied, 0u);
+    EXPECT_EQ((*pipeline)->TrainerDigest(), digest_before);
+  } else {
+    ASSERT_EQ(site, sites::kAdaptCommit);
+    // The injected fault fails post-commit *verification*: the unit is
+    // quarantined and the trainer rolls back to the durable store
+    // (which may already contain the commit), so the contract is
+    // trainer == a fresh open of the store, not == the pre-batch model.
+    EXPECT_EQ(stats.commit_failures, 1u);
+    EXPECT_EQ(stats.items_quarantined, 1u);
+    reg.Disable();
+    auto reopened = adapt::AdaptationPipeline::Open(dir, /*server=*/nullptr);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ((*pipeline)->TrainerDigest(), (*reopened)->TrainerDigest());
+  }
+
+  // With injection off a fresh item goes through the whole loop.
+  reg.Disable();
+  (*pipeline)->queue().Offer(datasets[9], fx.Extract(datasets[9]), 1.0);
+  ASSERT_TRUE((*pipeline)->DrainAll().ok());
+  EXPECT_EQ((*pipeline)->stats().items_applied, stats.items_applied + 1);
+}
+
 /// Dispatches a site name to its contract handler; fails for any
 /// registered site without one, so new sites cannot ship untested.
 void ExerciseSite(const std::string& site) {
@@ -404,6 +502,11 @@ void ExerciseSite(const std::string& site) {
     ExerciseServeAdmission();
   } else if (site == sites::kServeReload) {
     ExerciseServeReload();
+  } else if (site == sites::kAdaptEnqueue) {
+    ExerciseAdaptEnqueue();
+  } else if (site == sites::kAdaptLabel || site == sites::kAdaptTrain ||
+             site == sites::kAdaptCommit) {
+    ExerciseAdaptPipelineSite(site);
   } else {
     FAIL() << "registered fault site has no contract test: " << site;
   }

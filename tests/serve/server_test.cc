@@ -331,6 +331,9 @@ TEST_F(ServerTest, ReloadAdvancesGenerationAndServesNewModel) {
   ASSERT_TRUE((*server)->Reload().ok());
   EXPECT_GT((*server)->generation(), gen_before);
   EXPECT_EQ((*server)->stats().reloads, 1u);
+  EXPECT_EQ((*server)->stats().reload_attempts, 1u);
+  EXPECT_EQ((*server)->stats().reload_failures, 0u);
+  EXPECT_TRUE((*server)->stats().last_reload_error.empty());
   EXPECT_EQ((*server)->advisor()->ModelDigest(), advisor.ModelDigest());
 
   // Responses now match the updated advisor bit-for-bit.
@@ -402,8 +405,14 @@ TEST_F(ServerTest, MetricsCountersMatchServerStats) {
   expect_line("serve_batches_total " + std::to_string(stats.batches));
   expect_line("serve_invalid_total 0");
   expect_line("serve_reloads_total " + std::to_string(stats.reloads));
-  // The no-store precondition rejection mirrors ServerStats: neither
-  // counts it as a reload failure (nothing was attempted).
+  // The no-store precondition rejection counts as an attempted, failed
+  // reload in ServerStats and the obs counters alike, and its message is
+  // retained as the last reload error.
+  EXPECT_EQ(stats.reload_attempts, 1u);
+  EXPECT_EQ(stats.reload_failures, 1u);
+  EXPECT_EQ(stats.last_reload_error, reload_status.message());
+  expect_line("serve_reload_attempts_total " +
+              std::to_string(stats.reload_attempts));
   expect_line("serve_reload_failures_total " +
               std::to_string(stats.reload_failures));
   // Every admitted or shed request lands one latency observation.

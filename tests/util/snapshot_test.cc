@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 #include <sys/stat.h>
 
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/rng.h"
@@ -206,6 +208,41 @@ TEST(SnapshotStoreTest, OpenValidatesArguments) {
   EXPECT_FALSE(SnapshotStore::Open(TempStoreDir("snap_badopt"), bad).ok());
 }
 
+TEST(SnapshotStoreTest, LoadLatestSurvivesConcurrentKeepOneGc) {
+  // Regression: a reader racing an aggressive keep-1 GC could open the
+  // manifest, lose its snapshot file to a concurrent commit's GC, and
+  // fail even though the store held a good newer generation the whole
+  // time. LoadLatest now retries while the store demonstrably moves
+  // forward, so every load under churn must succeed.
+  SnapshotStoreOptions opts;
+  opts.keep_generations = 1;
+  std::string dir = TempStoreDir("snap_gc_race");
+  auto writer = SnapshotStore::Open(dir, opts);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Commit(MakeSections("seed")).ok());
+  auto reader = SnapshotStore::Open(dir, opts);
+  ASSERT_TRUE(reader.ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> loads{0};
+  std::atomic<int> failures{0};
+  std::thread reader_thread([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      auto loaded = reader->LoadLatest();
+      ++loads;
+      if (!loaded.ok()) ++failures;
+    }
+  });
+  for (int i = 0; i < 150; ++i) {
+    auto gen = writer->Commit(MakeSections("g" + std::to_string(i)));
+    ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  }
+  done.store(true);
+  reader_thread.join();
+  EXPECT_GT(loads.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(KillPointTest, DisabledByDefaultAndZeroCost) {
   // Must not fire when nothing is configured.
   KillPoint(kill_sites::kCommitted, 7);
@@ -219,7 +256,7 @@ TEST(KillPointTest, ConfigureRejectsUnknownSite) {
 
 TEST(KillPointTest, AllSitesAreRegistered) {
   auto sites = AllKillSites();
-  ASSERT_EQ(sites.size(), 8u);
+  ASSERT_EQ(sites.size(), 11u);
   for (const char* site : sites) {
     EXPECT_TRUE(ConfigureKillPoints(site).ok()) << site;
     DisableKillPoints();

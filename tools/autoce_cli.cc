@@ -8,7 +8,10 @@
 //   autoce recommend --model model.ace (--dataset F.adat | --csv F.csv)
 //                    [--weight W]
 //   autoce serve     (--model model.ace | --snapshot-dir DIR) --data DIR
-//                    [--weight W] [--batch N] [--queue N]
+//                    [--weight W] [--batch N] [--queue N] [--adapt]
+//   autoce adapt     --snapshot-dir DIR --data DIR [--batch N]
+//                    [--queue N] [--seed S] [--train-queries N]
+//                    [--test-queries N]
 //   autoce inspect   (--model model.ace | --snapshot-dir DIR)
 //   autoce metrics dump [--json]
 //   autoce faults list
@@ -29,6 +32,14 @@
 // forwards, indexed KNN. With --snapshot-dir it serves the newest good
 // snapshot generation and reports it per response.
 //
+// `adapt` closes the online-adaptation loop (DESIGN.md §5.11) over a
+// snapshot store: every --data dataset is checked against the serving
+// advisor's drift threshold, OOD ones enter the bounded feedback
+// queue, and the pipeline labels / Mixup-augments / trains / commits
+// them batch by batch, reloading the server after each applied batch.
+// `serve --adapt` does the same from the serve path: OOD requests are
+// enqueued while a background worker adapts concurrently.
+//
 // Telemetry (DESIGN.md §5.9): with AUTOCE_METRICS set, every command
 // records obs counters/histograms; `serve` prints the Prometheus dump
 // at the end and `metrics dump` prints the current registry (of this
@@ -47,6 +58,7 @@
 
 #include <cinttypes>
 
+#include "adapt/pipeline.h"
 #include "advisor/autoce.h"
 #include "advisor/label.h"
 #include "data/csv.h"
@@ -355,6 +367,7 @@ int CmdServe(const Args& args) {
   double w = args.GetDouble("weight", 0.9);
   const featgraph::FeatureExtractor& extractor =
       server->advisor()->extractor();
+  std::vector<data::Dataset> datasets;
   std::vector<serve::RecommendRequest> requests;
   for (size_t i = 0; i < files.size(); ++i) {
     auto ds = data::LoadDataset(files[i]);
@@ -368,6 +381,30 @@ int CmdServe(const Args& args) {
     request.graph = extractor.Extract(*ds);
     request.w_a = w;
     requests.push_back(std::move(request));
+    datasets.push_back(std::move(ds).ValueOrDie());
+  }
+
+  std::unique_ptr<adapt::AdaptationPipeline> pipeline;
+  if (args.Has("adapt")) {
+    if (args.Get("snapshot-dir").empty()) {
+      std::fprintf(stderr, "serve: --adapt requires --snapshot-dir\n");
+      return 2;
+    }
+    adapt::AdaptationConfig adapt_config;
+    adapt_config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+    auto opened_pipeline = adapt::AdaptationPipeline::Open(
+        args.Get("snapshot-dir"), server.get(), adapt_config);
+    if (!opened_pipeline.ok()) {
+      std::fprintf(stderr, "serve: %s\n",
+                   opened_pipeline.status().ToString().c_str());
+      return 1;
+    }
+    pipeline = std::move(*opened_pipeline);
+    Status st = pipeline->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "serve: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
 
   Timer timer;
@@ -392,6 +429,123 @@ int CmdServe(const Args& args) {
               requests.size(), ms,
               static_cast<size_t>(stats.batches), stats.embedded,
               stats.cache_hits, stats.shed, stats.invalid);
+  if (pipeline != nullptr) {
+    // Offer every served dataset to the adaptation loop; the background
+    // worker labels and trains concurrently, then DrainAll finishes
+    // whatever is still queued before we report.
+    size_t enqueued = 0;
+    for (size_t i = 0; i < datasets.size(); ++i) {
+      adapt::Offered offered =
+          pipeline->MaybeEnqueue(datasets[i], requests[i].graph);
+      if (offered != adapt::Offered::kNotOod) ++enqueued;
+    }
+    Status st = pipeline->DrainAll();
+    pipeline->Stop();
+    if (!st.ok()) {
+      std::fprintf(stderr, "serve: adaptation: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    adapt::AdaptationStats astats = pipeline->stats();
+    std::printf("adaptation: %zu OOD enqueued, %" PRIu64 " applied, %" PRIu64
+                " sentinel, %" PRIu64 " quarantined; now serving generation %"
+                PRIu64 "\n",
+                enqueued, astats.items_applied, astats.labels_sentinel,
+                astats.items_quarantined, server->generation());
+  }
+  if (obs::MetricsEnabled()) {
+    std::printf("--- metrics (Prometheus text) ---\n%s",
+                obs::MetricsRegistry::Instance().ExportPrometheus().c_str());
+  }
+  return 0;
+}
+
+const char* OfferedName(adapt::Offered offered) {
+  switch (offered) {
+    case adapt::Offered::kNotOod: return "in-distribution";
+    case adapt::Offered::kAdmitted: return "enqueued";
+    case adapt::Offered::kAdmittedEvicting: return "enqueued [evicted one]";
+    case adapt::Offered::kDuplicate: return "duplicate";
+    case adapt::Offered::kRejectedFull: return "rejected [queue full]";
+    case adapt::Offered::kRejectedFault: return "rejected [injected fault]";
+  }
+  return "unknown";
+}
+
+int CmdAdapt(const Args& args) {
+  std::string store_dir = args.Get("snapshot-dir");
+  std::string data_dir = args.Get("data");
+  if (store_dir.empty() || data_dir.empty()) {
+    std::fprintf(stderr,
+                 "adapt: --snapshot-dir DIR and --data DIR are required\n");
+    return 2;
+  }
+  auto files = ListAdatFiles(data_dir);
+  if (files.empty()) {
+    std::fprintf(stderr, "adapt: no .adat datasets in %s\n",
+                 data_dir.c_str());
+    return 1;
+  }
+  auto opened = serve::AdvisorServer::Open(store_dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "adapt: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<serve::AdvisorServer> server = std::move(*opened);
+
+  adapt::AdaptationConfig config;
+  config.queue_capacity = static_cast<size_t>(args.GetInt("queue", 64));
+  config.batch_size = static_cast<size_t>(args.GetInt("batch", 4));
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  config.testbed.num_train_queries =
+      static_cast<int>(args.GetInt("train-queries", 200));
+  config.testbed.num_test_queries =
+      static_cast<int>(args.GetInt("test-queries", 80));
+  auto opened_pipeline =
+      adapt::AdaptationPipeline::Open(store_dir, server.get(), config);
+  if (!opened_pipeline.ok()) {
+    std::fprintf(stderr, "adapt: %s\n",
+                 opened_pipeline.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<adapt::AdaptationPipeline> pipeline =
+      std::move(*opened_pipeline);
+  std::printf("adapting store %s (generation %" PRIu64
+              ", RCS %zu, drift threshold %.4f)\n",
+              store_dir.c_str(), server->generation(),
+              pipeline->TrainerRcsSize(),
+              server->advisor()->DriftThreshold());
+
+  const featgraph::FeatureExtractor& extractor =
+      server->advisor()->extractor();
+  for (const auto& file : files) {
+    auto ds = data::LoadDataset(file);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "adapt: %s: %s\n", file.c_str(),
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    auto graph = extractor.Extract(*ds);
+    adapt::Offered offered = pipeline->MaybeEnqueue(*ds, graph);
+    std::printf("%-28s %s\n", file.c_str(), OfferedName(offered));
+  }
+
+  Timer timer;
+  Status st = pipeline->DrainAll();
+  if (!st.ok()) {
+    std::fprintf(stderr, "adapt: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  adapt::AdaptationStats stats = pipeline->stats();
+  std::printf("adapted in %.1fs: %" PRIu64 " batches, %" PRIu64
+              " applied, %" PRIu64 " deduped, %" PRIu64 " sentinel, %" PRIu64
+              " quarantined, %" PRIu64 " generations committed\n",
+              timer.ElapsedSeconds(), stats.batches, stats.items_applied,
+              stats.items_deduped, stats.labels_sentinel,
+              stats.items_quarantined, stats.generations_committed);
+  std::printf("server now at generation %" PRIu64 " (RCS %zu, drift "
+              "threshold %.4f)\n",
+              server->generation(), server->advisor()->RcsSize(),
+              server->advisor()->DriftThreshold());
   if (obs::MetricsEnabled()) {
     std::printf("--- metrics (Prometheus text) ---\n%s",
                 obs::MetricsRegistry::Instance().ExportPrometheus().c_str());
@@ -531,12 +685,14 @@ int CmdVersion(const Args&) {
   std::printf("  simd selected  : %s\n",
               util::simd::LevelName(util::simd::ActiveLevel()));
   std::printf("  threads        : %d\n", util::GlobalParallelism());
+  std::printf("  fault sites    : %zu\n", util::AllFaultSites().size());
+  std::printf("  kill sites     : %zu\n", util::AllKillSites().size());
   return 0;
 }
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: autoce <generate|train|recommend|serve|inspect|"
+               "usage: autoce <generate|train|recommend|serve|adapt|inspect|"
                "metrics|faults|version> [flags]\n"
                "see the header of tools/autoce_cli.cc for details\n");
   return 2;
@@ -552,6 +708,7 @@ int Main(int argc, char** argv) {
   else if (cmd == "train") rc = CmdTrain(args);
   else if (cmd == "recommend") rc = CmdRecommend(args);
   else if (cmd == "serve") rc = CmdServe(args);
+  else if (cmd == "adapt") rc = CmdAdapt(args);
   else if (cmd == "inspect") rc = CmdInspect(args);
   else if (cmd == "metrics") rc = CmdMetrics(args);
   else if (cmd == "faults") rc = CmdFaults(args);
