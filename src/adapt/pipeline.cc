@@ -1,6 +1,12 @@
 #include "adapt/pipeline.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <utility>
 
@@ -24,6 +30,7 @@ struct AdaptMetrics {
   obs::Counter* deduped;
   obs::Counter* quarantined;
   obs::Counter* labels_sentinel;
+  obs::Counter* labels_budget_expired;
   obs::Counter* label_retries;
   obs::Counter* train_retries;
   obs::Counter* commit_failures;
@@ -38,6 +45,7 @@ struct AdaptMetrics {
                           reg.GetCounter("adapt.items_deduped"),
                           reg.GetCounter("adapt.items_quarantined"),
                           reg.GetCounter("adapt.labels_sentinel"),
+                          reg.GetCounter("adapt.labels_budget_expired"),
                           reg.GetCounter("adapt.label_retries"),
                           reg.GetCounter("adapt.train_retries"),
                           reg.GetCounter("adapt.commit_failures"),
@@ -49,7 +57,49 @@ struct AdaptMetrics {
   }
 };
 
+std::string QuarantineLogPath(const std::string& store_dir) {
+  return store_dir + "/QUARANTINE.log";
+}
+
+/// Quarantine reasons come from Status messages (single-line by
+/// convention); squash separators anyway so one record is one line.
+std::string SanitizeReason(std::string s) {
+  for (char& c : s) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
 }  // namespace
+
+std::vector<QuarantineRecord> ReadQuarantineLog(const std::string& store_dir) {
+  std::vector<QuarantineRecord> records;
+  FILE* f = std::fopen(QuarantineLogPath(store_dir).c_str(), "r");
+  if (f == nullptr) return records;
+  char line[2048];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    // `fingerprint \t stage \t reason`; malformed lines (e.g. from a
+    // write torn by a crash) are skipped — the log is advisory.
+    char* end = nullptr;
+    unsigned long long fp = std::strtoull(line, &end, 10);
+    if (end == line || *end != '\t') continue;
+    char* stage = end + 1;
+    char* tab2 = std::strchr(stage, '\t');
+    if (tab2 == nullptr) continue;
+    QuarantineRecord record;
+    record.fingerprint = fp;
+    record.stage.assign(stage, tab2);
+    char* reason = tab2 + 1;
+    std::size_t len = std::strlen(reason);
+    while (len > 0 && (reason[len - 1] == '\n' || reason[len - 1] == '\r')) {
+      --len;
+    }
+    record.reason.assign(reason, len);
+    records.push_back(std::move(record));
+  }
+  std::fclose(f);
+  return records;
+}
 
 advisor::DatasetLabel SentinelLabel() {
   advisor::DatasetLabel label;
@@ -108,6 +158,15 @@ AdaptationPipeline::AdaptationPipeline(AdaptationConfig config,
       trainer_(std::move(trainer)),
       verify_store_(std::move(verify_store)) {
   RebuildRcsFingerprints();
+  LoadQuarantineLog();
+}
+
+void AdaptationPipeline::LoadQuarantineLog() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (QuarantineRecord& record : ReadQuarantineLog(store_dir_)) {
+    quarantine_set_.insert(record.fingerprint);
+    quarantined_.push_back(std::move(record));
+  }
 }
 
 AdaptationPipeline::~AdaptationPipeline() { Stop(); }
@@ -159,7 +218,7 @@ void AdaptationPipeline::Backoff(uint64_t fingerprint, int attempt) {
 }
 
 Result<advisor::DatasetLabel> AdaptationPipeline::LabelWithRetries(
-    const OodCandidate& item) {
+    const OodCandidate& item, const util::DeadlineBudget& budget) {
   obs::TraceSpan span("adapt.label");
   const AdaptMetrics& metrics = AdaptMetrics::Get();
   // The labeler seed is attempt-independent: a retried item ends up
@@ -167,6 +226,10 @@ Result<advisor::DatasetLabel> AdaptationPipeline::LabelWithRetries(
   uint64_t label_seed = util::FaultKeyMix(config_.seed, item.fingerprint);
   Status last = Status::Internal("no labeling attempt ran");
   for (int attempt = 1; attempt <= config_.max_label_attempts; ++attempt) {
+    // The budget gates each attempt (a started attempt runs to
+    // completion — a label that finishes late is still trustworthy);
+    // once it expires the item degrades like retry exhaustion.
+    AUTOCE_RETURN_NOT_OK(budget.Check("adapt.label"));
     if (util::FaultPoint(util::fault_sites::kAdaptLabel,
                          util::FaultKeyMix(item.fingerprint,
                                            static_cast<uint64_t>(attempt)))) {
@@ -178,6 +241,7 @@ Result<advisor::DatasetLabel> AdaptationPipeline::LabelWithRetries(
       last = label.status();
     }
     if (attempt < config_.max_label_attempts) {
+      if (budget.Exhausted()) continue;  // Check() above reports it
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.label_retries;
@@ -190,12 +254,27 @@ Result<advisor::DatasetLabel> AdaptationPipeline::LabelWithRetries(
 }
 
 void AdaptationPipeline::Quarantine(const OodCandidate& item,
+                                    const char* stage,
+                                    const std::string& reason,
                                     BatchReport* report) {
   const AdaptMetrics& metrics = AdaptMetrics::Get();
+  QuarantineRecord record;
+  record.fingerprint = item.fingerprint;
+  record.stage = stage;
+  record.reason = SanitizeReason(reason);
+  // Append to the sidecar log before updating memory: a crash right
+  // after the append merely re-quarantines the item on reload, which
+  // dedups. The log is advisory (no fsync) — losing a tail entry only
+  // means the item gets retried after a restart.
+  if (FILE* f = std::fopen(QuarantineLogPath(store_dir_).c_str(), "a")) {
+    std::fprintf(f, "%" PRIu64 "\t%s\t%s\n", record.fingerprint,
+                 record.stage.c_str(), record.reason.c_str());
+    std::fclose(f);
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.items_quarantined;
-  quarantined_.push_back(item.fingerprint);
-  quarantine_set_.insert(item.fingerprint);
+  quarantine_set_.insert(record.fingerprint);
+  quarantined_.push_back(std::move(record));
   metrics.quarantined->Add();
   ++report->quarantined;
 }
@@ -272,7 +351,7 @@ Status AdaptationPipeline::TrainUnit(const OodCandidate& item,
     break;
   }
   if (!trained) {
-    Quarantine(item, report);
+    Quarantine(item, "train", train_status.message(), report);
     return Status::OK();
   }
 
@@ -294,7 +373,10 @@ Status AdaptationPipeline::TrainUnit(const OodCandidate& item,
     }
     metrics.commit_failures->Add();
     AUTOCE_RETURN_NOT_OK(ReloadTrainer());
-    Quarantine(item, report);
+    Quarantine(item, "commit",
+               manifest.ok() ? std::string("injected commit verification fault")
+                             : manifest.status().message(),
+               report);
     return Status::OK();
   }
 
@@ -314,10 +396,11 @@ Status AdaptationPipeline::TrainUnit(const OodCandidate& item,
 }
 
 Result<BatchReport> AdaptationPipeline::RunOnce() {
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
   const AdaptMetrics& metrics = AdaptMetrics::Get();
   BatchReport report;
   {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
     auto manifest = verify_store_.ManifestGeneration();
     if (manifest.ok()) report.generation = *manifest;
   }
@@ -334,55 +417,137 @@ Result<BatchReport> AdaptationPipeline::RunOnce() {
   }
   metrics.batches->Add();
 
-  bool any_applied = false;
-  for (const OodCandidate& item : batch) {
-    // Replay dedup: items already trained into the RCS (this run or a
-    // pre-crash one) and quarantined items are consumed without
-    // touching the trainer — the property that makes resumed runs
-    // converge to the uninterrupted digest.
-    bool skip = rcs_fingerprints_.count(item.fingerprint) > 0;
-    if (!skip) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      skip = quarantine_set_.count(item.fingerprint) > 0;
-    }
-    if (skip) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.items_deduped;
-      }
-      metrics.deduped->Add();
-      ++report.deduped;
-      continue;
-    }
+  // Replay dedup, claimed against a snapshot FIXED at batch start:
+  // items already trained into the RCS (this run or a pre-crash one)
+  // and quarantined items are consumed without labeling. The snapshot
+  // makes the claim decision independent of labeling timing and worker
+  // count; within one batch fingerprints are distinct (queue pending
+  // dedup), so only prior-batch state matters here, and the apply
+  // phase below rechecks the live set as the authoritative gate.
+  std::unordered_set<uint64_t> seen;
+  {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    seen = rcs_fingerprints_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    seen.insert(quarantine_set_.begin(), quarantine_set_.end());
+  }
 
-    auto label_or = LabelWithRetries(item);
-    bool sentinel = !label_or.ok();
-    advisor::DatasetLabel label = sentinel ? SentinelLabel() : *label_or;
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      if (sentinel) {
-        ++stats_.labels_sentinel;
-      } else {
-        ++stats_.labels_ok;
-      }
+  struct ItemPlan {
+    bool dedup = false;
+    bool sentinel = false;
+    bool budget_expired = false;
+    Status label_error;
+    advisor::DatasetLabel label;
+  };
+  std::vector<ItemPlan> plans(batch.size());
+  std::vector<std::size_t> to_label;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (seen.count(batch[i].fingerprint) > 0) {
+      plans[i].dedup = true;
+    } else {
+      to_label.push_back(i);
     }
-    if (sentinel) {
-      AUTOCE_LOG(Warning)
-          << "adaptation item " << item.dataset.name()
-          << " exhausted labeling retries, degrading to sentinel scores: "
-          << label_or.status().message();
-      metrics.labels_sentinel->Add();
-      ++report.sentinel;
+  }
+
+  // The per-batch wall-clock labeling budget arms when labeling
+  // starts; items it cuts off degrade to sentinel labels exactly like
+  // retry exhaustion.
+  util::DeadlineBudget label_budget(
+      config_.label_budget_ms_per_batch / 1000.0, config_.clock);
+  label_budget.Arm();
+
+  // Labels are a pure function of item content, so the labeling phase
+  // parallelizes freely: any claim interleaving produces the same
+  // plans. num_workers > 1 requires a thread-safe labeler.
+  auto label_task = [&](std::size_t i) {
+    const OodCandidate& item = batch[i];
+    auto label_or = LabelWithRetries(item, label_budget);
+    ItemPlan& plan = plans[i];
+    plan.sentinel = !label_or.ok();
+    plan.label = plan.sentinel ? SentinelLabel() : *label_or;
+    if (plan.sentinel) {
+      plan.label_error = label_or.status();
+      plan.budget_expired =
+          label_or.status().code() == StatusCode::kDeadlineExceeded;
     }
     // Crash window: the item is labeled but its unit is not applied; a
     // restart must relabel it to the same bits (content-keyed seed).
     util::KillPoint(util::kill_sites::kAdaptLabeled, item.fingerprint);
+  };
+  std::size_t workers =
+      config_.num_workers < 1 ? 1 : static_cast<std::size_t>(config_.num_workers);
+  workers = std::min(workers, to_label.size());
+  if (workers <= 1) {
+    for (std::size_t i : to_label) label_task(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (true) {
+          std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+          if (k >= to_label.size()) break;
+          label_task(to_label[k]);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
 
-    AUTOCE_RETURN_NOT_OK(
-        TrainUnit(item, label, sentinel, &report, &any_applied));
+  // Apply phase: strict arrival order under run_mu_, so the sequence
+  // of committed generations — hence the digest — is bit-identical at
+  // any worker count.
+  bool any_applied = false;
+  {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const OodCandidate& item = batch[i];
+      ItemPlan& plan = plans[i];
+      // Authoritative recheck against the live set: covers the corner
+      // of a fingerprint introduced by an earlier unit in this very
+      // batch (e.g. a Mixup graph), which the claim snapshot predates.
+      bool skip =
+          plan.dedup || rcs_fingerprints_.count(item.fingerprint) > 0;
+      if (skip) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.items_deduped;
+        }
+        metrics.deduped->Add();
+        ++report.deduped;
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        if (plan.sentinel) {
+          ++stats_.labels_sentinel;
+          if (plan.budget_expired) ++stats_.labels_budget_expired;
+        } else {
+          ++stats_.labels_ok;
+        }
+      }
+      if (plan.sentinel) {
+        AUTOCE_LOG(Warning)
+            << "adaptation item " << item.dataset.name()
+            << " exhausted labeling retries, degrading to sentinel scores: "
+            << plan.label_error.message();
+        metrics.labels_sentinel->Add();
+        ++report.sentinel;
+        if (plan.budget_expired) {
+          metrics.labels_budget_expired->Add();
+          ++report.budget_expired;
+        }
+      }
+      AUTOCE_RETURN_NOT_OK(
+          TrainUnit(item, plan.label, plan.sentinel, &report, &any_applied));
+    }
   }
 
   {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
     auto manifest = verify_store_.ManifestGeneration();
     if (manifest.ok()) report.generation = *manifest;
   }
@@ -471,6 +636,16 @@ AdaptationStats AdaptationPipeline::stats() const {
 }
 
 std::vector<uint64_t> AdaptationPipeline::quarantined() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::vector<uint64_t> fingerprints;
+  fingerprints.reserve(quarantined_.size());
+  for (const QuarantineRecord& record : quarantined_) {
+    fingerprints.push_back(record.fingerprint);
+  }
+  return fingerprints;
+}
+
+std::vector<QuarantineRecord> AdaptationPipeline::quarantine_records() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return quarantined_;
 }

@@ -14,6 +14,7 @@
 #include "advisor/autoce.h"
 #include "ce/testbed.h"
 #include "serve/server.h"
+#include "util/budget.h"
 #include "util/result.h"
 
 namespace autoce::adapt {
@@ -55,6 +56,21 @@ struct AdaptationConfig {
   uint64_t seed = 42;
   /// Background worker wake-up period (Start/Stop mode).
   double poll_interval_ms = 50.0;
+  /// Wall-clock labeling budget per RunOnce batch in ms (0 =
+  /// unlimited). Once the budget is exhausted, remaining items in the
+  /// batch degrade to sentinel labels exactly like retry exhaustion
+  /// (counted by `labels_budget_expired`); in-flight retries stop
+  /// without further backoff. Under the default clock the cutoff point
+  /// is load-dependent; inject `clock` for deterministic tests.
+  double label_budget_ms_per_batch = 0.0;
+  /// Labeling workers per batch. Labels are content-pure and applies
+  /// run in strict arrival order, so the committed digest and the
+  /// counters are bit-identical at any worker count (proven at 1/2/4
+  /// in the adapt tests).
+  int num_workers = 1;
+  /// Monotonic seconds source for the labeling budget (steady clock
+  /// when null).
+  util::ClockFn clock;
   /// Testbed configuration of the default labeler; ignored when a
   /// custom labeler is installed.
   ce::TestbedConfig testbed;
@@ -69,6 +85,7 @@ struct AdaptationStats {
   uint64_t items_quarantined = 0;  ///< dropped after exhausted retries
   uint64_t labels_ok = 0;
   uint64_t labels_sentinel = 0;    ///< degraded to the all-sentinel label
+  uint64_t labels_budget_expired = 0;  ///< sentinels due to the batch budget
   uint64_t label_retries = 0;
   uint64_t train_retries = 0;
   uint64_t commit_failures = 0;    ///< rollbacks to the durable generation
@@ -84,6 +101,7 @@ struct BatchReport {
   std::size_t applied = 0;
   std::size_t deduped = 0;
   std::size_t sentinel = 0;
+  std::size_t budget_expired = 0;  ///< sentinels caused by the batch budget
   std::size_t quarantined = 0;
   /// Durable store generation after the batch (0 when unreadable).
   uint64_t generation = 0;
@@ -100,6 +118,21 @@ enum class Offered {
   kRejectedFull,
   kRejectedFault,
 };
+
+/// One persisted quarantine entry: which unit was dropped, at which
+/// pipeline stage, and why. The pipeline appends these to a
+/// `QUARANTINE.log` sidecar in the store directory and reloads them on
+/// Open, so quarantines survive restarts and are reviewable offline
+/// (`autoce adapt quarantine`).
+struct QuarantineRecord {
+  uint64_t fingerprint = 0;
+  std::string stage;   ///< "train" or "commit"
+  std::string reason;  ///< single-line failure message
+};
+
+/// Reads the quarantine log under `store_dir`; an absent log is an
+/// empty list, a malformed line is skipped (the log is advisory).
+std::vector<QuarantineRecord> ReadQuarantineLog(const std::string& store_dir);
 
 /// \brief The online-adaptation loop (paper Sec. V-E; DESIGN.md §5.11).
 ///
@@ -176,6 +209,10 @@ class AdaptationPipeline {
   /// Fingerprints of quarantined items, in quarantine order.
   std::vector<uint64_t> quarantined() const;
 
+  /// Full quarantine records (including entries reloaded from the
+  /// persisted log), in quarantine order.
+  std::vector<QuarantineRecord> quarantine_records() const;
+
   /// ModelDigest of the trainer — the bit-identity witness the
   /// recovery harness compares across killed/resumed runs.
   uint64_t TrainerDigest() const;
@@ -199,8 +236,11 @@ class AdaptationPipeline {
   /// Labels one item: bounded attempts, `adapt.label` fault site keyed
   /// by (fingerprint, attempt), seeded backoff between attempts. The
   /// labeler seed is attempt-independent so retries cannot change the
-  /// label an item ends up with.
-  Result<advisor::DatasetLabel> LabelWithRetries(const OodCandidate& item);
+  /// label an item ends up with. `budget` (never null) cuts the attempt
+  /// loop short with `DeadlineExceeded` once the batch labeling budget
+  /// is gone.
+  Result<advisor::DatasetLabel> LabelWithRetries(
+      const OodCandidate& item, const util::DeadlineBudget& budget);
 
   /// Applies one labeled unit (item + optional mixup) to the trainer:
   /// bounded attempts with the `adapt.train` fault checked BEFORE any
@@ -215,7 +255,9 @@ class AdaptationPipeline {
   Status ReloadTrainer();
 
   void RebuildRcsFingerprints();
-  void Quarantine(const OodCandidate& item, BatchReport* report);
+  void Quarantine(const OodCandidate& item, const char* stage,
+                  const std::string& reason, BatchReport* report);
+  void LoadQuarantineLog();
   void Backoff(uint64_t fingerprint, int attempt);
   void WorkerLoop();
 
@@ -228,7 +270,12 @@ class AdaptationPipeline {
   Labeler labeler_;
   SleepFn sleep_fn_;
 
-  /// Serializes batch cycles; the trainer is only touched under it.
+  /// Serializes batch cycles end to end: parallel labeling happens
+  /// inside one RunOnce, never across two.
+  mutable std::mutex batch_mu_;
+
+  /// Guards the trainer and the dedup set; held for the sequential
+  /// apply phase but NOT for the (possibly parallel) labeling phase.
   mutable std::mutex run_mu_;
   advisor::AutoCe trainer_;               // guarded by run_mu_
   util::SnapshotStore verify_store_;      // guarded by run_mu_
@@ -238,7 +285,7 @@ class AdaptationPipeline {
   /// batch runs).
   mutable std::mutex stats_mu_;
   AdaptationStats stats_;                  // guarded by stats_mu_
-  std::vector<uint64_t> quarantined_;      // guarded by stats_mu_
+  std::vector<QuarantineRecord> quarantined_;    // guarded by stats_mu_
   std::unordered_set<uint64_t> quarantine_set_;  // guarded by stats_mu_
 
   mutable std::mutex worker_mu_;

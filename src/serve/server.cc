@@ -29,6 +29,7 @@ struct ServeMetrics {
   obs::Counter* requests;
   obs::Counter* admitted;
   obs::Counter* shed;
+  obs::Counter* deadline_shed;
   obs::Counter* invalid;
   obs::Counter* cache_hits;
   obs::Counter* embedded;
@@ -43,6 +44,7 @@ struct ServeMetrics {
       return ServeMetrics{reg.GetCounter("serve.requests"),
                           reg.GetCounter("serve.admitted"),
                           reg.GetCounter("serve.shed"),
+                          reg.GetCounter("serve.deadline_shed"),
                           reg.GetCounter("serve.invalid"),
                           reg.GetCounter("serve.cache_hits"),
                           reg.GetCounter("serve.embedded"),
@@ -143,6 +145,16 @@ std::vector<RecommendResponse> AdvisorServer::Serve(
   obs::TraceSpan span("serve.burst");
   const ServeMetrics& metrics = ServeMetrics::Get();
   Timer burst_timer;
+  // Deadlines are measured from burst start on the (injectable) clock;
+  // a request's effective deadline is its own override or the server
+  // default, 0 meaning "none".
+  const util::ClockFn& clock =
+      config_.clock ? config_.clock : util::ClockFn(&util::SteadyClockSeconds);
+  const double burst_start = clock();
+  auto deadline_of = [this](const RecommendRequest& request) {
+    return request.deadline_ms > 0.0 ? request.deadline_ms
+                                     : config_.request_deadline_ms;
+  };
   std::shared_ptr<const advisor::AutoCe> advisor;
   uint64_t generation = 0;
   {
@@ -160,13 +172,19 @@ std::vector<RecommendResponse> AdvisorServer::Serve(
   // request content, never on thread count.
   std::vector<size_t> admitted;
   admitted.reserve(std::min(requests.size(), config_.queue_capacity));
+  const double admission_elapsed_ms = (clock() - burst_start) * 1000.0;
   for (size_t i = 0; i < requests.size(); ++i) {
     responses[i].id = requests[i].id;
     responses[i].model_generation = generation;
     uint64_t key = Fingerprint(requests[i].graph);
     const char* shed_reason = nullptr;
+    bool deadline_expired = false;
+    double deadline = deadline_of(requests[i]);
     if (admitted.size() >= config_.queue_capacity) {
       shed_reason = "admission queue overflow";
+    } else if (deadline > 0.0 && admission_elapsed_ms >= deadline) {
+      shed_reason = "request deadline expired at admission";
+      deadline_expired = true;
     } else if (util::FaultPoint(util::fault_sites::kServeAdmission, key)) {
       shed_reason = "injected admission fault";
     }
@@ -175,9 +193,11 @@ std::vector<RecommendResponse> AdvisorServer::Serve(
       responses[i].recommendation =
           advisor->CorpusDefault(requests[i].w_a, shed_reason);
       metrics.shed->Add();
+      if (deadline_expired) metrics.deadline_shed->Add();
       metrics.request_ms->Observe(burst_timer.ElapsedMillis());
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.shed;
+      if (deadline_expired) ++stats_.deadline_shed;
       continue;
     }
     admitted.push_back(i);
@@ -191,6 +211,11 @@ std::vector<RecommendResponse> AdvisorServer::Serve(
   size_t vertex_dim = advisor->extractor().vertex_dim();
   for (size_t b = 0; b < admitted.size(); b += config_.max_batch) {
     size_t end = std::min(admitted.size(), b + config_.max_batch);
+    // Expiry check when the batch starts: earlier batches consumed the
+    // burst's time, and an admitted request whose deadline has since
+    // passed is shed instead of embedded — it would miss its deadline
+    // anyway, and shedding it keeps its batch slot for live requests.
+    const double batch_elapsed_ms = (clock() - burst_start) * 1000.0;
     struct Pending {
       size_t request;     // index into `requests`
       uint64_t key;
@@ -204,6 +229,18 @@ std::vector<RecommendResponse> AdvisorServer::Serve(
       InvalidateCacheIfStale(*advisor);
       for (size_t j = b; j < end; ++j) {
         size_t i = admitted[j];
+        double deadline = deadline_of(requests[i]);
+        if (deadline > 0.0 && batch_elapsed_ms >= deadline) {
+          responses[i].shed = true;
+          responses[i].recommendation = advisor->CorpusDefault(
+              requests[i].w_a, "request deadline expired before batch");
+          ++stats_.shed;
+          ++stats_.deadline_shed;
+          metrics.shed->Add();
+          metrics.deadline_shed->Add();
+          metrics.request_ms->Observe(burst_timer.ElapsedMillis());
+          continue;
+        }
         Status valid = featgraph::ValidateGraph(requests[i].graph,
                                                 vertex_dim);
         if (!valid.ok()) {

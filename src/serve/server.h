@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "advisor/autoce.h"
+#include "util/budget.h"
 #include "util/result.h"
 #include "util/snapshot.h"
 
@@ -25,6 +26,19 @@ struct ServerConfig {
   size_t queue_capacity = 64;
   /// Entries held by the fingerprint-keyed LRU embedding cache.
   size_t cache_capacity = 128;
+  /// Default per-request deadline in ms (0 = none), measured from the
+  /// start of the request's Serve burst. A request whose deadline has
+  /// already passed when its turn comes (at admission, or when its
+  /// batch starts after earlier batches consumed the time) is shed to
+  /// the degraded corpus default instead of embedded — late answers
+  /// are worthless to a query optimizer waiting on a plan. Overridden
+  /// per request by `RecommendRequest::deadline_ms`.
+  double request_deadline_ms = 0.0;
+  /// Monotonic seconds source for deadline checks (steady clock when
+  /// null). Deadline shedding under the real clock is load-dependent —
+  /// execution metadata like `from_cache`, excluded from determinism
+  /// digests; tests inject a clock to make it reproducible.
+  util::ClockFn clock;
 };
 
 /// One recommendation request. `id` is echoed back so callers can match
@@ -33,6 +47,8 @@ struct RecommendRequest {
   uint64_t id = 0;
   featgraph::FeatureGraph graph;
   double w_a = 0.5;
+  /// Per-request deadline in ms (0 = use the server default).
+  double deadline_ms = 0.0;
 };
 
 /// The server's answer to one request.
@@ -48,9 +64,9 @@ struct RecommendResponse {
   uint64_t id = 0;
   Status status = Status::OK();
   advisor::AutoCe::Recommendation recommendation;
-  /// True when the request was shed at admission (overload or injected
-  /// `serve.admission` fault); the recommendation is then the degraded
-  /// corpus default.
+  /// True when the request was shed (admission overflow, injected
+  /// `serve.admission` fault, or an expired deadline); the
+  /// recommendation is then the degraded corpus default.
   bool shed = false;
   /// True when the embedding came from the LRU cache.
   bool from_cache = false;
@@ -65,6 +81,7 @@ struct ServerStats {
   uint64_t embedded = 0;      ///< graphs embedded (cache misses)
   uint64_t cache_hits = 0;
   uint64_t shed = 0;
+  uint64_t deadline_shed = 0;  ///< subset of `shed` caused by deadlines
   uint64_t invalid = 0;       ///< requests rejected by graph validation
   uint64_t reloads = 0;       ///< successful hot reloads
   uint64_t reload_attempts = 0;  ///< Reload() calls, successful or not

@@ -17,7 +17,7 @@ std::atomic<bool> g_fault_enabled{false};
 
 namespace {
 
-constexpr std::array<const char*, 14> kAllSites = {
+constexpr std::array<const char*, 16> kAllSites = {
     fault_sites::kCsvRow,          fault_sites::kTestbedTrain,
     fault_sites::kTestbedEstimate, fault_sites::kNnLoss,
     fault_sites::kDmlLoss,         fault_sites::kDmlGrad,
@@ -25,6 +25,7 @@ constexpr std::array<const char*, 14> kAllSites = {
     fault_sites::kServeAdmission,  fault_sites::kServeReload,
     fault_sites::kAdaptEnqueue,    fault_sites::kAdaptLabel,
     fault_sites::kAdaptTrain,      fault_sites::kAdaptCommit,
+    fault_sites::kSnapshotWrite,   fault_sites::kSnapshotManifest,
 };
 
 uint64_t SplitMix64(uint64_t x) {

@@ -87,6 +87,15 @@ inline constexpr const char* kAdaptTrain = "adapt.train";
 /// trainer rolls back to the newest durable generation, the unit is
 /// quarantined, and `commit_failures` counts the rollback.
 inline constexpr const char* kAdaptCommit = "adapt.commit";
+/// One write of the keyed snapshot generation's temp file hits a
+/// simulated ENOSPC short write (`util::SnapshotStore::Commit`);
+/// contract: the commit fails with the errno string in the message, the
+/// temp file is removed, and the previous generation stays loadable.
+inline constexpr const char* kSnapshotWrite = "snapshot.write";
+/// The MANIFEST rewrite for the keyed generation hits a simulated
+/// ENOSPC short write; contract: the commit fails, the old MANIFEST is
+/// untouched, and `LoadLatest` still serves the previous generation.
+inline constexpr const char* kSnapshotManifest = "snapshot.manifest";
 }  // namespace fault_sites
 
 /// Every registered site, in a fixed order. Tests iterate this list to

@@ -14,6 +14,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/budget.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/serde.h"
@@ -31,6 +32,7 @@ struct SnapMetrics {
   obs::Counter* fsyncs;
   obs::Counter* fallbacks;
   obs::Counter* load_retries;
+  obs::Counter* budget_rejects;
   obs::Histogram* fsync_ms;
   obs::Histogram* commit_ms;
   static const SnapMetrics& Get() {
@@ -41,6 +43,7 @@ struct SnapMetrics {
                          reg.GetCounter("snapshot.fsyncs"),
                          reg.GetCounter("snapshot.fallbacks"),
                          reg.GetCounter("snapshot.load_retries"),
+                         reg.GetCounter("snapshot.budget_rejects"),
                          reg.GetHistogram("snapshot.fsync_ms"),
                          reg.GetHistogram("snapshot.commit_ms")};
     }();
@@ -328,15 +331,23 @@ Status SnapshotStore::WriteManifest(uint64_t generation,
   FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return Status::Internal("cannot write: " + tmp);
   const std::string& bytes = w.buffer();
-  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  // The injected ENOSPC fires before any byte reaches the temp file —
+  // the most hostile point for the MANIFEST, whose old copy must stay
+  // authoritative.
+  bool ok = !FaultPoint(fault_sites::kSnapshotManifest, generation);
+  if (!ok) errno = ENOSPC;
+  ok = ok && std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
   ok = ok && std::fflush(f) == 0;
   if (durability == CommitDurability::kSync) {
     ok = ok && TimedFsync(::fileno(f)) == 0;
   }
+  int write_errno = ok ? 0 : errno;
   ok = (std::fclose(f) == 0) && ok;
   if (!ok) {
+    if (write_errno == 0) write_errno = errno;
     std::remove(tmp.c_str());
-    return Status::Internal("short write: " + tmp);
+    return Status::Internal("short write: " + tmp + " (" +
+                            std::strerror(write_errno) + ")");
   }
   KillPoint(kill_sites::kManifestTmp, generation);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -409,6 +420,29 @@ Result<uint64_t> SnapshotStore::Commit(
   frame.WriteU32(kSnapTrailer);
   const std::string& bytes = frame.buffer();
 
+  if (options_.disk_budget_bytes > 0) {
+    // Project the post-GC footprint: the new snapshot plus the newest
+    // keep-1 existing generations (everything older is collected). The
+    // check runs before any byte is written, so a rejected commit
+    // leaves the store bit-identical to before the call.
+    ByteBudget budget(options_.disk_budget_bytes);
+    std::vector<uint64_t> gens = ListGenerations();  // ascending
+    size_t keep_existing =
+        static_cast<size_t>(options_.keep_generations) - 1;
+    uint64_t projected = bytes.size();
+    for (size_t i = 0; i < gens.size() && i < keep_existing; ++i) {
+      struct stat st;
+      uint64_t g = gens[gens.size() - 1 - i];
+      if (::stat(GenerationPath(g).c_str(), &st) == 0) {
+        projected += static_cast<uint64_t>(st.st_size);
+      }
+    }
+    if (Status st = budget.Charge(projected, "snapshot.commit"); !st.ok()) {
+      metrics.budget_rejects->Add();
+      return st;
+    }
+  }
+
   const std::string path = GenerationPath(gen);
   const std::string tmp = path + ".tmp";
   {
@@ -420,16 +454,26 @@ Result<uint64_t> SnapshotStore::Commit(
     bool ok = std::fwrite(bytes.data(), 1, half, f) == half;
     ok = ok && std::fflush(f) == 0;  // push the prefix to the OS first
     if (ok) KillPoint(kill_sites::kTmpPartial, gen);
+    if (ok && FaultPoint(fault_sites::kSnapshotWrite, gen)) {
+      // Simulated ENOSPC: the device filled after the prefix landed —
+      // the same torn state the kTmpPartial kill leaves, but surfaced
+      // as an error the caller must handle instead of a crash.
+      errno = ENOSPC;
+      ok = false;
+    }
     ok = ok && std::fwrite(bytes.data() + half, 1, bytes.size() - half, f) ==
                    bytes.size() - half;
     ok = ok && std::fflush(f) == 0;
     if (durability == CommitDurability::kSync) {
       ok = ok && TimedFsync(::fileno(f)) == 0;
     }
+    int write_errno = ok ? 0 : errno;
     ok = (std::fclose(f) == 0) && ok;
     if (!ok) {
+      if (write_errno == 0) write_errno = errno;
       std::remove(tmp.c_str());
-      return Status::Internal("short write of snapshot: " + tmp);
+      return Status::Internal("short write of snapshot: " + tmp + " (" +
+                              std::strerror(write_errno) + ")");
     }
   }
   KillPoint(kill_sites::kTmpSynced, gen);
@@ -444,7 +488,14 @@ Result<uint64_t> SnapshotStore::Commit(
   // LoadLatest falls back generation by generation.
   KillPoint(kill_sites::kRenamed, gen);
 
-  AUTOCE_RETURN_NOT_OK(WriteManifest(gen, durability));
+  if (Status st = WriteManifest(gen, durability); !st.ok()) {
+    // Roll back: remove the orphan snapshot unless the MANIFEST already
+    // reached it (a post-rename fsync failure must not delete the data
+    // the manifest now points at).
+    auto now = ManifestGeneration();
+    if (!(now.ok() && *now == gen)) std::remove(path.c_str());
+    return st;
+  }
   KillPoint(kill_sites::kCommitted, gen);
 
   CollectGarbage(gen);

@@ -104,6 +104,12 @@ void DisableKillPoints();
 struct SnapshotStoreOptions {
   /// Number of newest good generations retained by the keep-N GC.
   int keep_generations = 3;
+  /// Disk-byte budget for the store (0 = unlimited). `Commit` projects
+  /// the post-GC footprint (new snapshot + surviving generations) and
+  /// refuses with `ResourceExhausted` BEFORE writing anything when the
+  /// projection exceeds the budget — the previous generation is
+  /// trivially untouched. Counted by `snapshot.budget_rejects`.
+  uint64_t disk_budget_bytes = 0;
 };
 
 /// How durable a commit must be before it returns OK.

@@ -21,6 +21,8 @@ enum class StatusCode {
   kInternal,
   kNotImplemented,
   kDataLoss,
+  kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 /// \brief A success-or-error outcome carrying a code and a message.
@@ -61,6 +63,12 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "data/generator.h"
@@ -145,6 +147,87 @@ TEST_F(FeedbackQueueTest, EvictionTieBreaksTowardNewerVictim) {
   ASSERT_EQ(batch.size(), 2u);
   EXPECT_EQ(batch[0].fingerprint, GraphFingerprint((*graphs_)[0]));
   EXPECT_EQ(batch[1].fingerprint, GraphFingerprint((*graphs_)[2]));
+}
+
+TEST_F(FeedbackQueueTest, ConcurrentOffersAtCapacityConserveCounts) {
+  // Offer from several threads while a drainer empties the queue: the
+  // bound must hold at every instant and the counters must conserve —
+  // every offer is accounted for exactly once, every admitted item is
+  // drained, evicted, or still pending.
+  FeedbackQueue q(3);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 50;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> drained_seen{0};
+
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      drained_seen.fetch_add(q.DrainBatch(2).size(),
+                             std::memory_order_relaxed);
+    }
+    drained_seen.fetch_add(q.DrainBatch(q.capacity()).size(),
+                           std::memory_order_relaxed);
+  });
+  std::vector<std::thread> offerers;
+  offerers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    offerers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        size_t item = static_cast<size_t>((t * kIters + i) % 8);
+        double distance = 1.0 + static_cast<double>(i % 5);
+        Offer(&q, item, distance);
+        EXPECT_LE(q.depth(), q.capacity());
+      }
+    });
+  }
+  for (auto& th : offerers) th.join();
+  stop.store(true, std::memory_order_release);
+  drainer.join();
+
+  FeedbackQueueStats stats = q.stats();
+  EXPECT_EQ(stats.offered,
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(stats.offered, stats.admitted + stats.deduped +
+                               stats.rejected_full + stats.rejected_fault);
+  EXPECT_EQ(stats.admitted,
+            stats.drained + stats.evicted + q.depth());
+  EXPECT_EQ(stats.drained, drained_seen.load());
+  EXPECT_EQ(stats.rejected_fault, 0u);
+}
+
+TEST_F(FeedbackQueueTest, ConcurrentEqualPriorityOffersNeverEvict) {
+  // The eviction tie rule under concurrency: an offer EQUAL to the
+  // minimum pending priority never evicts, so with the queue full of
+  // equal-distance items every racing equal-distance offer must lose —
+  // deterministically, no matter how the threads interleave.
+  FeedbackQueue q(2);
+  ASSERT_EQ(Offer(&q, 0, 5.0), Admission::kAdmitted);
+  ASSERT_EQ(Offer(&q, 1, 5.0), Admission::kAdmitted);
+
+  std::vector<std::thread> threads;
+  std::atomic<int> evicting{0};
+  std::atomic<int> rejected{0};
+  for (size_t item = 2; item < 6; ++item) {
+    threads.emplace_back([&, item] {
+      for (int i = 0; i < 25; ++i) {
+        Admission a = Offer(&q, item, 5.0);
+        if (a == Admission::kAdmittedEvicting) ++evicting;
+        if (a == Admission::kRejectedFull) ++rejected;
+        EXPECT_NE(a, Admission::kAdmitted);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(evicting.load(), 0);
+  EXPECT_EQ(rejected.load(), 4 * 25);
+  EXPECT_EQ(q.stats().evicted, 0u);
+
+  // The original residents survived the storm.
+  auto batch = q.DrainBatch(2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].fingerprint, GraphFingerprint((*graphs_)[0]));
+  EXPECT_EQ(batch[1].fingerprint, GraphFingerprint((*graphs_)[1]));
 }
 
 TEST_F(FeedbackQueueTest, SameOfferedStreamYieldsSameDrainedStream) {

@@ -76,6 +76,7 @@ std::string TempStoreDir(const std::string& name) {
       std::remove(store->GenerationPath(g).c_str());
     }
     std::remove((dir + "/MANIFEST").c_str());
+    std::remove((dir + "/QUARANTINE.log").c_str());
   }
   return dir;
 }
@@ -457,6 +458,152 @@ TEST_F(PipelineTest, BackgroundWorkerAdaptsWhileServing) {
   EXPECT_EQ(rig.pipeline->stats().items_applied, 3u);
   EXPECT_EQ(rig.pipeline->queue().depth(), 0u);
   rig.pipeline->Stop();  // idempotent
+}
+
+TEST_F(PipelineTest, LabelBudgetExpiryDegradesToSentinel) {
+  std::string dir = CloneTemplate("adapt_label_budget");
+  AdaptationConfig config;
+  config.batch_size = 8;
+  config.label_budget_ms_per_batch = 10.0;
+  // Simulated clock: every observation advances 6 ms, so the budget
+  // admits exactly one label before expiring — deterministically, on
+  // any host.
+  double now_s = 0.0;
+  config.clock = [&now_s] {
+    now_s += 0.006;
+    return now_s;
+  };
+  Rig rig = OpenRig(dir, config);
+  size_t rcs_before = rig.pipeline->TrainerRcsSize();
+
+  for (size_t i = 0; i < 3; ++i) OfferFeed(rig.pipeline.get(), i);
+  auto report = rig.pipeline->RunOnce();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Item 0 labeled within budget; items 1 and 2 hit the expired budget
+  // and degrade to sentinel labels exactly like retry exhaustion — they
+  // are still applied (without Mixup), never dropped.
+  EXPECT_EQ(report->drained, 3u);
+  EXPECT_EQ(report->applied, 3u);
+  EXPECT_EQ(report->sentinel, 2u);
+  EXPECT_EQ(report->budget_expired, 2u);
+  AdaptationStats stats = rig.pipeline->stats();
+  EXPECT_EQ(stats.labels_ok, 1u);
+  EXPECT_EQ(stats.labels_sentinel, 2u);
+  EXPECT_EQ(stats.labels_budget_expired, 2u);
+  EXPECT_EQ(stats.label_retries, 0u);  // expiry never burns retries
+  EXPECT_EQ(rig.pipeline->TrainerRcsSize(), rcs_before + 2 + 2);
+
+  // The budget is per batch: the next RunOnce re-arms it, so a fresh
+  // item labels fine even though the clock marched on.
+  OfferFeed(rig.pipeline.get(), 3);
+  auto second = rig.pipeline->RunOnce();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->budget_expired, 0u);
+  EXPECT_EQ(rig.pipeline->stats().labels_ok, 2u);
+}
+
+TEST_F(PipelineTest, UnlimitedLabelBudgetNeverExpires) {
+  std::string dir = CloneTemplate("adapt_label_nobudget");
+  AdaptationConfig config;
+  config.label_budget_ms_per_batch = 0.0;  // unlimited (the default)
+  double now_s = 0.0;
+  config.clock = [&now_s] {
+    now_s += 1e6;  // each look jumps ~11 days
+    return now_s;
+  };
+  Rig rig = OpenRig(dir, config);
+  OfferFeed(rig.pipeline.get(), 0);
+  OfferFeed(rig.pipeline.get(), 1);
+  ASSERT_TRUE(rig.pipeline->DrainAll().ok());
+  AdaptationStats stats = rig.pipeline->stats();
+  EXPECT_EQ(stats.labels_ok, 2u);
+  EXPECT_EQ(stats.labels_budget_expired, 0u);
+}
+
+TEST_F(PipelineTest, QuarantineLogPersistsAcrossRestart) {
+  std::string dir = CloneTemplate("adapt_qlog");
+  uint64_t poisoned = GraphFingerprint((*feed_graphs_)[0]);
+  {
+    Rig rig = OpenRig(dir);
+    auto& injection = util::FaultInjection::Instance();
+    ASSERT_TRUE(injection
+                    .Configure(std::string(util::fault_sites::kAdaptTrain) +
+                               ":1.0")
+                    .ok());
+    OfferFeed(rig.pipeline.get(), 0);
+    ASSERT_TRUE(rig.pipeline->RunOnce().ok());
+    injection.Disable();
+    ASSERT_EQ(rig.pipeline->quarantined().size(), 1u);
+  }
+
+  // The sidecar log carries fingerprint, stage, and a failure reason.
+  auto records = ReadQuarantineLog(dir);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].fingerprint, poisoned);
+  EXPECT_EQ(records[0].stage, "train");
+  EXPECT_FALSE(records[0].reason.empty());
+
+  // A restarted pipeline reloads the quarantine: the poisoned item is
+  // consumed by dedup instead of retraining (and possibly re-poisoning).
+  {
+    Rig rig = OpenRig(dir);
+    ASSERT_EQ(rig.pipeline->quarantine_records().size(), 1u);
+    EXPECT_EQ(rig.pipeline->quarantine_records()[0].fingerprint, poisoned);
+    OfferFeed(rig.pipeline.get(), 0);
+    ASSERT_TRUE(rig.pipeline->DrainAll().ok());
+    AdaptationStats stats = rig.pipeline->stats();
+    EXPECT_EQ(stats.items_deduped, 1u);
+    EXPECT_EQ(stats.items_applied, 0u);
+  }
+}
+
+TEST_F(PipelineTest, MultiWorkerDrainIsBitIdentical) {
+  // The determinism proof behind `num_workers`: the same feed stream
+  // must land on the same trainer digest and the same stats at any
+  // worker count — even with label faults firing (fault decisions are
+  // content-keyed, not thread-keyed).
+  struct Observed {
+    uint64_t digest;
+    uint64_t generation;
+    AdaptationStats stats;
+  };
+  auto run = [&](int workers) {
+    std::string dir =
+        CloneTemplate("adapt_mw" + std::to_string(workers));
+    AdaptationConfig config;
+    config.batch_size = 8;
+    config.num_workers = workers;
+    Rig rig = OpenRig(dir, config);
+    auto& injection = util::FaultInjection::Instance();
+    EXPECT_TRUE(injection
+                    .Configure(std::string(util::fault_sites::kAdaptLabel) +
+                               ":0.5")
+                    .ok());
+    for (size_t i = 0; i < feed_graphs_->size(); ++i) {
+      OfferFeed(rig.pipeline.get(), i);
+    }
+    EXPECT_TRUE(rig.pipeline->DrainAll().ok());
+    injection.Disable();
+    Observed o;
+    o.digest = rig.pipeline->TrainerDigest();
+    o.generation = rig.server->generation();
+    o.stats = rig.pipeline->stats();
+    return o;
+  };
+
+  Observed one = run(1);
+  for (int workers : {2, 4}) {
+    Observed many = run(workers);
+    EXPECT_EQ(many.digest, one.digest) << workers << " workers";
+    EXPECT_EQ(many.generation, one.generation) << workers << " workers";
+    EXPECT_EQ(many.stats.items_applied, one.stats.items_applied);
+    EXPECT_EQ(many.stats.labels_ok, one.stats.labels_ok);
+    EXPECT_EQ(many.stats.labels_sentinel, one.stats.labels_sentinel);
+    EXPECT_EQ(many.stats.label_retries, one.stats.label_retries);
+    EXPECT_EQ(many.stats.generations_committed,
+              one.stats.generations_committed);
+  }
 }
 
 TEST_F(PipelineTest, SentinelLabelIsAllFailedFloor) {

@@ -65,6 +65,7 @@ std::string FreshDir(const std::string& name) {
     }
     std::remove((dir + "/MANIFEST").c_str());
     std::remove((dir + "/MANIFEST.tmp").c_str());
+    std::remove((dir + "/QUARANTINE.log").c_str());
   }
   return dir;
 }
@@ -93,8 +94,10 @@ class AdaptKillSweepTest : public ::testing::TestWithParam<const char*> {};
 TEST_P(AdaptKillSweepTest, CrashedStageRecoversToBaselineDigest) {
   const std::string site = GetParam();
 
-  // Uninterrupted baseline: setup + full adaptation in one go.
-  std::string base_dir = FreshDir("adapt_crash_baseline");
+  // Uninterrupted baseline: setup + full adaptation in one go. The
+  // baseline dir is per-stage: ctest runs each TEST_P instance as its
+  // own process, so a shared dir would race under `ctest -j`.
+  std::string base_dir = FreshDir("adapt_crash_baseline_" + site);
   RunResult setup = RunCmd(HelperCmd("setup", base_dir, ""));
   ASSERT_EQ(setup.exit_code, 0) << setup.output;
   RunResult baseline = RunCmd(HelperCmd("adapt", base_dir, ""));

@@ -421,6 +421,9 @@ void ExerciseAdaptPipelineSite(const std::string& site) {
       std::remove(old->GenerationPath(g).c_str());
     }
     std::remove((dir + "/MANIFEST").c_str());
+    // Quarantines persist in a sidecar now; a stale log would pre-seed
+    // the dedup set and swallow this run's expected quarantine count.
+    std::remove((dir + "/QUARANTINE.log").c_str());
   }
   advisor::AutoCe adv(TinyAdvisorConfig());
   ASSERT_TRUE(adv.EnableSnapshots(dir).ok());
@@ -477,6 +480,45 @@ void ExerciseAdaptPipelineSite(const std::string& site) {
   EXPECT_EQ((*pipeline)->stats().items_applied, stats.items_applied + 1);
 }
 
+/// Shared contract of the simulated-ENOSPC persistence sites: the
+/// commit fails with the errno string in the message, nothing torn is
+/// left behind, the previous generation keeps loading, and commits
+/// succeed again once injection is off. (The detailed per-site
+/// behavior — torn-tmp removal, orphan rollback, disk budgets — lives
+/// in snapshot_test.cc's SnapshotDiskFailureTest.)
+void ExerciseSnapshotSite(const std::string& site) {
+  auto& reg = util::FaultInjection::Instance();
+  std::string dir = std::string(::testing::TempDir()) + "/fault_" + site;
+  if (auto old = util::SnapshotStore::Open(dir); old.ok()) {
+    for (uint64_t g : old->ListGenerations()) {
+      std::remove(old->GenerationPath(g).c_str());
+    }
+    std::remove((dir + "/MANIFEST").c_str());
+  }
+  auto store = util::SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  std::vector<util::SnapshotSection> sections = {{"alpha", "payload-good"}};
+  ASSERT_TRUE(store->Commit(sections).ok());
+
+  ASSERT_TRUE(reg.Configure(site + ":1").ok());
+  sections[0].payload = "payload-doomed";
+  auto failed = store->Commit(sections);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_GT(reg.FireCount(site.c_str()), 0);
+  EXPECT_NE(failed.status().message().find("No space left on device"),
+            std::string::npos)
+      << "errno string missing: " << failed.status().message();
+
+  uint64_t loaded_gen = 0;
+  auto reloaded = store->LoadLatest(&loaded_gen);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)[0].payload, "payload-good");
+
+  reg.Disable();
+  sections[0].payload = "payload-after";
+  EXPECT_TRUE(store->Commit(sections).ok());
+}
+
 /// Dispatches a site name to its contract handler; fails for any
 /// registered site without one, so new sites cannot ship untested.
 void ExerciseSite(const std::string& site) {
@@ -507,6 +549,8 @@ void ExerciseSite(const std::string& site) {
   } else if (site == sites::kAdaptLabel || site == sites::kAdaptTrain ||
              site == sites::kAdaptCommit) {
     ExerciseAdaptPipelineSite(site);
+  } else if (site == sites::kSnapshotWrite || site == sites::kSnapshotManifest) {
+    ExerciseSnapshotSite(site);
   } else {
     FAIL() << "registered fault site has no contract test: " << site;
   }

@@ -293,6 +293,106 @@ TEST_F(ServerTest, OverloadShedsToDegradedCorpusDefault) {
   for (size_t i = 0; i < 5; ++i) ExpectSameResponse(repeat[i], responses[i]);
 }
 
+TEST_F(ServerTest, ExpiredDeadlineShedsAtAdmission) {
+  // Simulated clock: +5 ms per look. Serve reads it once at burst
+  // start and once before admission, so admission sees 5 ms elapsed.
+  ServerConfig cfg;
+  cfg.request_deadline_ms = 4.0;
+  double now_s = 0.0;
+  cfg.clock = [&now_s] {
+    now_s += 0.005;
+    return now_s;
+  };
+  AdvisorServer server(LoadAdvisor(), cfg);
+
+  auto requests = AllRequests();
+  requests.resize(3);
+  // A per-request override can opt out of the tight server default.
+  requests[2].deadline_ms = 1000.0;
+  auto responses = server.Serve(requests);
+  ASSERT_EQ(responses.size(), 3u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(responses[i].status.ok());
+    EXPECT_TRUE(responses[i].shed) << i;
+    EXPECT_TRUE(responses[i].recommendation.degraded) << i;
+    EXPECT_EQ(responses[i].recommendation.degraded_reason,
+              "request deadline expired at admission")
+        << i;
+  }
+  EXPECT_FALSE(responses[2].shed);
+  EXPECT_FALSE(responses[2].recommendation.degraded);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.deadline_shed, 2u);
+}
+
+TEST_F(ServerTest, DeadlineExpiringMidBurstShedsLaterBatches) {
+  // +5 ms per look: burst start, admission (5 ms), first batch
+  // (10 ms), second batch (15 ms). A 12 ms deadline admits everything,
+  // serves the first batch, and sheds the second — late answers are
+  // worthless, so the server refuses to burn a forward on them.
+  ServerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.request_deadline_ms = 12.0;
+  double now_s = 0.0;
+  cfg.clock = [&now_s] {
+    now_s += 0.005;
+    return now_s;
+  };
+  AdvisorServer server(LoadAdvisor(), cfg);
+
+  auto requests = AllRequests();
+  requests.resize(4);
+  auto responses = server.Serve(requests);
+  ASSERT_EQ(responses.size(), 4u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_FALSE(responses[i].shed) << i;
+    EXPECT_FALSE(responses[i].recommendation.degraded) << i;
+  }
+  for (size_t i = 2; i < 4; ++i) {
+    EXPECT_TRUE(responses[i].status.ok());
+    EXPECT_TRUE(responses[i].shed) << i;
+    EXPECT_EQ(responses[i].recommendation.degraded_reason,
+              "request deadline expired before batch")
+        << i;
+  }
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.deadline_shed, 2u);
+
+  // The same burst against the same simulated clock reproduces bit for
+  // bit — deadline shedding is deterministic once the clock is.
+  double again_s = 0.0;
+  ServerConfig cfg2 = cfg;
+  cfg2.clock = [&again_s] {
+    again_s += 0.005;
+    return again_s;
+  };
+  AdvisorServer again(LoadAdvisor(), cfg2);
+  auto repeat = again.Serve(requests);
+  for (size_t i = 0; i < 4; ++i) ExpectSameResponse(repeat[i], responses[i]);
+}
+
+TEST_F(ServerTest, NoDeadlineMeansNoDeadlineShedding) {
+  ServerConfig cfg;  // request_deadline_ms = 0: off
+  double now_s = 0.0;
+  cfg.clock = [&now_s] {
+    now_s += 3600.0;  // an hour per look
+    return now_s;
+  };
+  AdvisorServer server(LoadAdvisor(), cfg);
+  auto requests = AllRequests();
+  requests.resize(3);
+  auto responses = server.Serve(requests);
+  for (const auto& r : responses) {
+    EXPECT_FALSE(r.shed);
+    EXPECT_TRUE(r.status.ok());
+  }
+  EXPECT_EQ(server.stats().deadline_shed, 0u);
+}
+
 TEST_F(ServerTest, InvalidGraphIsRejectedWhileOthersAreServed) {
   AdvisorServer server(LoadAdvisor(), {});
   auto requests = AllRequests();

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "util/fault.h"
 #include "util/rng.h"
 #include "util/serde.h"
 
@@ -331,6 +333,113 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+/// Injected-ENOSPC and disk-budget behaviour: every refused or failed
+/// commit must leave the previous generation installed and loadable.
+class SnapshotDiskFailureTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Instance().Disable(); }
+};
+
+TEST_F(SnapshotDiskFailureTest, EnospcDuringSnapshotWriteKeepsPreviousGen) {
+  std::string dir = TempStoreDir("snap_enospc_write");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Commit(MakeSections("good")).ok());
+
+  ASSERT_TRUE(FaultInjection::Instance()
+                  .Configure(std::string(fault_sites::kSnapshotWrite) + ":1")
+                  .ok());
+  auto failed = store->Commit(MakeSections("doomed"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("No space left on device"),
+            std::string::npos)
+      << "errno string missing: " << failed.status().message();
+  FaultInjection::Instance().Disable();
+
+  // No torn temp file left behind, MANIFEST still points at the good
+  // generation, and it loads.
+  uint64_t loaded_gen = 0;
+  auto reloaded = store->LoadLatest(&loaded_gen);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)[0].payload, "payload-a-good");
+  auto manifest = store->ManifestGeneration();
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(*manifest, loaded_gen);
+  EXPECT_EQ(store->ListGenerations().size(), 1u);
+}
+
+TEST_F(SnapshotDiskFailureTest, EnospcDuringManifestWriteRollsBackOrphan) {
+  std::string dir = TempStoreDir("snap_enospc_manifest");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  auto good = store->Commit(MakeSections("good"));
+  ASSERT_TRUE(good.ok());
+
+  ASSERT_TRUE(
+      FaultInjection::Instance()
+          .Configure(std::string(fault_sites::kSnapshotManifest) + ":1")
+          .ok());
+  auto failed = store->Commit(MakeSections("doomed"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("No space left on device"),
+            std::string::npos)
+      << failed.status().message();
+  FaultInjection::Instance().Disable();
+
+  // The orphan snapshot (renamed but never manifested) was rolled back:
+  // the store holds exactly the good generation and loads it.
+  EXPECT_EQ(store->ListGenerations(), std::vector<uint64_t>{*good});
+  auto manifest = store->ManifestGeneration();
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(*manifest, *good);
+  auto reloaded = store->LoadLatest();
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)[0].payload, "payload-a-good");
+
+  // The store recovers fully once space is back.
+  auto next = store->Commit(MakeSections("after"));
+  ASSERT_TRUE(next.ok());
+  EXPECT_GT(*next, *good);
+}
+
+TEST_F(SnapshotDiskFailureTest, DiskBudgetRefusesBeforeWriting) {
+  auto& metrics = obs::MetricsRegistry::Instance();
+  metrics.Enable();
+  obs::Counter* rejects = metrics.GetCounter("snapshot.budget_rejects");
+  int64_t rejects_before = rejects->value();
+
+  std::string dir = TempStoreDir("snap_disk_budget");
+  SnapshotStoreOptions options;
+  options.keep_generations = 2;
+  auto unbounded = SnapshotStore::Open(dir, options);
+  ASSERT_TRUE(unbounded.ok());
+  auto good = unbounded->Commit(MakeSections("good"));
+  ASSERT_TRUE(good.ok());
+
+  // A budget smaller than one committed generation: the next commit
+  // must refuse up front, leaving file set and MANIFEST untouched.
+  struct ::stat st;
+  ASSERT_EQ(::stat(unbounded->GenerationPath(*good).c_str(), &st), 0);
+  options.disk_budget_bytes = static_cast<uint64_t>(st.st_size);
+  auto bounded = SnapshotStore::Open(dir, options);
+  ASSERT_TRUE(bounded.ok());
+
+  auto refused = bounded->Commit(MakeSections("too-big"));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(rejects->value(), rejects_before + 1);
+  EXPECT_EQ(bounded->ListGenerations(), std::vector<uint64_t>{*good});
+  auto reloaded = bounded->LoadLatest();
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)[0].payload, "payload-a-good");
+
+  // A budget with room for the keep-N footprint admits the commit.
+  options.disk_budget_bytes = static_cast<uint64_t>(st.st_size) * 4;
+  auto roomy = SnapshotStore::Open(dir, options);
+  ASSERT_TRUE(roomy.ok());
+  EXPECT_TRUE(roomy->Commit(MakeSections("fits")).ok());
+}
 
 }  // namespace
 }  // namespace autoce::util

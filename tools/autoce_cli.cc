@@ -9,9 +9,12 @@
 //                    [--weight W]
 //   autoce serve     (--model model.ace | --snapshot-dir DIR) --data DIR
 //                    [--weight W] [--batch N] [--queue N] [--adapt]
+//                    [--deadline-ms MS] [--disk-budget-bytes B]
 //   autoce adapt     --snapshot-dir DIR --data DIR [--batch N]
 //                    [--queue N] [--seed S] [--train-queries N]
-//                    [--test-queries N]
+//                    [--test-queries N] [--label-budget-ms MS]
+//                    [--workers N] [--disk-budget-bytes B]
+//   autoce adapt quarantine --snapshot-dir DIR [--json]
 //   autoce inspect   (--model model.ace | --snapshot-dir DIR)
 //   autoce metrics dump [--json]
 //   autoce faults list
@@ -40,6 +43,16 @@
 // `serve --adapt` does the same from the serve path: OOD requests are
 // enqueued while a background worker adapts concurrently.
 //
+// Resource budgets (DESIGN.md §5.12): `serve --deadline-ms` sheds
+// requests whose deadline expired instead of embedding them, `adapt
+// --label-budget-ms` bounds per-batch labeling wall-clock (cut-off
+// items degrade to sentinel labels), `--disk-budget-bytes` makes the
+// snapshot store refuse commits whose post-GC footprint would exceed
+// the budget, and `adapt --workers N` drains batches with N labeling
+// workers (bit-identical results at any N). `adapt quarantine` lists
+// the poisoned fingerprints recorded in the store's QUARANTINE.log
+// with stage + failure reason (`--json` for machine consumption).
+//
 // Telemetry (DESIGN.md §5.9): with AUTOCE_METRICS set, every command
 // records obs counters/histograms; `serve` prints the Prometheus dump
 // at the end and `metrics dump` prints the current registry (of this
@@ -66,6 +79,7 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
+#include "util/chaos.h"
 #include "util/fault.h"
 #include "util/parallel.h"
 #include "util/serde.h"
@@ -331,10 +345,15 @@ int CmdServe(const Args& args) {
   serve::ServerConfig config;
   config.max_batch = static_cast<size_t>(args.GetInt("batch", 8));
   config.queue_capacity = static_cast<size_t>(args.GetInt("queue", 64));
+  config.request_deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  util::SnapshotStoreOptions store_options;
+  store_options.disk_budget_bytes =
+      static_cast<uint64_t>(args.GetInt("disk-budget-bytes", 0));
 
   std::unique_ptr<serve::AdvisorServer> server;
   if (!args.Get("snapshot-dir").empty()) {
-    auto opened = serve::AdvisorServer::Open(args.Get("snapshot-dir"), config);
+    auto opened = serve::AdvisorServer::Open(args.Get("snapshot-dir"), config,
+                                             store_options);
     if (!opened.ok()) {
       std::fprintf(stderr, "serve: %s\n",
                    opened.status().ToString().c_str());
@@ -471,7 +490,45 @@ const char* OfferedName(adapt::Offered offered) {
   return "unknown";
 }
 
+/// `autoce adapt quarantine`: lists (or exports as JSON) the
+/// fingerprints the pipeline has quarantined, with the stage and the
+/// failure reason recorded when each was poisoned.
+int CmdAdaptQuarantine(const Args& args) {
+  std::string store_dir = args.Get("snapshot-dir");
+  if (store_dir.empty()) {
+    std::fprintf(stderr, "adapt quarantine: --snapshot-dir DIR is required\n");
+    return 2;
+  }
+  auto records = adapt::ReadQuarantineLog(store_dir);
+  if (args.Has("json")) {
+    std::printf("[");
+    for (size_t i = 0; i < records.size(); ++i) {
+      std::printf("%s{\"fingerprint\": \"%016" PRIx64
+                  "\", \"stage\": \"%s\", \"reason\": \"%s\"}",
+                  i == 0 ? "" : ", ", records[i].fingerprint,
+                  records[i].stage.c_str(), records[i].reason.c_str());
+    }
+    std::printf("]\n");
+    return 0;
+  }
+  if (records.empty()) {
+    std::printf("no quarantined items in %s\n", store_dir.c_str());
+    return 0;
+  }
+  std::printf("%zu quarantined item(s) in %s:\n", records.size(),
+              store_dir.c_str());
+  std::printf("  %-18s %-7s %s\n", "fingerprint", "stage", "reason");
+  for (const auto& r : records) {
+    std::printf("  %016" PRIx64 "   %-7s %s\n", r.fingerprint,
+                r.stage.c_str(), r.reason.c_str());
+  }
+  return 0;
+}
+
 int CmdAdapt(const Args& args) {
+  if (!args.positional.empty() && args.positional[0] == "quarantine") {
+    return CmdAdaptQuarantine(args);
+  }
   std::string store_dir = args.Get("snapshot-dir");
   std::string data_dir = args.Get("data");
   if (store_dir.empty() || data_dir.empty()) {
@@ -500,8 +557,13 @@ int CmdAdapt(const Args& args) {
       static_cast<int>(args.GetInt("train-queries", 200));
   config.testbed.num_test_queries =
       static_cast<int>(args.GetInt("test-queries", 80));
-  auto opened_pipeline =
-      adapt::AdaptationPipeline::Open(store_dir, server.get(), config);
+  config.label_budget_ms_per_batch = args.GetDouble("label-budget-ms", 0.0);
+  config.num_workers = static_cast<int>(args.GetInt("workers", 1));
+  util::SnapshotStoreOptions store_options;
+  store_options.disk_budget_bytes =
+      static_cast<uint64_t>(args.GetInt("disk-budget-bytes", 0));
+  auto opened_pipeline = adapt::AdaptationPipeline::Open(
+      store_dir, server.get(), config, store_options);
   if (!opened_pipeline.ok()) {
     std::fprintf(stderr, "adapt: %s\n",
                  opened_pipeline.status().ToString().c_str());
@@ -678,7 +740,7 @@ int CmdInspect(const Args& args) {
   return 0;
 }
 
-int CmdVersion(const Args&) {
+int CmdVersion(const Args& args) {
   std::printf("autoce (C++20 reproduction of AutoCE, ICDE 2023)\n");
   std::printf("  simd compiled  : %s\n",
               util::simd::LevelName(util::simd::CompiledLevel()));
@@ -687,6 +749,27 @@ int CmdVersion(const Args&) {
   std::printf("  threads        : %d\n", util::GlobalParallelism());
   std::printf("  fault sites    : %zu\n", util::AllFaultSites().size());
   std::printf("  kill sites     : %zu\n", util::AllKillSites().size());
+  uint64_t chaos_seed = util::ActiveChaosSeed();
+  if (chaos_seed != 0) {
+    std::printf("  chaos seed     : %" PRIu64 "\n", chaos_seed);
+  } else {
+    std::printf("  chaos seed     : (none)\n");
+  }
+  double deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  double label_budget = args.GetDouble("label-budget-ms", 0.0);
+  int64_t disk_budget = args.GetInt("disk-budget-bytes", 0);
+  std::printf("  request deadline  : %s\n",
+              deadline_ms > 0.0
+                  ? (std::to_string(deadline_ms) + " ms").c_str()
+                  : "unlimited");
+  std::printf("  label budget/batch: %s\n",
+              label_budget > 0.0
+                  ? (std::to_string(label_budget) + " ms").c_str()
+                  : "unlimited");
+  std::printf("  disk budget       : %s\n",
+              disk_budget > 0
+                  ? (std::to_string(disk_budget) + " bytes").c_str()
+                  : "unlimited");
   return 0;
 }
 
@@ -726,7 +809,15 @@ int Main(int argc, char** argv) {
                    util::simd::LevelName(util::simd::CompiledLevel()))
         .AddString("simd_selected",
                    util::simd::LevelName(util::simd::ActiveLevel()))
-        .AddDouble("wall_seconds", wall.ElapsedSeconds());
+        .AddDouble("wall_seconds", wall.ElapsedSeconds())
+        // Resource budgets + chaos arming, so a soak/chaos run is
+        // reproducible from its manifest alone.
+        .AddInt("chaos_seed",
+                static_cast<int64_t>(util::ActiveChaosSeed()))
+        .AddDouble("request_deadline_ms", args.GetDouble("deadline-ms", 0.0))
+        .AddDouble("label_budget_ms_per_batch",
+                   args.GetDouble("label-budget-ms", 0.0))
+        .AddInt("disk_budget_bytes", args.GetInt("disk-budget-bytes", 0));
     std::string flags;
     for (const auto& [k, v] : args.flags) {
       if (!flags.empty()) flags += ' ';
