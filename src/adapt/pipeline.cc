@@ -101,6 +101,32 @@ std::vector<QuarantineRecord> ReadQuarantineLog(const std::string& store_dir) {
   return records;
 }
 
+std::size_t RemoveFromQuarantineLog(const std::string& store_dir,
+                                    uint64_t fingerprint) {
+  std::vector<QuarantineRecord> records = ReadQuarantineLog(store_dir);
+  std::size_t removed = 0;
+  // Rewrite via temp + rename so a crash mid-rewrite leaves a whole log
+  // (old or new), matching the snapshot store's atomicity discipline.
+  const std::string path = QuarantineLogPath(store_dir);
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return 0;
+  for (const QuarantineRecord& record : records) {
+    if (record.fingerprint == fingerprint) {
+      ++removed;
+      continue;
+    }
+    std::fprintf(f, "%" PRIu64 "\t%s\t%s\n", record.fingerprint,
+                 record.stage.c_str(), record.reason.c_str());
+  }
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return 0;
+  }
+  return removed;
+}
+
 advisor::DatasetLabel SentinelLabel() {
   advisor::DatasetLabel label;
   for (std::size_t m = 0; m < ce::kNumModels; ++m) {
@@ -187,6 +213,51 @@ Offered AdaptationPipeline::MaybeEnqueue(const data::Dataset& dataset,
   std::shared_ptr<const advisor::AutoCe> advisor = server_->advisor();
   double distance = advisor->DistanceToRcs(graph);
   if (!(distance > advisor->DriftThreshold())) return Offered::kNotOod;
+  switch (queue_.Offer(dataset, graph, distance)) {
+    case Admission::kAdmitted:
+      return Offered::kAdmitted;
+    case Admission::kAdmittedEvicting:
+      return Offered::kAdmittedEvicting;
+    case Admission::kDuplicate:
+      return Offered::kDuplicate;
+    case Admission::kRejectedFull:
+      return Offered::kRejectedFull;
+    case Admission::kRejectedFault:
+      return Offered::kRejectedFault;
+  }
+  return Offered::kRejectedFull;  // unreachable
+}
+
+Result<Offered> AdaptationPipeline::RequeueFromQuarantine(
+    uint64_t fingerprint, const data::Dataset& dataset,
+    const featgraph::FeatureGraph& graph) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (quarantine_set_.count(fingerprint) == 0) {
+      return Status::NotFound("fingerprint is not quarantined");
+    }
+    if (GraphFingerprint(graph) != fingerprint) {
+      return Status::InvalidArgument(
+          "requeue dataset does not fingerprint to the quarantined entry");
+    }
+    quarantine_set_.erase(fingerprint);
+    quarantined_.erase(
+        std::remove_if(quarantined_.begin(), quarantined_.end(),
+                       [&](const QuarantineRecord& record) {
+                         return record.fingerprint == fingerprint;
+                       }),
+        quarantined_.end());
+  }
+  RemoveFromQuarantineLog(store_dir_, fingerprint);
+  // Offer directly — no drift gate: the item was OOD when it first
+  // arrived, and the operator explicitly asked for a retry. Priority is
+  // the trainer's current drift distance so it competes fairly with
+  // live feedback.
+  double distance = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    distance = trainer_.DistanceToRcs(graph);
+  }
   switch (queue_.Offer(dataset, graph, distance)) {
     case Admission::kAdmitted:
       return Offered::kAdmitted;

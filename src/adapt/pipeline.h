@@ -134,6 +134,13 @@ struct QuarantineRecord {
 /// empty list, a malformed line is skipped (the log is advisory).
 std::vector<QuarantineRecord> ReadQuarantineLog(const std::string& store_dir);
 
+/// Rewrites the quarantine log under `store_dir` without any record for
+/// `fingerprint` (write-temp + rename, so a crash leaves the old or the
+/// new log, never a torn one). Returns how many records were removed;
+/// an absent log removes nothing.
+std::size_t RemoveFromQuarantineLog(const std::string& store_dir,
+                                    uint64_t fingerprint);
+
 /// \brief The online-adaptation loop (paper Sec. V-E; DESIGN.md §5.11).
 ///
 /// Closes the loop the serving layer leaves open: OOD requests detected
@@ -180,6 +187,18 @@ class AdaptationPipeline {
   /// server.
   Offered MaybeEnqueue(const data::Dataset& dataset,
                        const featgraph::FeatureGraph& graph);
+
+  /// Operator command (`autoce adapt requeue`): clears `fingerprint`
+  /// from the quarantine — the persisted log and the in-memory sets —
+  /// and re-offers `dataset`/`graph` through the feedback queue so the
+  /// next batch retries it, bypassing the drift gate (the operator has
+  /// decided the underlying fault is fixed). `graph` must fingerprint
+  /// to `fingerprint` (InvalidArgument otherwise — requeueing the wrong
+  /// dataset under a cleared fingerprint would poison the dedup);
+  /// NotFound when the fingerprint is not quarantined.
+  Result<Offered> RequeueFromQuarantine(uint64_t fingerprint,
+                                        const data::Dataset& dataset,
+                                        const featgraph::FeatureGraph& graph);
 
   /// Runs one synchronous batch cycle (see class comment). Serialized
   /// against itself and the background worker. An empty queue is a

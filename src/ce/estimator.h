@@ -65,6 +65,13 @@ class CardinalityEstimator {
   /// Estimated COUNT(*) for a query; must be >= 0. Never fails — a model
   /// asked about an unknown shape degrades to a coarse estimate.
   virtual double EstimateCardinality(const query::Query& q) = 0;
+
+  /// Re-seeds any inference-time sampling state (progressive sampling in
+  /// NeuroCard/UAE). Callers that need call-order-independent estimates
+  /// (fss::EstimatorService keys this by subplan content) invoke it
+  /// before each EstimateCardinality; models without sampling state
+  /// ignore it.
+  virtual void SeedInference(uint64_t /*seed*/) {}
 };
 
 /// Knobs shared by the model factory. `fast` presets shrink network and

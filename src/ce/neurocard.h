@@ -97,6 +97,10 @@ class NeuroCardEstimator : public CardinalityEstimator {
   bool is_data_driven() const override { return true; }
   Status Train(const TrainContext& ctx) override;
   double EstimateCardinality(const query::Query& q) override;
+  /// Resets the progressive-sampling stream so the next estimate is a
+  /// pure function of (model weights, seed, query) — not of how many
+  /// estimates came before it.
+  void SeedInference(uint64_t seed) override { sample_rng_ = Rng(seed); }
 
  protected:
   /// Selectivity of q's predicates under the AR model (shared with UAE).

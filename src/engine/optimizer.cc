@@ -52,10 +52,25 @@ query::Query JoinOrderOptimizer::SubQuery(const query::Query& q,
 }
 
 Result<std::unique_ptr<PlanNode>> JoinOrderOptimizer::Optimize(
+    const query::Query& q, CardinalitySource* source) {
+  AUTOCE_CHECK(source != nullptr);
+  return Optimize(q, [source](const query::Query& sub) {
+    return source->EstimateSubplan(sub);
+  });
+}
+
+Result<std::unique_ptr<PlanNode>> JoinOrderOptimizer::Optimize(
     const query::Query& q, const CardinalityFn& card_fn) {
   size_t n = q.tables.size();
   if (n == 0) return Status::InvalidArgument("empty query");
   if (n > 12) return Status::InvalidArgument("too many tables for DP");
+  // A connected tree over n tables has exactly n - 1 joins; reject
+  // cyclic graphs up front (disconnection falls out of the DP below).
+  // Mirrors engine::TrueCardinality / engine::JoinSampler.
+  if (q.joins.size() + 1 != n) {
+    return Status::InvalidArgument(
+        "query join graph is not a tree (|joins| != |tables| - 1)");
+  }
 
   // Local index <-> table id.
   const std::vector<int>& tables = q.tables;

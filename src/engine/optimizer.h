@@ -40,6 +40,21 @@ struct PlanNode {
 /// is exactly the paper's cardinality-injection methodology (Sec. VII-D).
 using CardinalityFn = std::function<double(const query::Query&)>;
 
+/// \brief Injectable per-subplan cardinality provider.
+///
+/// The stateful sibling of `CardinalityFn`: implementations may cache,
+/// consult persistent knowledge, or fall back across tiers (see
+/// `fss::EstimatorService`). The optimizer only ever calls
+/// `EstimateSubplan`, which must be infallible — providers degrade to a
+/// coarse estimate rather than erroring out of join enumeration.
+class CardinalitySource {
+ public:
+  virtual ~CardinalitySource() = default;
+
+  /// Estimated COUNT(*) of a sub-query (>= 0; never fails).
+  virtual double EstimateSubplan(const query::Query& q) = 0;
+};
+
 /// Cost-model constants (abstract units ~ row touches).
 struct CostModel {
   double scan_cost_per_row = 1.0;
@@ -54,10 +69,17 @@ class JoinOrderOptimizer {
  public:
   JoinOrderOptimizer(const data::Dataset* dataset, CostModel cost_model = {});
 
-  /// Builds the cheapest plan for `q` under `card_fn`. Requires the
-  /// query's join graph to be connected (tree).
+  /// Builds the cheapest plan for `q` under `card_fn`. The query's join
+  /// graph must be a connected tree (|joins| == |tables| - 1, all
+  /// reachable); non-trees surface `InvalidArgument`, matching
+  /// `TrueCardinality` / `JoinSampler` rejection behavior.
   Result<std::unique_ptr<PlanNode>> Optimize(const query::Query& q,
                                              const CardinalityFn& card_fn);
+
+  /// Same, consulting a stateful `CardinalitySource` (e.g. the live
+  /// `fss::EstimatorService`) for every sub-plan cardinality.
+  Result<std::unique_ptr<PlanNode>> Optimize(const query::Query& q,
+                                             CardinalitySource* source);
 
   /// The sub-query over a subset of `q`'s tables (induced joins +
   /// per-table predicates). Exposed for estimators and tests.

@@ -149,12 +149,25 @@ PlanExecutor::Intermediate PlanExecutor::ExecuteHashJoin(
 PlanExecutor::Intermediate PlanExecutor::ExecuteNode(const query::Query& q,
                                                      const PlanNode& node,
                                                      bool* aborted) {
-  if (node.kind == PlanNode::Kind::kScan) return ExecuteScan(q, node);
+  if (node.kind == PlanNode::Kind::kScan) {
+    Intermediate out = ExecuteScan(q, node);
+    if (observer_) {
+      observer_(JoinOrderOptimizer::SubQuery(q, out.tables), out.NumTuples());
+    }
+    return out;
+  }
   Intermediate probe = ExecuteNode(q, *node.left, aborted);
   if (*aborted) return probe;
   Intermediate build = ExecuteNode(q, *node.right, aborted);
   if (*aborted) return build;
-  return ExecuteHashJoin(node, std::move(probe), std::move(build), aborted);
+  Intermediate out =
+      ExecuteHashJoin(node, std::move(probe), std::move(build), aborted);
+  if (!*aborted && observer_) {
+    std::vector<int> tables = out.tables;
+    std::sort(tables.begin(), tables.end());
+    observer_(JoinOrderOptimizer::SubQuery(q, tables), out.NumTuples());
+  }
+  return out;
 }
 
 ExecutionResult PlanExecutor::Execute(const query::Query& q,

@@ -2,6 +2,7 @@
 #define AUTOCE_ENGINE_PLAN_EXECUTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -10,6 +11,14 @@
 #include "query/query.h"
 
 namespace autoce::engine {
+
+/// Observes the EXACT cardinality of every completed plan node as a
+/// sub-query (the node's table subset with induced joins/predicates)
+/// plus its true row count. The feedback channel the fss knowledge
+/// store learns from; never called for nodes cut short by the
+/// intermediate-row cap (their counts would be partial).
+using SubplanObserver =
+    std::function<void(const query::Query& subquery, int64_t rows)>;
 
 /// Outcome of executing a physical plan.
 struct ExecutionResult {
@@ -42,6 +51,12 @@ class PlanExecutor {
   /// and whether execution completed within the intermediate cap.
   ExecutionResult Execute(const query::Query& q, const PlanNode& plan);
 
+  /// Installs (or clears, with nullptr semantics via an empty function)
+  /// the per-node true-cardinality observer.
+  void set_subplan_observer(SubplanObserver observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   /// Intermediate result: parallel row-id vectors, one per joined table.
   struct Intermediate {
@@ -64,6 +79,7 @@ class PlanExecutor {
 
   const data::Dataset* dataset_;
   ExecOptions opts_;
+  SubplanObserver observer_;
   std::unordered_map<int64_t, std::vector<std::pair<int32_t, int32_t>>>
       indexes_;
 };

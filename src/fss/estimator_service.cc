@@ -1,0 +1,313 @@
+#include "fss/estimator_service.h"
+
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace autoce::fss {
+
+namespace {
+
+/// Snapshot section holding the serialized knowledge store.
+
+/// `fss.*` instruments, resolved once (obs/metrics.h interning).
+struct FssMetrics {
+  obs::Counter* lookups;
+  obs::Counter* knowledge_hits;
+  obs::Counter* cache_hits;
+  obs::Counter* model_estimates;
+  obs::Counter* fallbacks;
+  obs::Counter* evictions;
+  obs::Counter* collisions;
+  obs::Counter* feedback;
+  obs::Counter* commits;
+  obs::Counter* commit_failures;
+  obs::Histogram* lookup_latency_ms;
+
+  static FssMetrics& Get() {
+    static FssMetrics m;
+    return m;
+  }
+
+ private:
+  FssMetrics() {
+    auto& reg = obs::MetricsRegistry::Instance();
+    lookups = reg.GetCounter("fss.lookups");
+    knowledge_hits = reg.GetCounter("fss.knowledge_hits");
+    cache_hits = reg.GetCounter("fss.cache_hits");
+    model_estimates = reg.GetCounter("fss.model_estimates");
+    fallbacks = reg.GetCounter("fss.fallbacks");
+    evictions = reg.GetCounter("fss.evictions");
+    collisions = reg.GetCounter("fss.collisions");
+    feedback = reg.GetCounter("fss.feedback");
+    commits = reg.GetCounter("fss.commits");
+    commit_failures = reg.GetCounter("fss.commit_failures");
+    lookup_latency_ms = reg.GetHistogram("fss.lookup_latency_ms");
+  }
+};
+
+}  // namespace
+
+EstimatorService::EstimatorService(
+    const std::string& store_dir,
+    std::unique_ptr<ce::CardinalityEstimator> model,
+    const data::Dataset* dataset, EstimatorServiceOptions options)
+    : options_(options),
+      dataset_(dataset),
+      histogram_(dataset),
+      model_(std::move(model)) {
+  (void)store_dir;  // the store itself is attached by Open
+  std::size_t shards = options_.cache_shards == 0 ? 1 : options_.cache_shards;
+  if (options_.cache_capacity > 0 && shards > options_.cache_capacity) {
+    shards = options_.cache_capacity;
+  }
+  shard_capacity_ =
+      options_.cache_capacity == 0
+          ? 0
+          : (options_.cache_capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<CacheShard>());
+  }
+}
+
+Result<std::unique_ptr<EstimatorService>> EstimatorService::Open(
+    const std::string& store_dir,
+    std::unique_ptr<ce::CardinalityEstimator> model,
+    const data::Dataset* dataset, EstimatorServiceOptions options) {
+  AUTOCE_CHECK(dataset != nullptr);
+  std::unique_ptr<EstimatorService> service(
+      new EstimatorService(store_dir, std::move(model), dataset, options));
+  if (!store_dir.empty()) {
+    auto store = util::SnapshotStore::Open(store_dir, options.store_options);
+    if (!store.ok()) return store.status();
+    service->store_ = std::move(store).ValueOrDie();
+    // Warm-start from the newest good generation; a fresh directory is
+    // simply a cold knowledge tier.
+    auto sections = service->store_->LoadLatest();
+    if (sections.ok()) {
+      for (const auto& section : *sections) {
+        if (section.name != kKnowledgeSection) continue;
+        auto knowledge = KnowledgeStore::Deserialize(section.payload);
+        if (!knowledge.ok()) return knowledge.status();
+        service->knowledge_ = std::move(knowledge).ValueOrDie();
+      }
+    }
+  }
+  return service;
+}
+
+EstimatorService::CacheShard& EstimatorService::ShardFor(const FssKey& key) {
+  return *shards_[key.literal_hash % shards_.size()];
+}
+
+std::optional<double> EstimatorService::CacheLookup(const FssKey& key) {
+  if (shard_capacity_ == 0) return std::nullopt;
+  CacheShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key.literal_hash);
+  if (it == shard.entries.end()) return std::nullopt;
+  if (it->second.first != key.signature) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.collisions;
+    FssMetrics::Get().collisions->Add();
+    return std::nullopt;
+  }
+  return it->second.second;
+}
+
+void EstimatorService::CacheInsert(const FssKey& key, double estimate) {
+  if (shard_capacity_ == 0) return;
+  CacheShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key.literal_hash);
+  if (it != shard.entries.end()) {
+    // Occupied: refresh on signature match, refuse on collision (the
+    // resident entry keeps its slot; both subplans still get correct
+    // answers, just not from this cache).
+    if (it->second.first == key.signature) it->second.second = estimate;
+    return;
+  }
+  while (shard.entries.size() >= shard_capacity_ && !shard.fifo.empty()) {
+    shard.entries.erase(shard.fifo.front());
+    shard.fifo.pop_front();
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.evictions;
+    FssMetrics::Get().evictions->Add();
+  }
+  shard.entries.emplace(key.literal_hash,
+                        std::make_pair(key.signature, estimate));
+  shard.fifo.push_back(key.literal_hash);
+}
+
+double EstimatorService::EstimateSubplan(const query::Query& q) {
+  Timer timer;
+  auto& metrics = FssMetrics::Get();
+  metrics.lookups->Add();
+  FssKey key = MakeFssKey(q);
+  auto done = [&](double answer) {
+    metrics.lookup_latency_ms->Observe(timer.ElapsedMillis());
+    return answer;
+  };
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.lookups;
+  }
+
+  // Tier 1: corrected knowledge (observed true cardinalities).
+  {
+    std::lock_guard<std::mutex> lock(knowledge_mu_);
+    if (auto hit = knowledge_.Lookup(key)) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.knowledge_hits;
+      metrics.knowledge_hits->Add();
+      return done(*hit);
+    }
+  }
+
+  // Tier 2: cached model estimates.
+  if (auto hit = CacheLookup(key)) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.cache_hits;
+    metrics.cache_hits->Add();
+    return done(*hit);
+  }
+
+  // Tier 3: the hosted model, content-seeded so the answer is
+  // independent of concurrent call order. The `fss.lookup` fault site
+  // models the estimator being unavailable for this subplan.
+  bool degraded = util::FaultPoint(util::fault_sites::kFssLookup,
+                                   key.literal_hash);
+  double estimate = -1.0;
+  bool have_model = false;
+  if (!degraded) {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    if (model_ != nullptr) {
+      have_model = true;
+      model_->SeedInference(
+          util::FaultKeyMix(options_.inference_seed, key.literal_hash));
+      estimate = model_->EstimateCardinality(q);
+    }
+  }
+  if (!degraded && have_model && std::isfinite(estimate) && estimate >= 0.0) {
+    CacheInsert(key, estimate);
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.model_estimates;
+    metrics.model_estimates->Add();
+    return done(estimate);
+  }
+
+  // Fallback tier: the histogram baseline (never cached, so a transient
+  // degradation cannot freeze a degraded answer in).
+  double fallback = histogram_.EstimateCardinality(q);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.fallbacks;
+    metrics.fallbacks->Add();
+  }
+  return done(fallback);
+}
+
+void EstimatorService::ObserveTrueCardinality(const query::Query& q,
+                                              int64_t rows) {
+  if (rows < 0) return;
+  FssKey key = MakeFssKey(q);
+  {
+    std::lock_guard<std::mutex> lock(knowledge_mu_);
+    knowledge_.Observe(key, static_cast<double>(rows));
+  }
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  ++stats_.feedback;
+  FssMetrics::Get().feedback->Add();
+}
+
+engine::SubplanObserver EstimatorService::MakeObserver() {
+  return [this](const query::Query& subquery, int64_t rows) {
+    ObserveTrueCardinality(subquery, rows);
+  };
+}
+
+Status EstimatorService::CommitKnowledge() {
+  if (!store_.has_value()) return Status::OK();
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(knowledge_mu_);
+    payload = knowledge_.Serialize();
+  }
+  auto fail = [&](Status status) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.commit_failures;
+    FssMetrics::Get().commit_failures->Add();
+    return status;
+  };
+  // Content-derived key: the same knowledge commits (or faults) the
+  // same way at any thread count.
+  if (util::FaultPoint(util::fault_sites::kFssCommit,
+                       FssBytesHash(payload))) {
+    return fail(Status::Internal(
+        "injected fss.commit fault: knowledge snapshot not committed"));
+  }
+  std::vector<util::SnapshotSection> sections;
+  sections.push_back({kKnowledgeSection, std::move(payload)});
+  auto generation = store_->Commit(sections);
+  if (!generation.ok()) return fail(generation.status());
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  ++stats_.commits;
+  FssMetrics::Get().commits->Add();
+  return Status::OK();
+}
+
+void EstimatorService::InstallModel(
+    std::unique_ptr<ce::CardinalityEstimator> model) {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  model_ = std::move(model);
+}
+
+void EstimatorService::ClearCache() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->fifo.clear();
+  }
+}
+
+ServiceStats EstimatorService::stats() const {
+  uint64_t entries = 0, subspaces = 0, knowledge_collisions = 0;
+  {
+    std::lock_guard<std::mutex> lock(knowledge_mu_);
+    entries = knowledge_.size();
+    subspaces = knowledge_.num_subspaces();
+    knowledge_collisions = knowledge_.collisions();
+  }
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  ServiceStats out = stats_;
+  out.knowledge_entries = entries;
+  out.knowledge_subspaces = subspaces;
+  out.collisions += knowledge_collisions;
+  return out;
+}
+
+std::string EstimatorService::model_name() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_ == nullptr ? "none" : model_->name();
+}
+
+std::size_t EstimatorService::cache_size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->entries.size();
+  }
+  return n;
+}
+
+std::size_t EstimatorService::knowledge_size() const {
+  std::lock_guard<std::mutex> lock(knowledge_mu_);
+  return knowledge_.size();
+}
+
+}  // namespace autoce::fss

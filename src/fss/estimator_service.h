@@ -1,0 +1,170 @@
+#ifndef AUTOCE_FSS_ESTIMATOR_SERVICE_H_
+#define AUTOCE_FSS_ESTIMATOR_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ce/estimator.h"
+#include "engine/histogram.h"
+#include "engine/optimizer.h"
+#include "engine/plan_executor.h"
+#include "fss/fss_hash.h"
+#include "fss/knowledge_store.h"
+#include "util/result.h"
+#include "util/snapshot.h"
+
+namespace autoce::fss {
+
+/// Snapshot section the knowledge store serializes into (shared with
+/// the CLI's `autoce fss stats|inspect`).
+inline constexpr const char* kKnowledgeSection = "fss_knowledge";
+
+/// Service knobs.
+struct EstimatorServiceOptions {
+  /// Total cached subplan estimates across all shards (0 disables the
+  /// cache). Each shard holds capacity / shards entries.
+  std::size_t cache_capacity = 4096;
+  /// Number of cache shards (clamped to >= 1); subplans hash-route to a
+  /// shard so concurrent lookups rarely contend on one mutex.
+  std::size_t cache_shards = 8;
+  /// Base seed mixed (content-keyed) into `SeedInference` before every
+  /// model estimate, making sampling models call-order independent.
+  uint64_t inference_seed = 42;
+  /// Snapshot store options for the persistent knowledge store.
+  util::SnapshotStoreOptions store_options;
+};
+
+/// Cumulative service counters since Open (mirrored as `fss.*` metrics).
+struct ServiceStats {
+  uint64_t lookups = 0;           ///< EstimateSubplan calls
+  uint64_t knowledge_hits = 0;    ///< answered from observed true cards
+  uint64_t cache_hits = 0;        ///< answered from the estimate cache
+  uint64_t model_estimates = 0;   ///< answered by the hosted model
+  uint64_t fallbacks = 0;         ///< degraded to the histogram baseline
+  uint64_t evictions = 0;         ///< cache entries evicted (FIFO)
+  uint64_t collisions = 0;        ///< hash collisions detected and refused
+  uint64_t feedback = 0;          ///< true cardinalities observed
+  uint64_t commits = 0;           ///< knowledge snapshots committed
+  uint64_t commit_failures = 0;   ///< failed commits (store untouched)
+  uint64_t knowledge_entries = 0; ///< current (FSS, literal) entries
+  uint64_t knowledge_subspaces = 0;  ///< current distinct subspaces
+};
+
+/// \brief Live per-subplan cardinality serving behind the optimizer
+/// (DESIGN.md §5.13).
+///
+/// Hosts the advisor-recommended `ce::CardinalityEstimator` for one
+/// dataset and answers `engine::CardinalitySource::EstimateSubplan`
+/// through three tiers, most-trusted first:
+///
+///   1. the persistent knowledge store — exact (FSS, literal) matches of
+///      subplans whose TRUE cardinality was observed via executor
+///      feedback (`ObserveTrueCardinality`), so repeated subplans are
+///      answered from corrected knowledge, not raw model output;
+///   2. a bounded, sharded FSS-keyed cache of model estimates with
+///      deterministic FIFO eviction per shard;
+///   3. the hosted model, re-seeded per subplan with a content-derived
+///      key (`SeedInference`) so its estimate is a pure function of
+///      (weights, seed, subplan) regardless of concurrent call order.
+///
+/// Degradation (no model installed, a non-finite/negative model answer,
+/// or an injected `fss.lookup` fault) falls back to the PostgreSQL-style
+/// histogram baseline — the optimizer always gets an answer. Knowledge
+/// persists through `util::SnapshotStore` (CRC-framed, crash-safe,
+/// gated by the `fss.commit` fault site); reopening a store directory
+/// warm-starts the knowledge tier.
+///
+/// Thread-safe: knowledge, each cache shard, and the model are guarded
+/// by separate mutexes. Because every tier's answer for a subplan is
+/// the same pure function of content, concurrent traffic cannot change
+/// WHAT is answered, only which tier answers it.
+class EstimatorService : public engine::CardinalitySource {
+ public:
+  /// Opens the service. `store_dir` empty runs in-memory only;
+  /// otherwise the newest good knowledge generation under `store_dir`
+  /// is loaded (an empty/missing store starts cold). `model` may be
+  /// null (histogram-only serving, every lookup a fallback); `dataset`
+  /// must outlive the service.
+  static Result<std::unique_ptr<EstimatorService>> Open(
+      const std::string& store_dir,
+      std::unique_ptr<ce::CardinalityEstimator> model,
+      const data::Dataset* dataset, EstimatorServiceOptions options = {});
+
+  /// The optimizer hook: knowledge -> cache -> model -> histogram.
+  /// Infallible by contract.
+  double EstimateSubplan(const query::Query& q) override;
+
+  /// Executor feedback: folds the observed TRUE cardinality of a
+  /// completed subplan into the knowledge store (in memory; durable
+  /// after the next `CommitKnowledge`).
+  void ObserveTrueCardinality(const query::Query& q, int64_t rows);
+
+  /// An `engine::SubplanObserver` bound to `ObserveTrueCardinality`,
+  /// ready for `PlanExecutor::set_subplan_observer`.
+  engine::SubplanObserver MakeObserver();
+
+  /// Commits the knowledge store as the next snapshot generation.
+  /// No-op OK without a store directory. On failure (including the
+  /// `fss.commit` fault site) the previous durable generation is
+  /// untouched and in-memory knowledge is kept.
+  Status CommitKnowledge();
+
+  /// Replaces the hosted model (hot swap; null degrades to histogram).
+  void InstallModel(std::unique_ptr<ce::CardinalityEstimator> model);
+
+  /// Clears the estimate cache (knowledge is kept).
+  void ClearCache();
+
+  ServiceStats stats() const;
+
+  /// Name of the hosted model ("none" when degraded to histogram-only).
+  std::string model_name() const;
+
+  std::size_t cache_size() const;
+  std::size_t knowledge_size() const;
+
+ private:
+  /// One bounded cache shard: map + FIFO insertion queue.
+  struct CacheShard {
+    std::mutex mu;
+    /// literal_hash -> (signature, estimate); signature checked on hit.
+    std::unordered_map<uint64_t, std::pair<std::string, double>> entries;
+    std::deque<uint64_t> fifo;
+  };
+
+  EstimatorService(const std::string& store_dir,
+                   std::unique_ptr<ce::CardinalityEstimator> model,
+                   const data::Dataset* dataset,
+                   EstimatorServiceOptions options);
+
+  CacheShard& ShardFor(const FssKey& key);
+  std::optional<double> CacheLookup(const FssKey& key);
+  void CacheInsert(const FssKey& key, double estimate);
+
+  const EstimatorServiceOptions options_;
+  const data::Dataset* const dataset_;
+  engine::PostgresStyleEstimator histogram_;
+  std::optional<util::SnapshotStore> store_;  ///< nullopt = in-memory only
+
+  mutable std::mutex model_mu_;
+  std::unique_ptr<ce::CardinalityEstimator> model_;  // guarded by model_mu_
+
+  mutable std::mutex knowledge_mu_;
+  KnowledgeStore knowledge_;  // guarded by knowledge_mu_
+
+  std::size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<CacheShard>> shards_;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;  // guarded by stats_mu_
+};
+
+}  // namespace autoce::fss
+
+#endif  // AUTOCE_FSS_ESTIMATOR_SERVICE_H_

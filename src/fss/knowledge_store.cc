@@ -1,0 +1,120 @@
+#include "fss/knowledge_store.h"
+
+#include <algorithm>
+
+#include "util/serde.h"
+
+namespace autoce::fss {
+
+namespace {
+constexpr uint32_t kMagic = 0x4653534B;  // "KSSF" little-endian
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+std::optional<double> KnowledgeStore::Lookup(const FssKey& key) const {
+  auto it = groups_.find(key.fss_hash);
+  if (it == groups_.end()) return std::nullopt;
+  for (const KnowledgeEntry& e : it->second) {
+    if (e.literal_hash != key.literal_hash) continue;
+    if (e.signature != key.signature) {
+      ++collisions_;
+      continue;
+    }
+    return e.observed_card;
+  }
+  return std::nullopt;
+}
+
+void KnowledgeStore::Observe(const FssKey& key, double true_cardinality) {
+  auto& group = groups_[key.fss_hash];
+  for (KnowledgeEntry& e : group) {
+    if (e.literal_hash != key.literal_hash) continue;
+    if (e.signature != key.signature) {
+      ++collisions_;
+      continue;
+    }
+    // Running mean keeps repeated feedback idempotent-ish: re-observing
+    // the same true count leaves the entry unchanged.
+    e.observed_card += (true_cardinality - e.observed_card) /
+                       static_cast<double>(e.observations + 1);
+    ++e.observations;
+    return;
+  }
+  KnowledgeEntry e;
+  e.literal_hash = key.literal_hash;
+  e.signature = key.signature;
+  e.observed_card = true_cardinality;
+  e.observations = 1;
+  group.push_back(std::move(e));
+  ++size_;
+}
+
+std::vector<std::pair<uint64_t, KnowledgeEntry>> KnowledgeStore::SortedEntries()
+    const {
+  std::vector<std::pair<uint64_t, KnowledgeEntry>> out;
+  out.reserve(size_);
+  for (const auto& [h, group] : groups_) {
+    for (const KnowledgeEntry& e : group) out.emplace_back(h, e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              if (a.second.literal_hash != b.second.literal_hash) {
+                return a.second.literal_hash < b.second.literal_hash;
+              }
+              return a.second.signature < b.second.signature;
+            });
+  return out;
+}
+
+std::string KnowledgeStore::Serialize() const {
+  // Canonical order: groups by fss_hash, entries by (literal_hash,
+  // signature) — identical content serializes to identical bytes.
+  BinaryWriter w;
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteU64(static_cast<uint64_t>(size_));
+  for (const auto& [h, e] : SortedEntries()) {
+    w.WriteU64(h);
+    w.WriteU64(e.literal_hash);
+    w.WriteString(e.signature);
+    w.WriteDouble(e.observed_card);
+    w.WriteU64(e.observations);
+  }
+  return w.buffer();
+}
+
+Result<KnowledgeStore> KnowledgeStore::Deserialize(const std::string& payload) {
+  BinaryReader r(payload.data(), payload.size());
+  if (r.ReadU32() != kMagic) {
+    return Status::DataLoss("fss knowledge store: bad magic");
+  }
+  uint32_t version = r.ReadU32();
+  if (!r.status().ok()) return r.status();
+  if (version != kVersion) {
+    return Status::DataLoss("fss knowledge store: unsupported version");
+  }
+  uint64_t count = r.ReadU64();
+  KnowledgeStore store;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t fss_hash = r.ReadU64();
+    KnowledgeEntry e;
+    e.literal_hash = r.ReadU64();
+    e.signature = r.ReadString();
+    e.observed_card = r.ReadDouble();
+    e.observations = r.ReadU64();
+    if (!r.status().ok()) return r.status();
+    if (e.observations == 0) {
+      return Status::DataLoss("fss knowledge store: entry with 0 observations");
+    }
+    store.groups_[fss_hash].push_back(std::move(e));
+    ++store.size_;
+  }
+  if (!r.status().ok()) return r.status();
+  if (r.remaining() != 0) {
+    return Status::DataLoss("fss knowledge store: trailing bytes");
+  }
+  return store;
+}
+
+}  // namespace autoce::fss

@@ -1,0 +1,76 @@
+#ifndef AUTOCE_FSS_KNOWLEDGE_STORE_H_
+#define AUTOCE_FSS_KNOWLEDGE_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fss/fss_hash.h"
+#include "util/result.h"
+
+namespace autoce::fss {
+
+/// One observed binding of a feature subspace: the literal hash that
+/// distinguishes it inside its FSS group, the exact canonical bytes for
+/// collision checking, and the running mean of observed true
+/// cardinalities.
+struct KnowledgeEntry {
+  uint64_t literal_hash = 0;
+  std::string signature;
+  double observed_card = 0.0;
+  uint64_t observations = 0;
+};
+
+/// \brief In-memory per-subplan knowledge, FSS-keyed and collision-safe.
+///
+/// Maps `fss_hash -> [entries]`; a lookup walks its (short) FSS group
+/// for an entry whose `literal_hash` matches and whose full signature is
+/// byte-equal. A matching hash with different bytes is a detected
+/// collision — counted, never answered — so corrupted or aliased
+/// knowledge can never leak into a plan. Serialization is canonical
+/// (groups and entries sorted), so two stores with the same content
+/// serialize to identical bytes regardless of insertion order — the
+/// property the bench's cross-thread digest check leans on.
+///
+/// Not internally synchronized; `fss::EstimatorService` guards it.
+class KnowledgeStore {
+ public:
+  /// Observed mean true cardinality for `key`, or nullopt on miss.
+  std::optional<double> Lookup(const FssKey& key) const;
+
+  /// Folds one observed true cardinality into the entry for `key`
+  /// (running mean; creates the entry on first observation).
+  void Observe(const FssKey& key, double true_cardinality);
+
+  /// Number of distinct (FSS, literal) entries.
+  std::size_t size() const { return size_; }
+
+  /// Number of distinct feature subspaces.
+  std::size_t num_subspaces() const { return groups_.size(); }
+
+  /// Detected hash collisions (same hashes, different canonical bytes).
+  uint64_t collisions() const { return collisions_; }
+
+  /// Every entry paired with its subspace hash, in canonical order
+  /// (fss_hash, then literal_hash, then signature) — the inspection
+  /// surface for the CLI and the order `Serialize` emits.
+  std::vector<std::pair<uint64_t, KnowledgeEntry>> SortedEntries() const;
+
+  /// Canonical serialization (magic + version + sorted entries, each
+  /// length-framed via util serde).
+  std::string Serialize() const;
+
+  /// Parses `Serialize` output; corrupt input fails with `DataLoss`.
+  static Result<KnowledgeStore> Deserialize(const std::string& payload);
+
+ private:
+  std::unordered_map<uint64_t, std::vector<KnowledgeEntry>> groups_;
+  std::size_t size_ = 0;
+  mutable uint64_t collisions_ = 0;
+};
+
+}  // namespace autoce::fss
+
+#endif  // AUTOCE_FSS_KNOWLEDGE_STORE_H_

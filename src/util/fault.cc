@@ -17,7 +17,7 @@ std::atomic<bool> g_fault_enabled{false};
 
 namespace {
 
-constexpr std::array<const char*, 16> kAllSites = {
+constexpr std::array<const char*, 18> kAllSites = {
     fault_sites::kCsvRow,          fault_sites::kTestbedTrain,
     fault_sites::kTestbedEstimate, fault_sites::kNnLoss,
     fault_sites::kDmlLoss,         fault_sites::kDmlGrad,
@@ -26,6 +26,7 @@ constexpr std::array<const char*, 16> kAllSites = {
     fault_sites::kAdaptEnqueue,    fault_sites::kAdaptLabel,
     fault_sites::kAdaptTrain,      fault_sites::kAdaptCommit,
     fault_sites::kSnapshotWrite,   fault_sites::kSnapshotManifest,
+    fault_sites::kFssLookup,       fault_sites::kFssCommit,
 };
 
 uint64_t SplitMix64(uint64_t x) {

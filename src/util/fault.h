@@ -96,6 +96,18 @@ inline constexpr const char* kSnapshotWrite = "snapshot.write";
 /// ENOSPC short write; contract: the commit fails, the old MANIFEST is
 /// untouched, and `LoadLatest` still serves the previous generation.
 inline constexpr const char* kSnapshotManifest = "snapshot.manifest";
+/// A per-subplan cardinality lookup degrades inside
+/// `fss::EstimatorService::EstimateSubplan` (the hosted model is
+/// treated as unavailable for the keyed subplan); contract: the service
+/// answers from the histogram fallback source, counts `fallbacks`, and
+/// never fails or blocks the optimizer.
+inline constexpr const char* kFssLookup = "fss.lookup";
+/// A knowledge-store snapshot commit fails
+/// (`fss::EstimatorService::CommitKnowledge`); contract: the commit
+/// surfaces `Status`, `commit_failures` counts it, the in-memory
+/// knowledge is untouched, and the store keeps serving the previous
+/// durable generation.
+inline constexpr const char* kFssCommit = "fss.commit";
 }  // namespace fault_sites
 
 /// Every registered site, in a fixed order. Tests iterate this list to

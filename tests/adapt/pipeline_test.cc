@@ -558,6 +558,78 @@ TEST_F(PipelineTest, QuarantineLogPersistsAcrossRestart) {
   }
 }
 
+TEST_F(PipelineTest, RequeueFromQuarantineClearsAndReapplies) {
+  // The operator recovery path: poison an item so it quarantines, then
+  // `requeue` it once the "fault is fixed" — the log entry and dedup
+  // state are cleared and the item trains into the RCS normally.
+  std::string dir = CloneTemplate("adapt_requeue");
+  Rig rig = OpenRig(dir);
+  uint64_t poisoned = GraphFingerprint((*feed_graphs_)[0]);
+
+  auto& injection = util::FaultInjection::Instance();
+  ASSERT_TRUE(injection
+                  .Configure(std::string(util::fault_sites::kAdaptTrain) +
+                             ":1.0")
+                  .ok());
+  OfferFeed(rig.pipeline.get(), 0);
+  ASSERT_TRUE(rig.pipeline->RunOnce().ok());
+  injection.Disable();
+  ASSERT_EQ(rig.pipeline->quarantined().size(), 1u);
+  ASSERT_EQ(ReadQuarantineLog(dir).size(), 1u);
+
+  // Requeue with the wrong dataset is refused; an unknown fingerprint
+  // reports NotFound.
+  auto mismatched = rig.pipeline->RequeueFromQuarantine(
+      poisoned, (*feed_datasets_)[1], (*feed_graphs_)[1]);
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+  auto unknown = rig.pipeline->RequeueFromQuarantine(
+      poisoned + 1, (*feed_datasets_)[1], (*feed_graphs_)[1]);
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  ASSERT_EQ(rig.pipeline->quarantined().size(), 1u);
+
+  // The real requeue clears the log + memory and re-offers the item.
+  auto offered = rig.pipeline->RequeueFromQuarantine(
+      poisoned, (*feed_datasets_)[0], (*feed_graphs_)[0]);
+  ASSERT_TRUE(offered.ok()) << offered.status().ToString();
+  EXPECT_EQ(*offered, Offered::kAdmitted);
+  EXPECT_TRUE(rig.pipeline->quarantined().empty());
+  EXPECT_TRUE(ReadQuarantineLog(dir).empty());
+  EXPECT_EQ(rig.pipeline->queue().depth(), 1u);
+
+  // With the fault gone, the retried item applies for real.
+  ASSERT_TRUE(rig.pipeline->DrainAll().ok());
+  AdaptationStats stats = rig.pipeline->stats();
+  EXPECT_EQ(stats.items_applied, 1u);
+  EXPECT_EQ(stats.items_deduped, 0u);
+
+  // A second requeue of the now-applied item reports NotFound.
+  auto gone = rig.pipeline->RequeueFromQuarantine(
+      poisoned, (*feed_datasets_)[0], (*feed_graphs_)[0]);
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+}
+
+TEST(QuarantineLogTest, RemoveFromQuarantineLogRewritesAtomically) {
+  std::string dir = std::string(::testing::TempDir()) + "/qlog_rewrite";
+  auto store = util::SnapshotStore::Open(dir);  // creates the dir
+  ASSERT_TRUE(store.ok());
+  std::remove((dir + "/QUARANTINE.log").c_str());
+  EXPECT_EQ(RemoveFromQuarantineLog(dir, 1), 0u);  // absent log
+
+  FILE* f = std::fopen((dir + "/QUARANTINE.log").c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "10\ttrain\treason a\n20\tcommit\treason b\n"
+                  "10\ttrain\treason c\n");
+  std::fclose(f);
+
+  EXPECT_EQ(RemoveFromQuarantineLog(dir, 10), 2u);
+  auto records = ReadQuarantineLog(dir);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].fingerprint, 20u);
+  EXPECT_EQ(records[0].stage, "commit");
+  EXPECT_EQ(records[0].reason, "reason b");
+  EXPECT_EQ(RemoveFromQuarantineLog(dir, 10), 0u);
+}
+
 TEST_F(PipelineTest, MultiWorkerDrainIsBitIdentical) {
   // The determinism proof behind `num_workers`: the same feed stream
   // must land on the same trainer digest and the same stats at any

@@ -225,5 +225,87 @@ TEST(PlanExecutorTest, IntermediateCapAborts) {
   EXPECT_FALSE(result.completed);
 }
 
+TEST(OptimizerTest, NonTreeJoinGraphSurfacesStatus) {
+  // A cyclic join graph must surface InvalidArgument (matching
+  // TrueCardinality / JoinSampler), not trip an internal check or fall
+  // through to the generic disconnection error.
+  data::Dataset ds = MakeJoinDataset(6, 3, 100);
+  query::Query q;
+  q.tables = {0, 1, 2};
+  q.joins = {{1, 0, 0, 0}, {2, 0, 1, 0}, {2, 1, 0, 1}};  // cycle
+  JoinOrderOptimizer opt(&ds);
+  auto plan = opt.Optimize(q, TrueCardFn(ds));
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(plan.status().message().find("not a tree"), std::string::npos);
+}
+
+TEST(OptimizerTest, DisconnectedJoinGraphSurfacesStatus) {
+  data::Dataset ds = MakeJoinDataset(7, 3, 100);
+  query::Query q;
+  q.tables = {0, 1, 2};
+  q.joins = {{1, 0, 0, 0}};  // table 2 unreachable: 2 joins needed
+  JoinOrderOptimizer opt(&ds);
+  auto plan = opt.Optimize(q, TrueCardFn(ds));
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptimizerTest, CardinalitySourceMatchesCallback) {
+  // The stateful CardinalitySource overload must produce the same plans
+  // as the plain callback given the same estimates.
+  class TrueSource : public CardinalitySource {
+   public:
+    explicit TrueSource(const data::Dataset* ds) : ds_(ds) {}
+    double EstimateSubplan(const query::Query& q) override {
+      auto r = TrueCardinality(*ds_, q);
+      return r.ok() ? static_cast<double>(*r) : 0.0;
+    }
+
+   private:
+    const data::Dataset* ds_;
+  } source(nullptr);
+
+  data::Dataset ds = MakeJoinDataset(8, 4, 150);
+  source = TrueSource(&ds);
+  Rng rng(9);
+  query::WorkloadParams wp;
+  wp.num_queries = 6;
+  wp.max_tables = 4;
+  for (const auto& q : query::GenerateWorkload(ds, wp, &rng)) {
+    auto via_fn = JoinOrderOptimizer(&ds).Optimize(q, TrueCardFn(ds));
+    auto via_source = JoinOrderOptimizer(&ds).Optimize(q, &source);
+    ASSERT_TRUE(via_fn.ok() && via_source.ok());
+    EXPECT_EQ((*via_fn)->ToString(), (*via_source)->ToString());
+    EXPECT_DOUBLE_EQ((*via_fn)->cost, (*via_source)->cost);
+  }
+}
+
+TEST(PlanExecutorTest, SubplanObserverReportsTrueCardinalities) {
+  data::Dataset ds = MakeJoinDataset(10, 3, 120);
+  Rng rng(11);
+  query::WorkloadParams wp;
+  wp.num_queries = 4;
+  wp.max_tables = 3;
+  for (const auto& q : query::GenerateWorkload(ds, wp, &rng)) {
+    JoinOrderOptimizer opt(&ds);
+    auto plan = opt.Optimize(q, TrueCardFn(ds));
+    ASSERT_TRUE(plan.ok());
+    PlanExecutor exec(&ds);
+    int observed = 0;
+    exec.set_subplan_observer(
+        [&](const query::Query& sub, int64_t rows) {
+          ++observed;
+          auto truth = TrueCardinality(ds, sub);
+          ASSERT_TRUE(truth.ok());
+          EXPECT_EQ(rows, *truth) << sub.ToString(ds);
+        });
+    auto result = exec.Execute(q, **plan);
+    ASSERT_TRUE(result.completed);
+    // One observation per plan node: n scans + n-1 joins.
+    EXPECT_EQ(observed, static_cast<int>(2 * q.tables.size()) - 1);
+  }
+}
+
 }  // namespace
 }  // namespace autoce::engine

@@ -17,6 +17,10 @@
 #include "advisor/label.h"
 #include "data/csv.h"
 #include "data/generator.h"
+#include "engine/histogram.h"
+#include "engine/optimizer.h"
+#include "fss/estimator_service.h"
+#include "query/query.h"
 #include "serve/server.h"
 #include "util/fault.h"
 #include "util/parallel.h"
@@ -519,6 +523,92 @@ void ExerciseSnapshotSite(const std::string& site) {
   EXPECT_TRUE(store->Commit(sections).ok());
 }
 
+data::Dataset FssFaultDataset(uint64_t seed) {
+  Rng rng(seed);
+  data::DatasetGenParams p;
+  p.min_tables = p.max_tables = 3;
+  p.min_rows = p.max_rows = 120;
+  p.min_columns = p.max_columns = 2;
+  return data::GenerateDataset(p, &rng);
+}
+
+/// fss.lookup contract: the estimator service degrades to the
+/// histogram baseline (counted as a fallback, never cached) and the
+/// optimizer keeps planning; the model answers again once injection
+/// is off.
+void ExerciseFssLookup() {
+  auto& reg = util::FaultInjection::Instance();
+  data::Dataset ds = FssFaultDataset(171);
+  auto service = fss::EstimatorService::Open("", nullptr, &ds);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  engine::PostgresStyleEstimator histogram(&ds);
+
+  Rng rng(172);
+  query::WorkloadParams wp;
+  wp.num_queries = 3;
+  wp.max_tables = 3;
+  auto queries = query::GenerateWorkload(ds, wp, &rng);
+
+  ASSERT_TRUE(reg.Configure(std::string(sites::kFssLookup) + ":1").ok());
+  for (const query::Query& q : queries) {
+    double est = (*service)->EstimateSubplan(q);
+    EXPECT_TRUE(std::isfinite(est));
+    EXPECT_DOUBLE_EQ(est, histogram.EstimateCardinality(q));
+    // The optimizer built on top of the degraded source still plans.
+    auto plan = engine::JoinOrderOptimizer(&ds).Optimize(q, service->get());
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  }
+  EXPECT_GT(reg.FireCount(sites::kFssLookup), 0);
+  EXPECT_EQ((*service)->stats().fallbacks, (*service)->stats().lookups);
+  EXPECT_EQ((*service)->cache_size(), 0u);
+  reg.Disable();
+}
+
+/// fss.commit contract: CommitKnowledge surfaces a Status, the
+/// failure is counted, in-memory knowledge is untouched, and the
+/// previous durable generation keeps loading; commits succeed again
+/// once injection is off.
+void ExerciseFssCommit() {
+  auto& reg = util::FaultInjection::Instance();
+  data::Dataset ds = FssFaultDataset(173);
+  std::string dir = std::string(::testing::TempDir()) + "/fault_fss_commit";
+  if (auto old = util::SnapshotStore::Open(dir); old.ok()) {
+    for (uint64_t g : old->ListGenerations()) {
+      std::remove(old->GenerationPath(g).c_str());
+    }
+    std::remove((dir + "/MANIFEST").c_str());
+  }
+  auto service = fss::EstimatorService::Open(dir, nullptr, &ds);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  Rng rng(174);
+  query::WorkloadParams wp;
+  wp.num_queries = 2;
+  wp.max_tables = 3;
+  auto queries = query::GenerateWorkload(ds, wp, &rng);
+  (*service)->ObserveTrueCardinality(queries[0], 50);
+  ASSERT_TRUE((*service)->CommitKnowledge().ok());
+
+  (*service)->ObserveTrueCardinality(queries[1], 60);
+  ASSERT_TRUE(reg.Configure(std::string(sites::kFssCommit) + ":1").ok());
+  Status failed = (*service)->CommitKnowledge();
+  EXPECT_FALSE(failed.ok());
+  EXPECT_GT(reg.FireCount(sites::kFssCommit), 0);
+  EXPECT_EQ((*service)->stats().commit_failures, 1u);
+  EXPECT_EQ((*service)->knowledge_size(), 2u);  // in-memory kept
+  {
+    auto reopened = fss::EstimatorService::Open(dir, nullptr, &ds);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ((*reopened)->knowledge_size(), 1u);  // first commit only
+  }
+
+  reg.Disable();
+  EXPECT_TRUE((*service)->CommitKnowledge().ok());
+  auto recovered = fss::EstimatorService::Open(dir, nullptr, &ds);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->knowledge_size(), 2u);
+}
+
 /// Dispatches a site name to its contract handler; fails for any
 /// registered site without one, so new sites cannot ship untested.
 void ExerciseSite(const std::string& site) {
@@ -551,6 +641,10 @@ void ExerciseSite(const std::string& site) {
     ExerciseAdaptPipelineSite(site);
   } else if (site == sites::kSnapshotWrite || site == sites::kSnapshotManifest) {
     ExerciseSnapshotSite(site);
+  } else if (site == sites::kFssLookup) {
+    ExerciseFssLookup();
+  } else if (site == sites::kFssCommit) {
+    ExerciseFssCommit();
   } else {
     FAIL() << "registered fault site has no contract test: " << site;
   }

@@ -1,0 +1,108 @@
+#include "fss/knowledge_store.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "query/query.h"
+
+namespace autoce::fss {
+namespace {
+
+query::Query QueryWithLiteral(int32_t lo) {
+  query::Query q;
+  q.tables = {0, 1};
+  q.joins.push_back({1, 0, 0, 0});
+  q.predicates.push_back({0, 1, query::PredOp::kRange, lo, lo + 10});
+  return q;
+}
+
+TEST(KnowledgeStoreTest, ObserveThenLookup) {
+  KnowledgeStore store;
+  FssKey key = MakeFssKey(QueryWithLiteral(3));
+  EXPECT_FALSE(store.Lookup(key).has_value());
+
+  store.Observe(key, 120.0);
+  auto hit = store.Lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 120.0);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.num_subspaces(), 1u);
+
+  // Distinct literal binding of the same subspace is a distinct entry.
+  FssKey other = MakeFssKey(QueryWithLiteral(8));
+  EXPECT_EQ(other.fss_hash, key.fss_hash);
+  EXPECT_FALSE(store.Lookup(other).has_value());
+  store.Observe(other, 40.0);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.num_subspaces(), 1u);
+}
+
+TEST(KnowledgeStoreTest, RepeatedObservationsFoldToRunningMean) {
+  KnowledgeStore store;
+  FssKey key = MakeFssKey(QueryWithLiteral(3));
+  store.Observe(key, 100.0);
+  store.Observe(key, 100.0);
+  EXPECT_DOUBLE_EQ(*store.Lookup(key), 100.0);
+  store.Observe(key, 40.0);
+  EXPECT_DOUBLE_EQ(*store.Lookup(key), 80.0);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KnowledgeStoreTest, SerializationIsCanonical) {
+  // Same content inserted in different orders serializes to identical
+  // bytes — the determinism anchor for the bench's digest check.
+  std::vector<FssKey> keys;
+  for (int32_t lo = 0; lo < 16; ++lo) {
+    keys.push_back(MakeFssKey(QueryWithLiteral(lo)));
+  }
+  KnowledgeStore forward, backward;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    forward.Observe(keys[i], static_cast<double>(10 * i));
+    backward.Observe(keys[keys.size() - 1 - i],
+                     static_cast<double>(10 * (keys.size() - 1 - i)));
+  }
+  EXPECT_EQ(forward.Serialize(), backward.Serialize());
+}
+
+TEST(KnowledgeStoreTest, SerdeRoundTrip) {
+  KnowledgeStore store;
+  for (int32_t lo = 0; lo < 8; ++lo) {
+    FssKey key = MakeFssKey(QueryWithLiteral(lo));
+    store.Observe(key, 7.5 * lo);
+    if (lo % 2 == 0) store.Observe(key, 7.5 * lo);  // bump observations
+  }
+  std::string payload = store.Serialize();
+
+  auto restored = KnowledgeStore::Deserialize(payload);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_EQ(restored->size(), store.size());
+  EXPECT_EQ(restored->num_subspaces(), store.num_subspaces());
+  for (int32_t lo = 0; lo < 8; ++lo) {
+    FssKey key = MakeFssKey(QueryWithLiteral(lo));
+    auto hit = restored->Lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(*hit, 7.5 * lo);
+  }
+  // Round-tripped content re-serializes to the same bytes.
+  EXPECT_EQ(restored->Serialize(), payload);
+}
+
+TEST(KnowledgeStoreTest, CorruptPayloadFailsWithDataLoss) {
+  KnowledgeStore store;
+  store.Observe(MakeFssKey(QueryWithLiteral(1)), 10.0);
+  std::string payload = store.Serialize();
+
+  std::string bad_magic = payload;
+  bad_magic[0] = static_cast<char>(~bad_magic[0]);
+  EXPECT_FALSE(KnowledgeStore::Deserialize(bad_magic).ok());
+
+  std::string truncated = payload.substr(0, payload.size() - 3);
+  EXPECT_FALSE(KnowledgeStore::Deserialize(truncated).ok());
+
+  std::string trailing = payload + "x";
+  EXPECT_FALSE(KnowledgeStore::Deserialize(trailing).ok());
+}
+
+}  // namespace
+}  // namespace autoce::fss

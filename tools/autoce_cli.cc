@@ -15,6 +15,9 @@
 //                    [--test-queries N] [--label-budget-ms MS]
 //                    [--workers N] [--disk-budget-bytes B]
 //   autoce adapt quarantine --snapshot-dir DIR [--json]
+//   autoce adapt requeue FINGERPRINT --snapshot-dir DIR --data DIR
+//                    [--drain] [--seed S]
+//   autoce fss       (stats|inspect) --store DIR [--limit N]
 //   autoce inspect   (--model model.ace | --snapshot-dir DIR)
 //   autoce metrics dump [--json]
 //   autoce faults list
@@ -51,7 +54,17 @@
 // the budget, and `adapt --workers N` drains batches with N labeling
 // workers (bit-identical results at any N). `adapt quarantine` lists
 // the poisoned fingerprints recorded in the store's QUARANTINE.log
-// with stage + failure reason (`--json` for machine consumption).
+// with stage + failure reason (`--json` for machine consumption);
+// `adapt requeue FP` clears fingerprint FP from the log and re-offers
+// the matching --data dataset through the feedback queue once the
+// underlying fault is fixed (`--drain` trains it immediately).
+//
+// `fss stats` summarizes the per-subplan knowledge store committed
+// under --store (DESIGN.md §5.13): entries, subspaces, observation
+// counts; `fss inspect` additionally lists the store's generations and
+// the most-observed entries (`--limit`, default 20). `version
+// --fss-store DIR` reports the store in the version/run-manifest
+// output alongside budgets and the chaos seed.
 //
 // Telemetry (DESIGN.md §5.9): with AUTOCE_METRICS set, every command
 // records obs counters/histograms; `serve` prints the Prometheus dump
@@ -76,6 +89,8 @@
 #include "advisor/label.h"
 #include "data/csv.h"
 #include "data/generator.h"
+#include "fss/estimator_service.h"
+#include "fss/knowledge_store.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
@@ -525,9 +540,86 @@ int CmdAdaptQuarantine(const Args& args) {
   return 0;
 }
 
+int CmdAdaptRequeue(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr,
+                 "adapt requeue: expected `adapt requeue FINGERPRINT "
+                 "--snapshot-dir DIR --data DIR [--drain]`\n");
+    return 2;
+  }
+  uint64_t fingerprint =
+      std::strtoull(args.positional[1].c_str(), nullptr, 16);
+  std::string store_dir = args.Get("snapshot-dir");
+  std::string data_dir = args.Get("data");
+  if (store_dir.empty() || data_dir.empty()) {
+    std::fprintf(stderr, "adapt requeue: --snapshot-dir DIR and --data DIR "
+                         "are required\n");
+    return 2;
+  }
+  adapt::AdaptationConfig config;
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  config.testbed.num_train_queries =
+      static_cast<int>(args.GetInt("train-queries", 200));
+  config.testbed.num_test_queries =
+      static_cast<int>(args.GetInt("test-queries", 80));
+  auto opened = adapt::AdaptationPipeline::Open(store_dir, /*server=*/nullptr,
+                                                config);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "adapt requeue: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<adapt::AdaptationPipeline> pipeline = std::move(*opened);
+
+  // The quarantine records only the fingerprint; the dataset itself
+  // comes back from --data, matched by refingerprinting every graph.
+  featgraph::FeatureExtractor extractor;
+  for (const auto& file : ListAdatFiles(data_dir)) {
+    auto ds = data::LoadDataset(file);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "adapt requeue: %s: %s\n", file.c_str(),
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    auto graph = extractor.Extract(*ds);
+    if (adapt::GraphFingerprint(graph) != fingerprint) continue;
+
+    auto offered = pipeline->RequeueFromQuarantine(fingerprint, *ds, graph);
+    if (!offered.ok()) {
+      std::fprintf(stderr, "adapt requeue: %s\n",
+                   offered.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%016" PRIx64 " cleared from quarantine, re-offered: %s "
+                "(%s)\n",
+                fingerprint, OfferedName(*offered), file.c_str());
+    if (args.Has("drain")) {
+      Status st = pipeline->DrainAll();
+      if (!st.ok()) {
+        std::fprintf(stderr, "adapt requeue: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      adapt::AdaptationStats stats = pipeline->stats();
+      std::printf("drained: %" PRIu64 " applied, %" PRIu64 " quarantined, "
+                  "%" PRIu64 " generations committed\n",
+                  stats.items_applied, stats.items_quarantined,
+                  stats.generations_committed);
+    }
+    return 0;
+  }
+  std::fprintf(stderr,
+               "adapt requeue: no dataset in %s fingerprints to %016" PRIx64
+               "\n",
+               data_dir.c_str(), fingerprint);
+  return 1;
+}
+
 int CmdAdapt(const Args& args) {
   if (!args.positional.empty() && args.positional[0] == "quarantine") {
     return CmdAdaptQuarantine(args);
+  }
+  if (!args.positional.empty() && args.positional[0] == "requeue") {
+    return CmdAdaptRequeue(args);
   }
   std::string store_dir = args.Get("snapshot-dir");
   std::string data_dir = args.Get("data");
@@ -740,6 +832,88 @@ int CmdInspect(const Args& args) {
   return 0;
 }
 
+/// Loads the newest committed fss knowledge section under `dir`,
+/// returning the parsed store and its snapshot generation.
+Result<std::pair<fss::KnowledgeStore, uint64_t>> LoadFssKnowledge(
+    const std::string& dir) {
+  auto store = util::SnapshotStore::Open(dir);
+  if (!store.ok()) return store.status();
+  uint64_t generation = 0;
+  auto sections = store->LoadLatest(&generation);
+  if (!sections.ok()) return sections.status();
+  for (const auto& section : *sections) {
+    if (section.name != fss::kKnowledgeSection) continue;
+    auto knowledge = fss::KnowledgeStore::Deserialize(section.payload);
+    if (!knowledge.ok()) return knowledge.status();
+    return std::make_pair(std::move(*knowledge), generation);
+  }
+  return Status::NotFound("newest generation has no " +
+                          std::string(fss::kKnowledgeSection) + " section");
+}
+
+int CmdFss(const Args& args) {
+  if (args.positional.empty() ||
+      (args.positional[0] != "stats" && args.positional[0] != "inspect")) {
+    std::fprintf(stderr, "fss: expected `fss (stats|inspect) --store DIR "
+                         "[--limit N]`\n");
+    return 2;
+  }
+  std::string dir = args.Get("store");
+  if (dir.empty()) {
+    std::fprintf(stderr, "fss: --store DIR is required\n");
+    return 2;
+  }
+  auto loaded = LoadFssKnowledge(dir);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "fss: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const fss::KnowledgeStore& knowledge = loaded->first;
+  auto entries = knowledge.SortedEntries();
+  uint64_t observations = 0;
+  double min_card = 0.0, max_card = 0.0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    observations += entries[i].second.observations;
+    double card = entries[i].second.observed_card;
+    if (i == 0 || card < min_card) min_card = card;
+    if (i == 0 || card > max_card) max_card = card;
+  }
+  std::printf("fss knowledge store: %s (generation %" PRIu64 ")\n",
+              dir.c_str(), loaded->second);
+  std::printf("  entries        : %zu\n", knowledge.size());
+  std::printf("  subspaces      : %zu\n", knowledge.num_subspaces());
+  std::printf("  observations   : %" PRIu64 " (%.2f per entry)\n",
+              observations,
+              entries.empty() ? 0.0
+                              : static_cast<double>(observations) /
+                                    static_cast<double>(entries.size()));
+  std::printf("  observed cards : [%.0f, %.0f]\n", min_card, max_card);
+  if (args.positional[0] == "stats") return 0;
+
+  auto store = util::SnapshotStore::Open(dir);
+  std::printf("  generations    :");
+  for (uint64_t g : store->ListGenerations()) {
+    std::printf(" %" PRIu64, g);
+  }
+  std::printf("\n");
+  size_t limit = static_cast<size_t>(args.GetInt("limit", 20));
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.observations > b.second.observations;
+                   });
+  std::printf("  top %zu entries by observations:\n",
+              std::min(limit, entries.size()));
+  std::printf("    %-18s %-18s %12s %8s\n", "fss_hash", "literal_hash",
+              "mean_card", "obs");
+  for (size_t i = 0; i < entries.size() && i < limit; ++i) {
+    std::printf("    %016" PRIx64 "   %016" PRIx64 "   %12.1f %8" PRIu64 "\n",
+                entries[i].first, entries[i].second.literal_hash,
+                entries[i].second.observed_card,
+                entries[i].second.observations);
+  }
+  return 0;
+}
+
 int CmdVersion(const Args& args) {
   std::printf("autoce (C++20 reproduction of AutoCE, ICDE 2023)\n");
   std::printf("  simd compiled  : %s\n",
@@ -770,13 +944,28 @@ int CmdVersion(const Args& args) {
               disk_budget > 0
                   ? (std::to_string(disk_budget) + " bytes").c_str()
                   : "unlimited");
+  fss::EstimatorServiceOptions fss_defaults;
+  std::printf("  fss cache         : %zu entries x %zu shards (default)\n",
+              fss_defaults.cache_capacity, fss_defaults.cache_shards);
+  if (std::string dir = args.Get("fss-store"); !dir.empty()) {
+    auto loaded = LoadFssKnowledge(dir);
+    if (loaded.ok()) {
+      std::printf("  fss store         : %s: %zu entries, %zu subspaces "
+                  "(generation %" PRIu64 ")\n",
+                  dir.c_str(), loaded->first.size(),
+                  loaded->first.num_subspaces(), loaded->second);
+    } else {
+      std::printf("  fss store         : %s: %s\n", dir.c_str(),
+                  loaded.status().ToString().c_str());
+    }
+  }
   return 0;
 }
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: autoce <generate|train|recommend|serve|adapt|inspect|"
-               "metrics|faults|version> [flags]\n"
+               "usage: autoce <generate|train|recommend|serve|adapt|fss|"
+               "inspect|metrics|faults|version> [flags]\n"
                "see the header of tools/autoce_cli.cc for details\n");
   return 2;
 }
@@ -795,6 +984,7 @@ int Main(int argc, char** argv) {
   else if (cmd == "inspect") rc = CmdInspect(args);
   else if (cmd == "metrics") rc = CmdMetrics(args);
   else if (cmd == "faults") rc = CmdFaults(args);
+  else if (cmd == "fss") rc = CmdFss(args);
   else if (cmd == "version") rc = CmdVersion(args);
   else return Usage();
   // AUTOCE_RUN_MANIFEST records what this invocation ran (and, when
@@ -818,6 +1008,28 @@ int Main(int argc, char** argv) {
         .AddDouble("label_budget_ms_per_batch",
                    args.GetDouble("label-budget-ms", 0.0))
         .AddInt("disk_budget_bytes", args.GetInt("disk-budget-bytes", 0));
+    // FSS cache/store stats, like the budgets above: a run touching a
+    // knowledge store is reproducible + auditable from its manifest.
+    fss::EstimatorServiceOptions fss_defaults;
+    manifest
+        .AddInt("fss_cache_capacity",
+                static_cast<int64_t>(fss_defaults.cache_capacity))
+        .AddInt("fss_cache_shards",
+                static_cast<int64_t>(fss_defaults.cache_shards));
+    if (std::string dir = args.Get("fss-store"); !dir.empty()) {
+      if (auto loaded = LoadFssKnowledge(dir); loaded.ok()) {
+        manifest.AddString("fss_store", dir)
+            .AddInt("fss_store_generation",
+                    static_cast<int64_t>(loaded->second))
+            .AddInt("fss_knowledge_entries",
+                    static_cast<int64_t>(loaded->first.size()))
+            .AddInt("fss_knowledge_subspaces",
+                    static_cast<int64_t>(loaded->first.num_subspaces()));
+      } else {
+        manifest.AddString("fss_store", dir)
+            .AddString("fss_store_error", loaded.status().ToString());
+      }
+    }
     std::string flags;
     for (const auto& [k, v] : args.flags) {
       if (!flags.empty()) flags += ' ';
