@@ -10,6 +10,7 @@
 #include "adapt/pipeline.h"
 #include "advisor/autoce.h"
 #include "data/generator.h"
+#include "dyn/mutation.h"
 #include "featgraph/featgraph.h"
 #include "serve/server.h"
 #include "util/fault.h"
@@ -190,6 +191,20 @@ Result<SoakReport> RunSoakImpl(const SoakConfig& config) {
   auto clock = std::make_shared<SimClock>();
   clock->step_s = config.sim_ms_per_look / 1000.0;
 
+  // Drift-fed mode: one persistent pool that mutates every tick; the
+  // feedback stream becomes its drifted snapshots. The pool is created
+  // once (same generator path as the classic feed) and its trajectory
+  // is a pure function of (content fingerprint, epoch) — kills and
+  // worker counts cannot perturb it.
+  std::vector<data::Dataset> drift_pool;
+  dyn::MutationConfig drift_cfg;
+  if (config.drift_intensity > 0.0) {
+    drift_pool = MakeDatasets(
+        static_cast<int>(std::max<std::size_t>(1, config.items_per_tick)),
+        util::FaultKeyMix(config.seed, 0xd21f7ULL));
+    drift_cfg.intensity = config.drift_intensity;
+  }
+
   auto loop = OpenLoop(config, clock);
   if (!loop.ok()) return loop.status();
 
@@ -260,8 +275,19 @@ Result<SoakReport> RunSoakImpl(const SoakConfig& config) {
     // Feedback: fresh OOD items offered straight to the queue with a
     // deterministic priority, so the drained stream is a pure function
     // of (seed, tick) — independent of the serving model's drift state.
-    auto feed = MakeDatasets(static_cast<int>(config.items_per_tick),
-                             util::FaultKeyMix(config.seed, 0xfeedULL + tick));
+    std::vector<data::Dataset> feed;
+    if (config.drift_intensity > 0.0) {
+      for (auto& ds : drift_pool) {
+        auto applied = dyn::ApplyEpochs(
+            &ds, drift_cfg, static_cast<int>(config.drift_epochs_per_tick));
+        if (!applied.ok()) return applied.status();
+        report.drift_epochs += config.drift_epochs_per_tick;
+      }
+      feed = drift_pool;  // drifted copies; the pool keeps mutating
+    } else {
+      feed = MakeDatasets(static_cast<int>(config.items_per_tick),
+                          util::FaultKeyMix(config.seed, 0xfeedULL + tick));
+    }
     for (size_t i = 0; i < feed.size(); ++i) {
       featgraph::FeatureGraph graph = fx.Extract(feed[i]);
       loop->pipeline->queue().Offer(std::move(feed[i]), std::move(graph),

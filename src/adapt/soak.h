@@ -45,6 +45,16 @@ struct SoakConfig {
   /// that makes budget tightness a pure function of the schedule.
   double sim_ms_per_look = 5.0;
 
+  /// Dynamic-data drive (DESIGN.md §5.14): when positive, the feedback
+  /// stream comes from a persistent dataset pool that drifts under the
+  /// dyn mutation stream at this intensity — each tick applies
+  /// `drift_epochs_per_tick` epochs to every pool member and offers
+  /// the drifted copies. 0 keeps the classic fresh-dataset feed (and
+  /// the seed-compatible digests tests pin).
+  double drift_intensity = 0.0;
+  /// Mutation epochs applied to the drift pool per tick.
+  uint64_t drift_epochs_per_tick = 1;
+
   /// Chaos shape; `seed` above overrides its seed and the driver fills
   /// `site_pool` with the serve/adapt/snapshot sites when empty.
   util::ChaosScheduleConfig chaos;
@@ -89,6 +99,7 @@ struct SoakReport {
   uint64_t requests = 0;
   uint64_t shed = 0;
   uint64_t deadline_shed = 0;
+  uint64_t drift_epochs = 0;  ///< mutation epochs applied to the pool
 
   std::vector<SoakTickRow> ticks;
 

@@ -47,9 +47,18 @@ double SelectQErrorAggregate(const QErrorSummary& s, QErrorMetric metric) {
   return s.mean;
 }
 
-Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
-                                 const TestbedConfig& config) {
-  TestbedResult out;
+namespace {
+
+/// Shared implementation of `RunTestbed` (post == nullptr) and
+/// `RunDriftTestbed`. With a post-update dataset, every cell evaluates
+/// its ONE trained model twice: against snapshot truth (exactly the
+/// plain-testbed sequence, so snapshot results are bit-identical to
+/// `RunTestbed`) and then against truth recomputed on the drifted data.
+Result<DriftTestbedResult> RunTestbedImpl(const data::Dataset& dataset,
+                                          const data::Dataset* post_ds,
+                                          const TestbedConfig& config) {
+  DriftTestbedResult result;
+  TestbedResult& out = result.snapshot;
   Rng rng(config.seed);
 
   query::WorkloadParams wp = config.workload;
@@ -65,6 +74,10 @@ Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
   out.test_queries.assign(all.begin() + config.num_train_queries, all.end());
   out.test_cards.assign(cards.begin() + config.num_train_queries,
                         cards.end());
+  if (post_ds != nullptr) {
+    result.post_cards =
+        engine::TrueCardinalities(*post_ds, out.test_queries);
+  }
 
   TrainContext ctx;
   ctx.dataset = &dataset;
@@ -79,7 +92,8 @@ Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
   // aggregate from a diverged model — comes back as a Status with the
   // failing site recorded in perf->failure.
   auto evaluate_cell = [&](ModelId id, const TrainContext& cell_ctx,
-                           int attempt, ModelPerformance* perf) -> Status {
+                           int attempt, ModelPerformance* perf,
+                           ModelPerformance* post_perf) -> Status {
     auto model = CreateModel(id, config.scale);
     Timer train_timer;
     Status st = model->Train(cell_ctx);
@@ -131,6 +145,37 @@ Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
       perf->failure.site = util::fault_sites::kTestbedEstimate;
       return Status::Internal("non-finite Q-error/latency aggregate");
     }
+    if (post_perf == nullptr) return Status::OK();
+
+    // Post-update pass: the SAME trained model, the SAME test queries,
+    // truth recomputed on the drifted data. Reference latency is kept —
+    // drift changes the data a model faces, not the original system's
+    // per-query inference cost (the DESIGN.md substitution).
+    std::vector<double> post_qerrors;
+    post_qerrors.reserve(out.test_queries.size());
+    for (size_t i = 0; i < out.test_queries.size(); ++i) {
+      double est = model->EstimateCardinality(out.test_queries[i]);
+      if (util::FaultPoint(util::fault_sites::kTestbedEstimate,
+                           util::FaultKeyMix(cell_ctx.seed ^ 0xD81F7ULL, i))) {
+        est = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (!std::isfinite(est)) {
+        perf->failure.site = util::fault_sites::kTestbedEstimate;
+        return Status::Internal("non-finite post-update estimate for query " +
+                                std::to_string(i));
+      }
+      post_qerrors.push_back(QError(est, result.post_cards[i]));
+    }
+    post_perf->id = id;
+    post_perf->train_seconds = perf->train_seconds;
+    post_perf->latency_mean_ms = perf->latency_mean_ms;
+    post_perf->qerror = SummarizeQErrors(post_qerrors);
+    post_perf->qerror.mean =
+        SelectQErrorAggregate(post_perf->qerror, config.qerror_metric);
+    if (!std::isfinite(post_perf->qerror.mean)) {
+      perf->failure.site = util::fault_sites::kTestbedEstimate;
+      return Status::Internal("non-finite post-update Q-error aggregate");
+    }
     return Status::OK();
   };
 
@@ -155,10 +200,17 @@ Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
                        reg.GetCounter("testbed.cell_failures"),
                        reg.GetCounter("testbed.cell_retries")};
   }();
-  out.models = util::ParallelMap(0, ids.size(), 1, [&](size_t cell) {
+  struct CellOut {
+    ModelPerformance snap;
+    ModelPerformance post;
+  };
+  std::vector<CellOut> cells =
+      util::ParallelMap(0, ids.size(), 1, [&](size_t cell) {
     ModelId id = ids[cell];
-    ModelPerformance perf;
+    CellOut co;
+    ModelPerformance& perf = co.snap;
     perf.id = id;
+    co.post.id = id;
     TrainContext cell_ctx = ctx;
     const uint64_t base_seed =
         config.seed ^ (static_cast<uint64_t>(id) * 0x9E3779B9ULL);
@@ -171,11 +223,13 @@ Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
                           : util::FaultKeyMix(base_seed, 0x52455452ULL);
       if (attempt > 0) cell_metrics.retries->Add();
       perf.failure = FailureInfo{};
-      last = evaluate_cell(id, cell_ctx, attempt, &perf);
+      last = evaluate_cell(id, cell_ctx, attempt, &perf,
+                           post_ds != nullptr ? &co.post : nullptr);
       perf.failure.attempts = attempt + 1;
       if (last.ok()) break;
     }
     perf.trained_ok = last.ok();
+    co.post.trained_ok = last.ok();
     if (!last.ok()) {
       cell_metrics.failures->Add();
       perf.failure.cause = last.ToString();
@@ -186,12 +240,46 @@ Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
       perf.qerror = QErrorSummary{};
       perf.qerror.mean = 1e9;
       perf.latency_mean_ms = 1e9;
+      co.post.failure = perf.failure;
+      co.post.qerror = perf.qerror;
+      co.post.latency_mean_ms = perf.latency_mean_ms;
     } else {
       perf.failure = FailureInfo{};
     }
-    return perf;
+    return co;
   });
-  return out;
+  out.models.reserve(cells.size());
+  if (post_ds != nullptr) result.post_update.reserve(cells.size());
+  for (CellOut& co : cells) {
+    out.models.push_back(std::move(co.snap));
+    if (post_ds != nullptr) result.post_update.push_back(std::move(co.post));
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
+                                 const TestbedConfig& config) {
+  auto result = RunTestbedImpl(dataset, nullptr, config);
+  if (!result.ok()) return result.status();
+  return std::move(result->snapshot);
+}
+
+Result<DriftTestbedResult> RunDriftTestbed(const data::Dataset& snapshot_ds,
+                                           const data::Dataset& drifted_ds,
+                                           const TestbedConfig& config) {
+  if (drifted_ds.NumTables() != snapshot_ds.NumTables()) {
+    return Status::InvalidArgument(
+        "drifted dataset has a different table count than the snapshot");
+  }
+  for (int t = 0; t < snapshot_ds.NumTables(); ++t) {
+    if (drifted_ds.table(t).NumColumns() != snapshot_ds.table(t).NumColumns()) {
+      return Status::InvalidArgument(
+          "drifted dataset has a different schema than the snapshot");
+    }
+  }
+  return RunTestbedImpl(snapshot_ds, &drifted_ds, config);
 }
 
 }  // namespace autoce::ce

@@ -87,6 +87,29 @@ struct TestbedResult {
 Result<TestbedResult> RunTestbed(const data::Dataset& dataset,
                                  const TestbedConfig& config);
 
+/// A snapshot testbed run plus the same trained models re-scored
+/// against the post-update data (the "post-update" label variant,
+/// DESIGN.md §5.14): `post_update[i]` is `snapshot.models[i]`'s Q-error
+/// against the drifted dataset's TRUE cardinalities for the same test
+/// queries. Latency keeps the reference-profile substitution — drift
+/// changes data, not the original systems' inference cost.
+struct DriftTestbedResult {
+  TestbedResult snapshot;
+  std::vector<ModelPerformance> post_update;
+  std::vector<double> post_cards;  ///< test-query truth on the drifted data
+};
+
+/// \brief Runs the testbed on `snapshot_ds` and re-scores every trained
+/// model against `drifted_ds` (same schema, mutated contents — e.g. K
+/// `dyn::ApplyEpoch` steps ahead). Each model trains ONCE on snapshot
+/// workload + truth; the post-update pass replays the held-out queries
+/// against truth recomputed on the drifted data. A cell that fails in
+/// either pass retries and, exhausted, carries sentinel metrics in both
+/// (`advisor::MakeLabel` maps those to the worst-normalized score).
+Result<DriftTestbedResult> RunDriftTestbed(const data::Dataset& snapshot_ds,
+                                           const data::Dataset& drifted_ds,
+                                           const TestbedConfig& config);
+
 }  // namespace autoce::ce
 
 #endif  // AUTOCE_CE_TESTBED_H_

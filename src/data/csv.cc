@@ -223,7 +223,7 @@ constexpr uint32_t kDatasetMagic = 0x41444154;  // "ADAT"
 Status SaveDataset(const Dataset& dataset, const std::string& path) {
   BinaryWriter w(path);
   w.WriteU32(kDatasetMagic);
-  w.WriteU32(1);  // version
+  w.WriteU32(2);  // version 2 appends dyn epoch state after the FK list
   w.WriteString(dataset.name());
   w.WriteU64(static_cast<uint64_t>(dataset.NumTables()));
   for (int t = 0; t < dataset.NumTables(); ++t) {
@@ -245,6 +245,8 @@ Status SaveDataset(const Dataset& dataset, const std::string& path) {
     w.WriteI64(fk.pk_table);
     w.WriteI64(fk.pk_column);
   }
+  w.WriteU64(dataset.epoch());
+  w.WriteU64(dataset.base_fingerprint());
   return w.Close();
 }
 
@@ -254,7 +256,8 @@ Result<Dataset> LoadDataset(const std::string& path) {
   if (r.ReadU32() != kDatasetMagic) {
     return Status::InvalidArgument("not a dataset file: " + path);
   }
-  if (r.ReadU32() != 1) {
+  const uint32_t version = r.ReadU32();
+  if (version != 1 && version != 2) {
     return Status::InvalidArgument("unsupported dataset file version");
   }
   Dataset ds(r.ReadString());
@@ -295,6 +298,12 @@ Result<Dataset> LoadDataset(const std::string& path) {
     fk.pk_table = static_cast<int>(r.ReadI64());
     fk.pk_column = static_cast<int>(r.ReadI64());
     AUTOCE_RETURN_NOT_OK(ds.AddForeignKey(fk));
+  }
+  if (version >= 2) {
+    // Mutation-stream resume state: a reloaded dataset continues its
+    // drift trajectory bit-identically (dyn/mutation.h).
+    ds.set_epoch(r.ReadU64());
+    ds.set_base_fingerprint(r.ReadU64());
   }
   if (!r.status().ok()) return r.status();
   return ds;

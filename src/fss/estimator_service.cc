@@ -26,6 +26,9 @@ struct FssMetrics {
   obs::Counter* feedback;
   obs::Counter* commits;
   obs::Counter* commit_failures;
+  obs::Counter* age_evictions;
+  obs::Counter* drift_disagreements;
+  obs::Gauge* epoch;
   obs::Histogram* lookup_latency_ms;
 
   static FssMetrics& Get() {
@@ -46,6 +49,9 @@ struct FssMetrics {
     feedback = reg.GetCounter("fss.feedback");
     commits = reg.GetCounter("fss.commits");
     commit_failures = reg.GetCounter("fss.commit_failures");
+    age_evictions = reg.GetCounter("fss.age_evictions");
+    drift_disagreements = reg.GetCounter("fss.drift_disagreements");
+    epoch = reg.GetGauge("fss.epoch");
     lookup_latency_ms = reg.GetHistogram("fss.lookup_latency_ms");
   }
 };
@@ -216,13 +222,67 @@ void EstimatorService::ObserveTrueCardinality(const query::Query& q,
                                               int64_t rows) {
   if (rows < 0) return;
   FssKey key = MakeFssKey(q);
+  // Prior served answer for this subplan, if any: knowledge first (the
+  // tier that would have answered), else the cached model estimate.
+  // Captured before Observe folds the new truth in.
+  std::optional<double> prior;
+  const bool check_drift = options_.drift_disagreement_threshold > 0.0;
   {
     std::lock_guard<std::mutex> lock(knowledge_mu_);
+    if (check_drift) prior = knowledge_.Lookup(key);
     knowledge_.Observe(key, static_cast<double>(rows));
   }
+  if (check_drift && !prior.has_value()) prior = CacheLookup(key);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.feedback;
+    FssMetrics::Get().feedback->Add();
+  }
+  if (!check_drift || !prior.has_value()) return;
+  // Log-ratio disagreement between what we would have served and the
+  // observed truth; +1 keeps empty subplans finite.
+  double err = std::abs(std::log((*prior + 1.0) /
+                                 (static_cast<double>(rows) + 1.0)));
+  if (err <= options_.drift_disagreement_threshold) return;
+  DriftDisagreementHook hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = disagreement_hook_;
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.drift_disagreements;
+    FssMetrics::Get().drift_disagreements->Add();
+  }
+  if (hook) hook(q, err);  // outside every service lock
+}
+
+std::size_t EstimatorService::NotifyEpoch(uint64_t epoch) {
+  std::size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(knowledge_mu_);
+    knowledge_.set_epoch(epoch);
+    if (options_.max_age_epochs > 0 && epoch > options_.max_age_epochs) {
+      evicted = knowledge_.EvictOlderThan(epoch - options_.max_age_epochs);
+    }
+  }
+  // Cached model estimates describe the pre-mutation data distribution;
+  // drop them so the next lookup re-estimates against current state.
+  ClearCache();
+  auto& metrics = FssMetrics::Get();
+  metrics.epoch->Set(static_cast<double>(epoch));
+  if (evicted > 0) {
+    metrics.age_evictions->Add(static_cast<int64_t>(evicted));
+  }
   std::lock_guard<std::mutex> stats_lock(stats_mu_);
-  ++stats_.feedback;
-  FssMetrics::Get().feedback->Add();
+  stats_.epoch = epoch;
+  stats_.age_evictions += evicted;
+  return evicted;
+}
+
+void EstimatorService::set_disagreement_hook(DriftDisagreementHook hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  disagreement_hook_ = std::move(hook);
 }
 
 engine::SubplanObserver EstimatorService::MakeObserver() {

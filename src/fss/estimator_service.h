@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -38,6 +39,14 @@ struct EstimatorServiceOptions {
   uint64_t inference_seed = 42;
   /// Snapshot store options for the persistent knowledge store.
   util::SnapshotStoreOptions store_options;
+  /// Knowledge-aging window: on `NotifyEpoch(e)` entries last observed
+  /// before `e - max_age_epochs` are evicted. 0 disables aging.
+  uint64_t max_age_epochs = 0;
+  /// Drift-disagreement trigger: when an observed true cardinality
+  /// disagrees with the previously served answer by more than this
+  /// absolute log-ratio (|log((prior+1)/(truth+1))|), the disagreement
+  /// hook fires. 0 disables the check.
+  double drift_disagreement_threshold = 0.0;
 };
 
 /// Cumulative service counters since Open (mirrored as `fss.*` metrics).
@@ -54,7 +63,16 @@ struct ServiceStats {
   uint64_t commit_failures = 0;   ///< failed commits (store untouched)
   uint64_t knowledge_entries = 0; ///< current (FSS, literal) entries
   uint64_t knowledge_subspaces = 0;  ///< current distinct subspaces
+  uint64_t age_evictions = 0;     ///< knowledge entries aged out by epoch
+  uint64_t drift_disagreements = 0;  ///< feedback past the drift threshold
+  uint64_t epoch = 0;             ///< last epoch seen via NotifyEpoch
 };
+
+/// Callback for feedback that disagrees with served knowledge past the
+/// configured threshold: `(subplan, abs log-ratio error)`. Invoked
+/// outside service locks.
+using DriftDisagreementHook =
+    std::function<void(const query::Query&, double)>;
 
 /// \brief Live per-subplan cardinality serving behind the optimizer
 /// (DESIGN.md §5.13).
@@ -121,6 +139,19 @@ class EstimatorService : public engine::CardinalitySource {
   /// Clears the estimate cache (knowledge is kept).
   void ClearCache();
 
+  /// Dataset-epoch notification from the dyn mutation stream: stamps
+  /// future observations with `epoch`, ages out knowledge older than
+  /// `max_age_epochs` (when configured), and clears the estimate cache
+  /// (cached model answers describe pre-mutation data). Returns the
+  /// number of knowledge entries evicted.
+  std::size_t NotifyEpoch(uint64_t epoch);
+
+  /// Installs the drift-disagreement hook (see
+  /// `EstimatorServiceOptions::drift_disagreement_threshold`). Pass an
+  /// empty function to disable. The hook MUST NOT call back into the
+  /// service synchronously in a way that re-enters observation.
+  void set_disagreement_hook(DriftDisagreementHook hook);
+
   ServiceStats stats() const;
 
   /// Name of the hosted model ("none" when degraded to histogram-only).
@@ -163,6 +194,9 @@ class EstimatorService : public engine::CardinalitySource {
 
   mutable std::mutex stats_mu_;
   ServiceStats stats_;  // guarded by stats_mu_
+
+  mutable std::mutex hook_mu_;
+  DriftDisagreementHook disagreement_hook_;  // guarded by hook_mu_
 };
 
 }  // namespace autoce::fss

@@ -8,7 +8,9 @@ namespace autoce::fss {
 
 namespace {
 constexpr uint32_t kMagic = 0x4653534B;  // "KSSF" little-endian
-constexpr uint32_t kVersion = 1;
+// v2 adds the store epoch, the aged-out total, and a per-entry
+// last-observation epoch; v1 payloads load with all of those zero.
+constexpr uint32_t kVersion = 2;
 }  // namespace
 
 std::optional<double> KnowledgeStore::Lookup(const FssKey& key) const {
@@ -38,6 +40,7 @@ void KnowledgeStore::Observe(const FssKey& key, double true_cardinality) {
     e.observed_card += (true_cardinality - e.observed_card) /
                        static_cast<double>(e.observations + 1);
     ++e.observations;
+    e.epoch = epoch_;
     return;
   }
   KnowledgeEntry e;
@@ -45,8 +48,30 @@ void KnowledgeStore::Observe(const FssKey& key, double true_cardinality) {
   e.signature = key.signature;
   e.observed_card = true_cardinality;
   e.observations = 1;
+  e.epoch = epoch_;
   group.push_back(std::move(e));
   ++size_;
+}
+
+void KnowledgeStore::set_epoch(uint64_t epoch) {
+  if (epoch > epoch_) epoch_ = epoch;
+}
+
+std::size_t KnowledgeStore::EvictOlderThan(uint64_t min_epoch) {
+  std::size_t evicted = 0;
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    auto& group = it->second;
+    auto keep = std::remove_if(group.begin(), group.end(),
+                               [min_epoch](const KnowledgeEntry& e) {
+                                 return e.epoch < min_epoch;
+                               });
+    evicted += static_cast<std::size_t>(group.end() - keep);
+    group.erase(keep, group.end());
+    it = group.empty() ? groups_.erase(it) : std::next(it);
+  }
+  size_ -= evicted;
+  aged_out_ += evicted;
+  return evicted;
 }
 
 std::vector<std::pair<uint64_t, KnowledgeEntry>> KnowledgeStore::SortedEntries()
@@ -73,6 +98,8 @@ std::string KnowledgeStore::Serialize() const {
   BinaryWriter w;
   w.WriteU32(kMagic);
   w.WriteU32(kVersion);
+  w.WriteU64(epoch_);
+  w.WriteU64(aged_out_);
   w.WriteU64(static_cast<uint64_t>(size_));
   for (const auto& [h, e] : SortedEntries()) {
     w.WriteU64(h);
@@ -80,6 +107,7 @@ std::string KnowledgeStore::Serialize() const {
     w.WriteString(e.signature);
     w.WriteDouble(e.observed_card);
     w.WriteU64(e.observations);
+    w.WriteU64(e.epoch);
   }
   return w.buffer();
 }
@@ -91,11 +119,15 @@ Result<KnowledgeStore> KnowledgeStore::Deserialize(const std::string& payload) {
   }
   uint32_t version = r.ReadU32();
   if (!r.status().ok()) return r.status();
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     return Status::DataLoss("fss knowledge store: unsupported version");
   }
-  uint64_t count = r.ReadU64();
   KnowledgeStore store;
+  if (version >= 2) {
+    store.epoch_ = r.ReadU64();
+    store.aged_out_ = r.ReadU64();
+  }
+  uint64_t count = r.ReadU64();
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t fss_hash = r.ReadU64();
     KnowledgeEntry e;
@@ -103,6 +135,7 @@ Result<KnowledgeStore> KnowledgeStore::Deserialize(const std::string& payload) {
     e.signature = r.ReadString();
     e.observed_card = r.ReadDouble();
     e.observations = r.ReadU64();
+    if (version >= 2) e.epoch = r.ReadU64();
     if (!r.status().ok()) return r.status();
     if (e.observations == 0) {
       return Status::DataLoss("fss knowledge store: entry with 0 observations");

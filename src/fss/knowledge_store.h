@@ -21,6 +21,9 @@ struct KnowledgeEntry {
   std::string signature;
   double observed_card = 0.0;
   uint64_t observations = 0;
+  /// Store epoch of the most recent observation (dyn mutation epochs);
+  /// the aging policy evicts entries older than `max_age_epochs`.
+  uint64_t epoch = 0;
 };
 
 /// \brief In-memory per-subplan knowledge, FSS-keyed and collision-safe.
@@ -53,6 +56,21 @@ class KnowledgeStore {
   /// Detected hash collisions (same hashes, different canonical bytes).
   uint64_t collisions() const { return collisions_; }
 
+  /// Current dataset epoch; new and re-observed entries are stamped
+  /// with it.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Advances the store's epoch (monotonic; lower values ignored).
+  void set_epoch(uint64_t epoch);
+
+  /// Evicts every entry whose last-observation epoch is below
+  /// `min_epoch`; returns how many entries were dropped. The running
+  /// `aged_out` total survives serialization.
+  std::size_t EvictOlderThan(uint64_t min_epoch);
+
+  /// Entries evicted by the aging policy over the store's lifetime.
+  uint64_t aged_out() const { return aged_out_; }
+
   /// Every entry paired with its subspace hash, in canonical order
   /// (fss_hash, then literal_hash, then signature) — the inspection
   /// surface for the CLI and the order `Serialize` emits.
@@ -69,6 +87,8 @@ class KnowledgeStore {
   std::unordered_map<uint64_t, std::vector<KnowledgeEntry>> groups_;
   std::size_t size_ = 0;
   mutable uint64_t collisions_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t aged_out_ = 0;
 };
 
 }  // namespace autoce::fss

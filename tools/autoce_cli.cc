@@ -18,6 +18,10 @@
 //   autoce adapt requeue FINGERPRINT --snapshot-dir DIR --data DIR
 //                    [--drain] [--seed S]
 //   autoce fss       (stats|inspect) --store DIR [--limit N]
+//   autoce dyn gen   --out DIR [--per-cell N] [--seed S]
+//   autoce dyn step  --dataset F.adat [--epochs K] [--intensity X]
+//                    [--out F.adat]
+//   autoce dyn stats --dataset F.adat
 //   autoce inspect   (--model model.ace | --snapshot-dir DIR)
 //   autoce metrics dump [--json]
 //   autoce faults list
@@ -61,10 +65,19 @@
 //
 // `fss stats` summarizes the per-subplan knowledge store committed
 // under --store (DESIGN.md §5.13): entries, subspaces, observation
-// counts; `fss inspect` additionally lists the store's generations and
-// the most-observed entries (`--limit`, default 20). `version
-// --fss-store DIR` reports the store in the version/run-manifest
-// output alongside budgets and the chaos seed.
+// counts, the store's dataset epoch, and how many entries the aging
+// policy has evicted; `fss inspect` additionally lists the store's
+// generations and the most-observed entries (`--limit`, default 20).
+// `version --fss-store DIR` reports the store in the
+// version/run-manifest output alongside budgets and the chaos seed.
+//
+// `dyn` drives the dynamic-data subsystem (DESIGN.md §5.14): `dyn gen`
+// writes a regime-tagged corpus (the CardBench-style grid over table
+// count / skew / correlation / fanout / drift) as .adat files; `dyn
+// step` applies K deterministic mutation epochs to a dataset — the
+// stream is a pure function of (content fingerprint, epoch), so
+// re-running a step on the same input reproduces the same bits; `dyn
+// stats` prints a dataset's epoch state and per-table shape.
 //
 // Telemetry (DESIGN.md §5.9): with AUTOCE_METRICS set, every command
 // records obs counters/histograms; `serve` prints the Prometheus dump
@@ -89,6 +102,8 @@
 #include "advisor/label.h"
 #include "data/csv.h"
 #include "data/generator.h"
+#include "dyn/mutation.h"
+#include "dyn/regime.h"
 #include "fss/estimator_service.h"
 #include "fss/knowledge_store.h"
 #include "obs/manifest.h"
@@ -888,6 +903,8 @@ int CmdFss(const Args& args) {
                               : static_cast<double>(observations) /
                                     static_cast<double>(entries.size()));
   std::printf("  observed cards : [%.0f, %.0f]\n", min_card, max_card);
+  std::printf("  dataset epoch  : %" PRIu64 "\n", knowledge.epoch());
+  std::printf("  aged out       : %" PRIu64 "\n", knowledge.aged_out());
   if (args.positional[0] == "stats") return 0;
 
   auto store = util::SnapshotStore::Open(dir);
@@ -912,6 +929,109 @@ int CmdFss(const Args& args) {
                 entries[i].second.observations);
   }
   return 0;
+}
+
+int CmdDynGen(const Args& args) {
+  std::string out_dir = args.Get("out");
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "dyn gen: --out DIR is required\n");
+    return 2;
+  }
+  int per_cell = static_cast<int>(args.GetInt("per-cell", 1));
+  data::DatasetGenParams base;
+  base.min_rows = args.GetInt("min-rows", 200);
+  base.max_rows = args.GetInt("max-rows", 500);
+  base.min_columns = 2;
+  base.max_columns = 4;
+  dyn::RegimeAxes axes;
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+  auto corpus = dyn::GenerateRegimeCorpus(axes, base, per_cell, &rng);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    char path[4096];
+    std::snprintf(path, sizeof(path), "%s/%s.adat", out_dir.c_str(),
+                  corpus[i].dataset.name().c_str());
+    Status st = data::SaveDataset(corpus[i].dataset, path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "dyn gen: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %zu regime-tagged datasets (%zu regimes x %d) to %s\n",
+              corpus.size(), corpus.size() / std::max(1, per_cell), per_cell,
+              out_dir.c_str());
+  return 0;
+}
+
+int CmdDynStep(const Args& args) {
+  std::string path = args.Get("dataset");
+  if (path.empty()) {
+    std::fprintf(stderr, "dyn step: --dataset F.adat is required\n");
+    return 2;
+  }
+  auto ds = data::LoadDataset(path);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "dyn step: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  dyn::MutationConfig cfg;
+  cfg.intensity = args.GetDouble("intensity", 1.0);
+  int epochs = static_cast<int>(args.GetInt("epochs", 1));
+  auto report = dyn::ApplyEpochs(&*ds, cfg, epochs);
+  if (!report.ok()) {
+    std::fprintf(stderr, "dyn step: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::string out = args.Get("out");
+  if (out.empty()) out = path;
+  Status st = data::SaveDataset(*ds, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "dyn step: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("applied %d epoch(s): now at epoch %" PRIu64
+              " (+%" PRId64 " rows, -%" PRId64 " rows, %" PRId64
+              " values shifted) -> %s\n",
+              epochs, report->epoch, report->rows_inserted,
+              report->rows_deleted, report->values_shifted, out.c_str());
+  return 0;
+}
+
+int CmdDynStats(const Args& args) {
+  std::string path = args.Get("dataset");
+  if (path.empty()) {
+    std::fprintf(stderr, "dyn stats: --dataset F.adat is required\n");
+    return 2;
+  }
+  auto ds = data::LoadDataset(path);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "dyn stats: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset %s\n", ds->name().c_str());
+  std::printf("  epoch            : %" PRIu64 "\n", ds->epoch());
+  std::printf("  base fingerprint : %016" PRIx64 "\n",
+              ds->base_fingerprint());
+  std::printf("  fingerprint now  : %016" PRIx64 "\n",
+              dyn::DatasetFingerprint(*ds));
+  std::printf("  tables           : %d\n", ds->NumTables());
+  for (int t = 0; t < ds->NumTables(); ++t) {
+    const data::Table& table = ds->table(t);
+    std::printf("    %-16s %zu cols x %" PRId64 " rows\n",
+                table.name.c_str(), table.columns.size(), table.NumRows());
+  }
+  std::printf("  foreign keys     : %zu\n", ds->foreign_keys().size());
+  return 0;
+}
+
+int CmdDyn(const Args& args) {
+  if (!args.positional.empty()) {
+    if (args.positional[0] == "gen") return CmdDynGen(args);
+    if (args.positional[0] == "step") return CmdDynStep(args);
+    if (args.positional[0] == "stats") return CmdDynStats(args);
+  }
+  std::fprintf(stderr, "dyn: expected `dyn (gen|step|stats)` "
+                       "(see the header of tools/autoce_cli.cc)\n");
+  return 2;
 }
 
 int CmdVersion(const Args& args) {
@@ -964,7 +1084,7 @@ int CmdVersion(const Args& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: autoce <generate|train|recommend|serve|adapt|fss|"
+               "usage: autoce <generate|train|recommend|serve|adapt|fss|dyn|"
                "inspect|metrics|faults|version> [flags]\n"
                "see the header of tools/autoce_cli.cc for details\n");
   return 2;
@@ -985,6 +1105,7 @@ int Main(int argc, char** argv) {
   else if (cmd == "metrics") rc = CmdMetrics(args);
   else if (cmd == "faults") rc = CmdFaults(args);
   else if (cmd == "fss") rc = CmdFss(args);
+  else if (cmd == "dyn") rc = CmdDyn(args);
   else if (cmd == "version") rc = CmdVersion(args);
   else return Usage();
   // AUTOCE_RUN_MANIFEST records what this invocation ran (and, when
